@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark prints the paper-figure table it regenerates and also
+writes it to ``benchmarks/out/<name>.txt`` so a benchmark session leaves
+the full reproduced evaluation on disk. Scale comes from the profile
+selected by ``REPRO_PROFILE`` (default ``quick``; ``paper`` runs the
+60-node sweeps).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.profiles import get_profile
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit
+
+
+# ----------------------------------------------------------------------
+# shared, lazily-computed expensive results (one sweep feeds Figs 6/7/8)
+# ----------------------------------------------------------------------
+_CACHE: dict = {}
+
+
+def shared(key, builder):
+    """Session-wide memo for results reused across benchmarks."""
+    if key not in _CACHE:
+        _CACHE[key] = builder()
+    return _CACHE[key]

@@ -1,0 +1,92 @@
+"""Ablation — the §5 caveat: correlated loss is not a congestion signal.
+
+The paper admits that "network congestion also results in correlated
+message loss thus degrading reliability. This is a potential weakness of
+the approach". The reason: the mechanism's signal is the *age of dropped
+events in buffers* — datagram loss removes events before they ever reach
+a buffer, so a loss burst does not depress ``avgAge`` and the senders do
+not slow down.
+
+This benchmark measures the caveat: a heavy loss window hits a healthy
+adaptive group; reliability craters *during* the window while the
+allowed rate barely moves — and recovers immediately after, because the
+mechanism never mistook the loss for congestion (no spurious
+throttling). Both halves matter: the signal is blind to loss, and it is
+*robust* against loss.
+"""
+
+import math
+
+from repro.core.config import AdaptiveConfig
+from repro.experiments.report import render_table
+from repro.gossip.config import SystemConfig
+from repro.metrics.delivery import analyze_delivery
+from repro.sim.faults import FaultScript
+from repro.workload.cluster import SimCluster
+
+
+def test_ablation_correlated_loss(benchmark, profile, emit):
+    big = profile.buffer_sizes[-1]
+    burst_start, burst_len = 120.0, 40.0
+    duration = 280.0
+
+    def run():
+        cluster = SimCluster(
+            n_nodes=profile.n_nodes,
+            system=SystemConfig(
+                buffer_capacity=big,
+                dedup_capacity=profile.dedup_capacity,
+                max_age=profile.max_age,
+            ),
+            protocol="adaptive",
+            adaptive=AdaptiveConfig(age_critical=profile.tau_hint, initial_rate=8.0),
+            seed=profile.seed,
+        )
+        senders = profile.sender_ids()
+        # load comfortably inside capacity so loss is the only stressor
+        cluster.add_senders(senders, rate_each=0.5 * big / len(senders))
+        FaultScript().loss(burst_start, burst_len, 0.75).apply(
+            cluster.sim, cluster.network
+        )
+        cluster.run(until=duration)
+        m = cluster.metrics
+        rows = []
+        for label, (t0, t1) in [
+            ("before burst", (80.0, burst_start)),
+            ("during burst", (burst_start, burst_start + burst_len)),
+            ("after burst", (burst_start + burst_len + 20.0, duration - 20.0)),
+        ]:
+            stats = analyze_delivery(m.messages_in_window(t0, t1), cluster.group_size)
+            allowed = m.gauge_mean_over("allowed_rate", senders, t0, t1) * len(senders)
+            rows.append(
+                (label, allowed, m.admitted.rate(t0, t1), stats.avg_receiver_pct,
+                 stats.atomicity_pct)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_correlated_loss",
+        render_table(
+            ["phase", "allowed (msg/s)", "input (msg/s)", "avg recv (%)", "atomicity (%)"],
+            rows,
+            title=(
+                "Ablation — §5 caveat: 75% loss burst "
+                f"(t={burst_start:.0f}..{burst_start + burst_len:.0f}s), healthy load"
+            ),
+            digits=1,
+        ),
+    )
+    by_phase = {r[0]: r for r in rows}
+    before, during, after = (
+        by_phase["before burst"],
+        by_phase["during burst"],
+        by_phase["after burst"],
+    )
+    # reliability craters during the burst — the paper's admitted weakness
+    assert during[4] < before[4] - 20.0
+    # ...while the grant barely reacts (loss is not read as congestion):
+    # no spurious collapse of the allowed rate
+    assert during[1] > 0.5 * before[1]
+    # and the system is back to normal after the burst
+    assert after[4] > before[4] - 10.0

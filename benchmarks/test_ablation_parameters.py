@@ -1,0 +1,189 @@
+"""Ablations over the §3.4 design parameters.
+
+The paper discusses how to choose each constant of the mechanism but
+(naturally) does not plot the consequences of choosing badly. These
+benchmarks fill that in: each sweeps one parameter in an overloaded
+configuration and reports rate stability, throughput and reliability so
+the guidance of §3.4 can be checked against behaviour.
+
+* α — EWMA weight: low α makes ``avgAge`` jumpy; §3.4 says "close to 1".
+* ρ — randomized increase: ρ=1 lets all senders ramp together (§3.3's
+  oscillation concern); small ρ smooths the group ramp.
+* L/H spread — hysteresis width: too narrow oscillates, too wide is
+  sluggish and conservative.
+* W — minBuff window: longer windows delay reclaiming released capacity
+  (measured as the grant shortly after a capacity recovery).
+"""
+
+import dataclasses
+import math
+
+from repro.core.config import AdaptiveConfig
+from repro.experiments.harness import spec_for_profile
+from repro.experiments.report import render_table
+from repro.gossip.config import SystemConfig
+from repro.metrics.stats import mean, stdev
+from repro.workload.cluster import SimCluster
+
+
+def overloaded_spec(profile, adaptive):
+    small = profile.buffer_sizes[1]
+    return spec_for_profile(
+        profile, "adaptive", buffer_capacity=small, adaptive=adaptive
+    )
+
+
+def rate_stability(profile, adaptive):
+    """(input rate, coefficient of variation of the grant, atomicity %)."""
+    from repro.experiments.harness import build_cluster
+    from repro.metrics.delivery import analyze_delivery
+
+    spec = overloaded_spec(profile, adaptive)
+    cluster = build_cluster(spec)
+    cluster.run(until=spec.duration)
+    senders = list(spec.sender_ids)
+    w0, w1 = spec.window
+    series = [
+        v * len(senders)
+        for _, v in _sender_series(cluster, senders, w0, w1)
+        if not math.isnan(v)
+    ]
+    cv = stdev(series) / mean(series) if series else math.nan
+    stats = analyze_delivery(
+        cluster.metrics.messages_in_window(w0, w1), cluster.group_size
+    )
+    return cluster.metrics.admitted.rate(w0, w1), cv, stats.atomicity_pct
+
+
+def _sender_series(cluster, senders, w0, w1):
+    acc: dict[float, list[float]] = {}
+    for s in senders:
+        g = cluster.metrics.gauge("allowed_rate", s)
+        if g is None:
+            continue
+        for t, v in g.series(w0, w1):
+            if not math.isnan(v):
+                acc.setdefault(t, []).append(v)
+    return sorted((t, mean(vs)) for t, vs in acc.items())
+
+
+def test_ablation_alpha(benchmark, profile, emit):
+    def sweep():
+        rows = []
+        for alpha in (0.0, 0.5, 0.9, 0.99):
+            acfg = AdaptiveConfig(age_critical=profile.tau_hint, alpha=alpha)
+            rows.append((alpha, *rate_stability(profile, acfg)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_alpha",
+        render_table(
+            ["alpha", "input (msg/s)", "grant CoV", "atomicity (%)"],
+            rows,
+            title="Ablation — EWMA weight α (overloaded small buffer)",
+            digits=2,
+        ),
+    )
+    by_alpha = {r[0]: r for r in rows}
+    # Every α still protects reliability...
+    for r in rows:
+        assert r[3] > 60.0
+    # ...but the paper's "close to 1" choice is no less stable than the
+    # degenerate instantaneous estimator (α=0).
+    assert by_alpha[0.9][2] <= by_alpha[0.0][2] * 1.5
+
+
+def test_ablation_rho(benchmark, profile, emit):
+    def sweep():
+        rows = []
+        for rho in (0.05, 0.2, 1.0):
+            acfg = AdaptiveConfig(age_critical=profile.tau_hint, rho=rho)
+            rows.append((rho, *rate_stability(profile, acfg)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_rho",
+        render_table(
+            ["rho", "input (msg/s)", "grant CoV", "atomicity (%)"],
+            rows,
+            title="Ablation — randomized increase ρ",
+            digits=2,
+        ),
+    )
+    for r in rows:
+        assert r[3] > 60.0
+    # A tiny ρ must not starve the senders: throughput within 2x of ρ=1.
+    by_rho = {r[0]: r for r in rows}
+    assert by_rho[0.05][1] > by_rho[1.0][1] * 0.5
+
+
+def test_ablation_thresholds(benchmark, profile, emit):
+    def sweep():
+        rows = []
+        for offset in (0.1, 0.5, 1.5):
+            acfg = AdaptiveConfig(age_critical=profile.tau_hint, mark_offset=offset)
+            rows.append((offset, *rate_stability(profile, acfg)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_thresholds",
+        render_table(
+            ["L/H offset", "input (msg/s)", "grant CoV", "atomicity (%)"],
+            rows,
+            title="Ablation — hysteresis spread around τ",
+            digits=2,
+        ),
+    )
+    for r in rows:
+        assert r[3] > 60.0
+
+
+def test_ablation_window(benchmark, profile, emit):
+    """W controls how fast *released* capacity is reclaimed (§3.4)."""
+
+    def recovery_rate(window):
+        acfg = AdaptiveConfig(
+            age_critical=profile.tau_hint, window=window, initial_rate=10.0
+        )
+        system = SystemConfig(
+            buffer_capacity=profile.buffer_sizes[-1],
+            dedup_capacity=profile.dedup_capacity,
+            max_age=profile.max_age,
+        )
+        cluster = SimCluster(
+            n_nodes=profile.n_nodes,
+            system=system,
+            protocol="adaptive",
+            adaptive=acfg,
+            seed=profile.seed,
+        )
+        senders = profile.sender_ids()
+        cluster.add_senders(senders, rate_each=profile.offered_load / len(senders))
+        # shrink one node hard, then restore it mid-run
+        victim = profile.n_nodes - 1
+        cluster.set_capacity(victim, profile.buffer_sizes[0] // 2)
+        cluster.at(60.0, lambda: cluster.set_capacity(victim, profile.buffer_sizes[-1]))
+        cluster.run(until=150.0)
+        # grant shortly after recovery measures reclamation speed
+        soon = cluster.metrics.gauge_mean_over("allowed_rate", senders, 90, 120)
+        return soon * len(senders)
+
+    def sweep():
+        return [(w, recovery_rate(w)) for w in (1, 4, 12)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_window",
+        render_table(
+            ["W (periods)", "grant 30-60s after recovery (msg/s)"],
+            rows,
+            title="Ablation — minBuff window W vs capacity reclamation",
+            digits=1,
+        ),
+    )
+    by_w = dict(rows)
+    # Longer windows reclaim released capacity more slowly.
+    assert by_w[1] >= by_w[12] * 0.95

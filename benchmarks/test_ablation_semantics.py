@@ -1,0 +1,191 @@
+"""Ablation — semantic purging [11] alone, adaptation alone, and both.
+
+§5 cites PSRM [11] as a complementary technique: purge *obsolete*
+events (superseded updates to the same key) so that overload reliability
+concentrates on fresh information. The workload here is keyed updates —
+every message supersedes the previous one for its key.
+
+Metrics:
+
+* **classic atomicity** — share of *all* updates reaching >95% of nodes
+  (what Figure 8(b) measures); semantic purging deliberately sacrifices
+  this for old updates;
+* **staleness** — at the end of the window, how old (in seconds, by
+  admission time) is the newest update of each key that each node has
+  delivered. This is what a keyed application actually experiences.
+
+Measured story (see the emitted table): purging lifts classic atomicity
+roughly 30-fold at the *full* offered rate by freeing buffers from
+superseded updates, and — because the buffers stop overflowing — the
+congestion signal correctly reads "uncongested", so the composed variant
+does not throttle: semantics *dissolves* this overload rather than
+surviving it, exactly the complementarity §5 suggests. Adaptation
+reaches the highest atomicity but admits only a third of the load; and
+staleness stays sub-second for every variant at this update frequency —
+the win of purging is delivering updates *to everyone*, not faster.
+"""
+
+from repro.core.config import AdaptiveConfig
+from repro.core.semantics import AdaptiveSemanticLpbcastProtocol
+from repro.experiments.report import render_table
+from repro.gossip.config import SystemConfig
+from repro.gossip.semantics import SemanticLpbcastProtocol
+from repro.metrics.delivery import analyze_delivery
+from repro.workload.cluster import SimCluster
+
+N_KEYS = 24
+
+
+def make_factory(variant, adaptive):
+    def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
+        if variant == "semantic":
+            return SemanticLpbcastProtocol(
+                node_id, system, membership, rng, deliver_fn, drop_fn
+            )
+        return AdaptiveSemanticLpbcastProtocol(
+            node_id,
+            system,
+            membership,
+            rng,
+            adaptive=adaptive,
+            deliver_fn=deliver_fn,
+            drop_fn=drop_fn,
+            now=now,
+        )
+
+    return factory
+
+
+def mean_staleness(metrics, admitted_log, group_size, w0, w1):
+    """Mean over (node, key) of the age of the newest delivered update.
+
+    Receiver sets accumulate over the whole run, so an update delivered
+    shortly *after* the window still counts as fresh; the approximation
+    is identical across variants and cancels in the comparison.
+    """
+    per_key: dict = {}
+    for event_id, payload, t in admitted_log:
+        if t < w1:
+            per_key.setdefault(payload[0], []).append((t, event_id))
+    total = 0.0
+    count = 0
+    cap = w1 - w0
+    for key, updates in per_key.items():
+        updates.sort(reverse=True)  # newest first
+        fresh: set = set()
+        for t, event_id in updates:
+            record = metrics.messages.get(event_id)
+            if record is None:
+                continue
+            for node in record.receivers:
+                if node not in fresh:
+                    fresh.add(node)
+                    total += min(cap, w1 - t)
+                    count += 1
+            if len(fresh) >= group_size:
+                break
+        total += (group_size - len(fresh)) * cap
+        count += group_size - len(fresh)
+    return total / count if count else float("nan")
+
+
+def run_variant(profile, variant):
+    small = profile.buffer_sizes[0]
+    adaptive = AdaptiveConfig(age_critical=profile.tau_hint, initial_rate=10.0)
+    protocol = {
+        "lpbcast": "lpbcast",
+        "adaptive": "adaptive",
+        "semantic": make_factory("semantic", adaptive),
+        "adaptive+semantic": make_factory("both", adaptive),
+    }[variant]
+    cluster = SimCluster(
+        n_nodes=profile.n_nodes,
+        system=SystemConfig(
+            buffer_capacity=small,
+            dedup_capacity=profile.dedup_capacity,
+            max_age=profile.max_age,
+        ),
+        protocol=protocol,
+        adaptive=adaptive,
+        seed=profile.seed,
+    )
+    senders = profile.sender_ids()
+    admitted_log: list[tuple] = []  # (event_id, payload, time)
+    for offset, node_id in enumerate(senders):
+        cluster.add_sender(
+            node_id,
+            rate=profile.offered_load / len(senders),
+            payload_fn=lambda seq, _o=offset: ((seq * len(senders) + _o) % N_KEYS, seq),
+        )
+        proto = cluster.protocol_of(node_id)
+        original = proto.try_broadcast
+
+        def recording(payload, now, _orig=original):
+            event_id = _orig(payload, now)
+            if event_id is not None:
+                admitted_log.append((event_id, payload, now))
+            return event_id
+
+        proto.try_broadcast = recording
+    cluster.run(until=profile.duration)
+
+    w0, w1 = profile.measure_window
+    m = cluster.metrics
+    classic = analyze_delivery(m.messages_in_window(w0, w1), cluster.group_size)
+    staleness = mean_staleness(m, admitted_log, cluster.group_size, w0, w1)
+    return (
+        m.admitted.rate(w0, w1),
+        classic.atomicity_pct,
+        staleness,
+        m.drops_obsolete.count(w0, w1),
+    )
+
+
+def test_ablation_semantics(benchmark, profile, emit):
+    def sweep():
+        return [
+            (variant, *run_variant(profile, variant))
+            for variant in ("lpbcast", "semantic", "adaptive", "adaptive+semantic")
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_semantics",
+        render_table(
+            [
+                "variant",
+                "input (msg/s)",
+                "atomicity (%)",
+                "staleness (s)",
+                "obsolete drops",
+            ],
+            rows,
+            title=(
+                "Ablation — [11] semantic purging vs adaptation "
+                f"(keyed updates over {N_KEYS} keys, overloaded smallest buffer)"
+            ),
+            digits=2,
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    base = by_name["lpbcast"]
+    semantic = by_name["semantic"]
+    adaptive = by_name["adaptive"]
+    both = by_name["adaptive+semantic"]
+    # purging actually happened
+    assert semantic[4] > 0 and both[4] > 0
+    # purging lifts classic atomicity substantially at the FULL input
+    # rate (no throttling involved)
+    assert semantic[1] > 0.9 * base[1]
+    assert semantic[2] > base[2] + 15.0
+    # adaptation rescues classic atomicity hardest, but throttles
+    assert adaptive[2] > semantic[2] + 20.0
+    assert adaptive[1] < 0.6 * base[1]
+    # with purging the buffers stop overflowing, so the adaptive layer
+    # correctly reads the system as uncongested and does not throttle,
+    # keeping purging's atomicity level
+    assert both[1] > 0.9 * base[1]
+    assert both[2] > base[2] + 15.0
+    # staleness stays bounded for every variant at this update frequency
+    for row in rows:
+        assert row[3] < 2.0

@@ -1,0 +1,47 @@
+"""Figure 4 — maximum sustainable input rate vs buffer size.
+
+This is the paper's §2.3 calibration: per buffer size, bisect the load
+axis for the highest rate still delivering to ≥95% of members on
+average, and record the drop age at that edge. Two shape claims:
+
+* the maximum rate grows (roughly linearly) with the buffer size;
+* the drop age at the edge is the *same* for all buffer sizes — the
+  constant τ the whole adaptive mechanism rests on (5.3 in the paper).
+"""
+
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_table
+from repro.metrics.stats import mean, stdev
+
+
+def test_fig4_max_input_rate(benchmark, profile, emit):
+    result = benchmark.pedantic(
+        lambda: figure4(profile, iterations=5), rounds=1, iterations=1
+    )
+
+    table = render_table(
+        ["buffer (msgs)", "max rate (msg/s)", "drop age @max", "reliability @max"],
+        [
+            (p.buffer_capacity, p.max_rate, p.drop_age_at_max, p.reliability_at_max)
+            for p in result.points
+        ],
+        title=(
+            f"Figure 4 — maximum input rate ({profile.name} profile); "
+            f"tau = {result.tau:.2f} (paper: 5.3)"
+        ),
+        digits=2,
+    )
+    emit("figure4", table)
+
+    points = sorted(result.points, key=lambda p: p.buffer_capacity)
+    # Max rate strictly increases with buffer size.
+    for a, b in zip(points, points[1:]):
+        assert b.max_rate > a.max_rate
+    # Roughly linear: rate per buffer slot varies less than 35% across the sweep.
+    slopes = [p.max_rate / p.buffer_capacity for p in points]
+    assert max(slopes) / min(slopes) < 1.35
+    # The constant-τ observation: drop ages at the edge cluster tightly.
+    ages = [p.drop_age_at_max for p in points]
+    assert stdev(ages) / mean(ages) < 0.15
+    # τ matches the profile's baked-in hint (which the other figures use).
+    assert abs(result.tau - profile.tau_hint) / profile.tau_hint < 0.2

@@ -1,0 +1,67 @@
+"""Figure 7 — input rate (a), output rate (b), drop ages (c).
+
+Paper: lpbcast's input equals the offered load regardless of capacity,
+so its output (input − loss) falls behind at small buffers and the age
+of dropped messages collapses; the adaptive variant's input equals its
+output (nothing is lost) and its drop age stays pinned near τ.
+"""
+
+from conftest import shared
+
+from repro.experiments.figures import buffer_sweep_comparison, figure7
+from repro.experiments.report import render_table
+
+
+def test_fig7_rates_and_ages(benchmark, profile, emit):
+    sweep = benchmark.pedantic(
+        lambda: shared(("sweep", profile.name), lambda: buffer_sweep_comparison(profile)),
+        rounds=1,
+        iterations=1,
+    )
+    result = figure7(profile, sweep)
+
+    table = render_table(
+        [
+            "buffer",
+            "in lpb",
+            "in adpt",
+            "out lpb",
+            "out adpt",
+            "dropage lpb",
+            "dropage adpt",
+        ],
+        [
+            (
+                r.buffer_capacity,
+                r.input_lpbcast,
+                r.input_adaptive,
+                r.output_lpbcast,
+                r.output_adaptive,
+                r.drop_age_lpbcast,
+                r.drop_age_adaptive,
+            )
+            for r in result.rows
+        ],
+        title=(
+            f"Figure 7(a,b,c) — rates and drop ages, offered "
+            f"{profile.offered_load:.0f} msg/s ({profile.name} profile)"
+        ),
+        digits=1,
+    )
+    emit("figure7", table)
+
+    rows = sorted(result.rows, key=lambda r: r.buffer_capacity)
+    smallest, largest = rows[0], rows[-1]
+    for row in rows:
+        # (a) lpbcast never throttles: input == offered.
+        assert abs(row.input_lpbcast - profile.offered_load) < 0.1 * profile.offered_load
+        # (b) adaptive loses (almost) nothing: output tracks input.
+        assert row.output_adaptive > row.input_adaptive * 0.93
+    # (a) adaptive throttles below offered at the smallest buffer.
+    assert smallest.input_adaptive < profile.offered_load * 0.75
+    # (b) lpbcast loses a significant share at the smallest buffer.
+    assert smallest.output_lpbcast < smallest.input_lpbcast * 0.9
+    # (c) lpbcast's drop age collapses at small buffers; adaptive holds.
+    assert smallest.drop_age_lpbcast < largest.drop_age_lpbcast * 0.6
+    assert smallest.drop_age_adaptive > smallest.drop_age_lpbcast + 1.0
+    assert smallest.drop_age_adaptive > profile.tau_hint - 1.0

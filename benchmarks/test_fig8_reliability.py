@@ -1,0 +1,65 @@
+"""Figure 8 — reliability: average receivers (a) and atomicity (b).
+
+Paper: as buffers shrink below what the offered load needs, lpbcast's
+average-receiver percentage degrades and its atomicity (share of
+messages reaching >95% of nodes) collapses, "thus failing to meet
+bimodal guarantees"; the adaptive variant keeps both roughly flat.
+"""
+
+from conftest import shared
+
+from repro.experiments.figures import buffer_sweep_comparison, figure8
+from repro.experiments.report import render_table
+
+
+def test_fig8_reliability(benchmark, profile, emit):
+    sweep = benchmark.pedantic(
+        lambda: shared(("sweep", profile.name), lambda: buffer_sweep_comparison(profile)),
+        rounds=1,
+        iterations=1,
+    )
+    result = figure8(profile, sweep)
+
+    table = render_table(
+        [
+            "buffer",
+            "avg recv lpb (%)",
+            "avg recv adpt (%)",
+            "atomicity lpb (%)",
+            "atomicity adpt (%)",
+        ],
+        [
+            (
+                r.buffer_capacity,
+                r.avg_receiver_pct_lpbcast,
+                r.avg_receiver_pct_adaptive,
+                r.atomicity_pct_lpbcast,
+                r.atomicity_pct_adaptive,
+            )
+            for r in result.rows
+        ],
+        title=(
+            f"Figure 8(a,b) — reliability degradation, offered "
+            f"{profile.offered_load:.0f} msg/s ({profile.name} profile)"
+        ),
+        digits=1,
+    )
+    emit("figure8", table)
+
+    rows = sorted(result.rows, key=lambda r: r.buffer_capacity)
+    smallest, largest = rows[0], rows[-1]
+    # (a) the adaptive average-receivers curve stays flat and high...
+    for row in rows:
+        assert row.avg_receiver_pct_adaptive > 93.0
+    # ...while lpbcast degrades markedly at the smallest buffers.
+    assert smallest.avg_receiver_pct_lpbcast < 92.0
+    assert largest.avg_receiver_pct_lpbcast > 97.0
+    # (b) atomicity: sharp collapse for lpbcast, preserved for adaptive.
+    assert smallest.atomicity_pct_lpbcast < 40.0
+    assert smallest.atomicity_pct_adaptive > 70.0
+    assert (
+        smallest.atomicity_pct_adaptive
+        > smallest.atomicity_pct_lpbcast + 30.0
+    )
+    # with ample buffers the two coincide (nothing to adapt away).
+    assert abs(largest.atomicity_pct_lpbcast - largest.atomicity_pct_adaptive) < 10.0

@@ -1,0 +1,121 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+These are real timing benchmarks (pytest-benchmark does its usual
+multi-round measurement): the per-round and per-receive costs bound how
+large a simulated system the harness can afford, and the anchor-based
+buffer justifies itself here (an O(n)-ageing buffer would dominate
+every round).
+"""
+
+import random
+
+from repro.gossip.buffer import EventBuffer
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId, EventSummary
+from repro.gossip.lpbcast import LpbcastProtocol
+from repro.gossip.protocol import GossipMessage
+from repro.membership.full import Directory, FullMembershipView
+from repro.runtime.codec import BinaryCodec
+
+
+def make_filled_buffer(n=180):
+    buf = EventBuffer(n)
+    for i in range(n):
+        buf.add(EventId(i % 60, i), age=i % 10)
+    return buf
+
+
+def test_micro_buffer_add_evict(benchmark):
+    buf = make_filled_buffer(180)
+    counter = iter(range(10**9))
+
+    def add_one():
+        buf.add(EventId("bench", next(counter)), age=0)
+
+    benchmark(add_one)
+    assert len(buf) == 180
+
+
+def test_micro_buffer_advance_round(benchmark):
+    buf = make_filled_buffer(180)
+    benchmark(buf.advance_round)
+
+
+def test_micro_buffer_snapshot(benchmark):
+    buf = make_filled_buffer(180)
+    result = benchmark(buf.snapshot)
+    assert len(result) == 180
+
+
+def test_micro_buffer_oldest_excluding(benchmark):
+    buf = make_filled_buffer(180)
+    exclude = {EventId(i % 60, i) for i in range(0, 180, 2)}
+    result = benchmark(lambda: buf.oldest_excluding(20, exclude))
+    assert len(result) == 20
+
+
+def _protocol_pair():
+    config = SystemConfig(buffer_capacity=180, dedup_capacity=4000)
+    directory = Directory(range(60))
+    sender = LpbcastProtocol(
+        0, config, FullMembershipView(directory, 0), random.Random(1)
+    )
+    receiver = LpbcastProtocol(
+        1, config, FullMembershipView(directory, 1), random.Random(2)
+    )
+    for i in range(180):
+        sender.broadcast(None, now=0.0)
+    return sender, receiver
+
+
+def test_micro_round_emission(benchmark):
+    sender, _ = _protocol_pair()
+    clock = iter(x * 1.0 for x in range(1, 10**9))
+    result = benchmark(lambda: sender.on_round(next(clock)))
+    assert len(result) == 4
+
+
+def test_micro_receive_full_message(benchmark):
+    """Receive a 180-event gossip message (the dominating cost)."""
+    config = SystemConfig(buffer_capacity=180, dedup_capacity=400_000)
+    directory = Directory(range(60))
+    receiver = LpbcastProtocol(
+        1, config, FullMembershipView(directory, 1), random.Random(2)
+    )
+    counter = iter(range(10**9))
+
+    def receive_fresh():
+        base = next(counter) * 200
+        message = GossipMessage(
+            sender=0,
+            events=tuple(
+                EventSummary(EventId("src", base + i), i % 10, None)
+                for i in range(180)
+            ),
+        )
+        receiver.on_receive(message, now=1.0)
+
+    benchmark(receive_fresh)
+
+
+def test_micro_receive_all_duplicates(benchmark):
+    sender, receiver = _protocol_pair()
+    message = sender.on_round(1.0)[0].message
+    receiver.on_receive(message, now=1.0)  # prime: all known afterwards
+    benchmark(lambda: receiver.on_receive(message, now=1.1))
+
+
+def test_micro_codec_encode(benchmark):
+    sender, _ = _protocol_pair()
+    message = sender.on_round(1.0)[0].message
+    codec = BinaryCodec()
+    data = benchmark(lambda: codec.encode(message))
+    assert len(data) > 100
+
+
+def test_micro_codec_decode(benchmark):
+    sender, _ = _protocol_pair()
+    codec = BinaryCodec()
+    data = codec.encode(sender.on_round(1.0)[0].message)
+    message = benchmark(lambda: codec.decode(data))
+    assert message.n_events == 180

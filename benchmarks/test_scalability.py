@@ -1,0 +1,59 @@
+"""Scalability study — gossip's per-node cost stays flat as n grows.
+
+Not a paper figure; quantifies the §1 scalability claim on this
+implementation and shows why τ is deployment-specific (it grows with n,
+hence the paper's per-system calibration step). The reproduction brief
+flags large-scale latency experiments as the slow part of a Python
+simulation — this bench keeps n modest by default; the `paper` profile
+raises the ceiling.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.scalability import scale_sweep
+
+
+def test_scalability(benchmark, profile, emit):
+    sizes = (15, 30, 60) if profile.name == "quick" else (15, 30, 60, 120)
+
+    result = benchmark.pedantic(
+        lambda: scale_sweep(sizes, rate_per_node_group=0.5), rounds=1, iterations=1
+    )
+
+    emit(
+        "scalability",
+        render_table(
+            ["n nodes", "latency (s)", "avg recv (%)", "per-node goodput (msg/s)", "drop age"],
+            [
+                (
+                    p.n_nodes,
+                    p.mean_latency,
+                    100 * p.avg_receiver_fraction,
+                    p.per_node_goodput,
+                    p.mean_drop_age,
+                )
+                for p in result
+            ],
+            title="Scalability — load 0.5·n msg/s, fanout 4, buffer 60",
+            digits=2,
+        ),
+    )
+
+    by_n = {p.n_nodes: p for p in result}
+    smallest, largest = by_n[min(sizes)], by_n[max(sizes)]
+    # reliability holds at every size
+    for p in result:
+        assert p.avg_receiver_fraction > 0.97
+    # latency grows with n, but far slower than linearly (log-ish)
+    assert largest.mean_latency > smallest.mean_latency
+    ratio_n = largest.n_nodes / smallest.n_nodes
+    assert largest.mean_latency < smallest.mean_latency * ratio_n / 1.5
+    # every node delivers the whole offered load (0.5 msg/s per member of
+    # the group): gossip keeps up with a load that grows with n
+    for p in result:
+        assert abs(p.per_node_goodput - 0.5 * p.n_nodes) < 0.1 * 0.5 * p.n_nodes
+    # deeper dissemination at larger n: drop age (≈ dissemination depth)
+    # is non-decreasing in n (NaN = no drops at all, trivially fine)
+    if largest.mean_drop_age == largest.mean_drop_age and (
+        smallest.mean_drop_age == smallest.mean_drop_age
+    ):
+        assert largest.mean_drop_age >= smallest.mean_drop_age - 0.5

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The offline reproduction environment lacks the ``wheel`` package, so PEP
+517/660 builds (which shell out to ``bdist_wheel``) fail. This shim lets
+``pip install -e .`` use the legacy ``setup.py develop`` path; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""The paper's contribution: the adaptive mechanism (Figures 3 and 5).
+
+* :mod:`repro.core.config` — :class:`AdaptiveConfig`, every knob of §3.4.
+* :mod:`repro.core.ewma` — the moving average used by Figures 5(b)/(c).
+* :mod:`repro.core.tokens` — the token-bucket admission of Figure 3.
+* :mod:`repro.core.minbuff` — distributed discovery of the group's
+  minimum buffer size (Figure 5(a)).
+* :mod:`repro.core.congestion` — local congestion estimation from the
+  ages of hypothetically-dropped events (Figure 5(b)).
+* :mod:`repro.core.rate_controller` — thresholded multiplicative rate
+  adaptation with randomized increase (Figure 5(c)).
+* :mod:`repro.core.aggregation` — windowed gossip aggregates, including
+  the κ-smallest extension sketched in §6.
+* :mod:`repro.core.machinery` — :class:`AdaptiveMachinery`, everything
+  Figures 3+5 add, as one substrate-agnostic component.
+* :mod:`repro.core.adaptive` — :class:`AdaptiveLpbcastProtocol`, the full
+  integration of Figure 5 into the Figure 1 baseline, plus the statically
+  rate-limited variant of Figure 3.
+* :mod:`repro.core.bimodal` — the same machinery on the pbcast-style
+  substrate (§5 generality).
+* :mod:`repro.core.semantics` — adaptation composed with [11]-style
+  semantic purging.
+"""
+
+from repro.core.adaptive import AdaptiveLpbcastProtocol, StaticRateLpbcastProtocol
+from repro.core.bimodal import AdaptiveBimodalProtocol
+from repro.core.semantics import AdaptiveSemanticLpbcastProtocol
+from repro.core.aggregation import (
+    KSmallestAggregate,
+    MinAggregate,
+    ThresholdedKSmallestAggregate,
+)
+from repro.core.config import AdaptiveConfig
+from repro.core.congestion import CongestionEstimator
+from repro.core.ewma import Ewma
+from repro.core.machinery import AdaptiveMachinery
+from repro.core.minbuff import MinBuffEstimator
+from repro.core.rate_controller import RateController, RateDecision
+from repro.core.tokens import TokenBucket
+
+__all__ = [
+    "AdaptiveConfig",
+    "Ewma",
+    "TokenBucket",
+    "MinBuffEstimator",
+    "CongestionEstimator",
+    "RateController",
+    "RateDecision",
+    "MinAggregate",
+    "KSmallestAggregate",
+    "ThresholdedKSmallestAggregate",
+    "AdaptiveLpbcastProtocol",
+    "StaticRateLpbcastProtocol",
+    "AdaptiveBimodalProtocol",
+    "AdaptiveSemanticLpbcastProtocol",
+    "AdaptiveMachinery",
+]

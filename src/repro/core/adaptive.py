@@ -1,0 +1,208 @@
+"""The adaptive gossip broadcast protocol — paper Figure 5, integrated.
+
+:class:`AdaptiveLpbcastProtocol` binds the reusable
+:class:`~repro.core.machinery.AdaptiveMachinery` (Figures 3 + 5) to the
+Figure 1 baseline through the latter's protected hooks:
+
+* outgoing gossip carries the ``(period, minBuff)`` header and incoming
+  headers feed the minimum-buffer estimator (5a);
+* after each received message — before garbage collection — the
+  congestion estimator accounts the events a ``minBuff``-sized buffer
+  would have dropped (5b);
+* once per round the rate controller adjusts the allowed rate, which
+  drives the Figure 3 token bucket admitting application broadcasts (5c).
+
+:class:`StaticRateLpbcastProtocol` is Figure 3 alone — the baseline plus
+a *fixed* token-bucket rate limit. It is the "calibrate a priori"
+strawman of §1, used by the calibration experiments and ablations.
+
+The same machinery also drives the anti-entropy substrate in
+:mod:`repro.gossip.bimodal` — the paper's §5 claim that the mechanism is
+substrate-agnostic.
+
+Admission interface
+-------------------
+``try_broadcast(payload, now)`` returns the new :class:`EventId` or
+``None`` when no token is available; ``time_until_admission(now)`` tells
+the caller when to retry. The paper's blocking ``BROADCAST`` is built on
+top by the workload senders (queue + retry), which keeps the protocol
+itself non-blocking and sans-IO.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.aggregation import Aggregate
+from repro.core.config import AdaptiveConfig
+from repro.core.machinery import AdaptiveMachinery
+from repro.core.rate_controller import RateDecision
+from repro.core.tokens import TokenBucket
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId
+from repro.gossip.lpbcast import LpbcastProtocol
+from repro.gossip.peer_sampling import TargetSampler
+from repro.gossip.protocol import AdaptiveHeader, DeliverFn, DropFn, GossipMessage, NodeId
+
+__all__ = ["AdaptiveLpbcastProtocol", "StaticRateLpbcastProtocol"]
+
+
+class StaticRateLpbcastProtocol(LpbcastProtocol):
+    """Figure 1 + Figure 3: lpbcast behind a *fixed-rate* token bucket.
+
+    This is the naive a-priori calibration the paper argues against: it
+    protects the system only if the configured rate was right for the
+    resources actually present.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: SystemConfig,
+        membership,
+        rng,
+        rate_limit: float,
+        max_tokens: float = 5.0,
+        deliver_fn: Optional[DeliverFn] = None,
+        drop_fn: Optional[DropFn] = None,
+        sampler: Optional[TargetSampler] = None,
+        now: float = 0.0,
+    ) -> None:
+        super().__init__(node_id, config, membership, rng, deliver_fn, drop_fn, sampler)
+        self.bucket = TokenBucket(rate_limit, max_tokens, now=now)
+
+    def try_broadcast(self, payload: Any, now: float) -> Optional[EventId]:
+        """Admit one broadcast if a token is available."""
+        if not self.bucket.try_consume(now):
+            return None
+        return self.broadcast(payload, now)
+
+    def time_until_admission(self, now: float) -> float:
+        """Seconds until the fixed-rate bucket grants the next token."""
+        return self.bucket.time_until(1.0, now)
+
+    @property
+    def allowed_rate(self) -> float:
+        """The statically configured rate limit (msg/s)."""
+        return self.bucket.rate
+
+
+class AdaptiveLpbcastProtocol(LpbcastProtocol):
+    """The paper's contribution: fully adaptive gossip broadcast.
+
+    Parameters beyond the baseline's:
+
+    adaptive:
+        The :class:`AdaptiveConfig` (§3.4 knobs).
+    aggregate:
+        Optional :class:`~repro.core.aggregation.Aggregate` strategy for
+        the resource discovery — the plain minimum by default, or one of
+        the §6 κ-smallest variants.
+    now:
+        Clock at construction (anchors sample periods and the bucket).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: SystemConfig,
+        membership,
+        rng,
+        adaptive: Optional[AdaptiveConfig] = None,
+        deliver_fn: Optional[DeliverFn] = None,
+        drop_fn: Optional[DropFn] = None,
+        sampler: Optional[TargetSampler] = None,
+        aggregate: Optional[Aggregate] = None,
+        now: float = 0.0,
+    ) -> None:
+        super().__init__(node_id, config, membership, rng, deliver_fn, drop_fn, sampler)
+        self.adaptive_config = adaptive if adaptive is not None else AdaptiveConfig()
+        self.machinery = AdaptiveMachinery(
+            node_id, config, self.adaptive_config, rng, aggregate=aggregate, now=now
+        )
+
+    # ------------------------------------------------------------------
+    # component access (tests, metrics, examples)
+    # ------------------------------------------------------------------
+    @property
+    def minbuff(self):
+        """The Figure 5(a) estimator (delegates to the machinery)."""
+        return self.machinery.minbuff
+
+    @property
+    def congestion(self):
+        """The Figure 5(b) estimator (delegates to the machinery)."""
+        return self.machinery.congestion
+
+    @property
+    def controller(self):
+        """The Figure 5(c) rate controller (delegates to the machinery)."""
+        return self.machinery.controller
+
+    @property
+    def bucket(self):
+        """The Figure 3 token bucket (delegates to the machinery)."""
+        return self.machinery.bucket
+
+    @property
+    def avg_tokens(self):
+        """The grant-usage EWMA (delegates to the machinery)."""
+        return self.machinery.avg_tokens
+
+    @property
+    def last_decision(self) -> Optional[RateDecision]:
+        """Outcome of the most recent Figure 5(c) adjustment."""
+        return self.machinery.last_decision
+
+    @property
+    def allowed_rate(self) -> float:
+        """The dynamically computed allowed sending rate (msg/s)."""
+        return self.machinery.allowed_rate
+
+    @property
+    def min_buff_estimate(self) -> int:
+        """Current windowed estimate of the group's smallest buffer."""
+        return self.machinery.min_buff_estimate
+
+    @property
+    def avg_age(self) -> Optional[float]:
+        """Current congestion estimate (``avgAge``), None if no evidence."""
+        return self.machinery.avg_age
+
+    # ------------------------------------------------------------------
+    # admission (Figure 3 driven by Figure 5(c))
+    # ------------------------------------------------------------------
+    def try_broadcast(self, payload: Any, now: float) -> Optional[EventId]:
+        """Admit one broadcast if the adaptive grant allows it now."""
+        if not self.machinery.try_admit(now):
+            return None
+        return self.broadcast(payload, now)
+
+    def time_until_admission(self, now: float) -> float:
+        """Seconds until the adaptive grant admits the next broadcast."""
+        return self.machinery.time_until_admission(now)
+
+    # ------------------------------------------------------------------
+    # Figure 5 hooks into the baseline
+    # ------------------------------------------------------------------
+    def _before_emission(self, now: float) -> None:
+        # Figure 5(c): "every T ms — throttle sender".
+        self.machinery.round_tick(now)
+
+    def _emission_headers(self, now: float) -> AdaptiveHeader:
+        return self.machinery.header(now)
+
+    def _on_adaptive_header(self, header: AdaptiveHeader, now: float) -> None:
+        self.machinery.on_header(header, now)
+
+    def _after_receive(self, message: GossipMessage, now: float) -> None:
+        # Figure 5(b): account what a minBuff-sized buffer would drop.
+        self.machinery.observe_buffer(self.buffer, now)
+
+    # ------------------------------------------------------------------
+    # resource changes (Figure 9 scenario)
+    # ------------------------------------------------------------------
+    def set_buffer_capacity(self, capacity: int, now: float) -> None:
+        """Resize the buffer and inform the resource estimator (Fig 9)."""
+        super().set_buffer_capacity(capacity, now)
+        self.machinery.on_capacity_change(capacity, now)

@@ -1,0 +1,116 @@
+"""Windowed gossip aggregates over buffer capacities.
+
+The paper computes the group *minimum* buffer size by gossiping a running
+minimum (§3.1, "similar to an aggregation function [6]"). Its §6 sketches
+two refinements so a single under-provisioned node cannot throttle the
+whole group: adapt to the **κ-th smallest** buffer, or to the κ-th
+smallest **above a floor**. All three are provided behind one small
+strategy interface so the :class:`repro.core.minbuff.MinBuffEstimator`
+can use any of them.
+
+An aggregate *state* is whatever rides the gossip header; it must be
+mergeable commutatively/associatively/idempotently (gossip delivers
+duplicates and has no ordering). The κ-smallest family therefore tracks
+``(capacity, node)`` pairs — set-union merging then counts *nodes*, not
+distinct values, and stays idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Protocol, Union
+
+__all__ = [
+    "AggregateState",
+    "Aggregate",
+    "MinAggregate",
+    "KSmallestAggregate",
+    "ThresholdedKSmallestAggregate",
+]
+
+# int for the plain minimum; sorted tuple of (capacity, node) pairs for κ-smallest
+AggregateState = Union[int, tuple[tuple[int, Hashable], ...]]
+
+
+class Aggregate(Protocol):
+    """Strategy interface for gossip-mergeable capacity summaries."""
+
+    def lift(self, capacity: int, node: Hashable) -> AggregateState:
+        """State representing one node's local capacity."""
+
+    def merge(self, a: AggregateState, b: AggregateState) -> AggregateState:
+        """Combine two states (commutative, associative, idempotent)."""
+
+    def result(self, state: AggregateState) -> int:
+        """The effective group capacity this state implies."""
+
+
+class MinAggregate:
+    """The paper's §3.1 aggregate: the plain minimum."""
+
+    def lift(self, capacity: int, node: Hashable) -> int:
+        return int(capacity)
+
+    def merge(self, a: int, b: int) -> int:
+        return a if a <= b else b
+
+    def result(self, state: int) -> int:
+        return state
+
+
+class KSmallestAggregate:
+    """§6 extension: adapt to the κ-th smallest node's capacity.
+
+    The state is the sorted tuple of (up to) κ smallest ``(capacity,
+    node)`` pairs. A node appearing with several capacities (it was
+    reconfigured mid-period) keeps only its smallest — the conservative
+    reading. While fewer than κ nodes are known the *smallest* capacity is
+    returned, identical to the plain minimum, because assuming a κ-th
+    smallest before κ nodes reported would overestimate resources.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def lift(self, capacity: int, node: Hashable) -> tuple[tuple[int, Hashable], ...]:
+        return ((int(capacity), node),)
+
+    def merge(
+        self,
+        a: tuple[tuple[int, Hashable], ...],
+        b: tuple[tuple[int, Hashable], ...],
+    ) -> tuple[tuple[int, Hashable], ...]:
+        best: dict[Hashable, int] = {}
+        for capacity, node in (*a, *b):
+            current = best.get(node)
+            if current is None or capacity < current:
+                best[node] = capacity
+        pairs = sorted((capacity, node) for node, capacity in best.items())
+        return tuple(pairs[: self.k])
+
+    def result(self, state: tuple[tuple[int, Hashable], ...]) -> int:
+        if not state:
+            raise ValueError("empty aggregate state")
+        if len(state) < self.k:
+            return state[0][0]
+        return state[self.k - 1][0]
+
+
+class ThresholdedKSmallestAggregate(KSmallestAggregate):
+    """§6 extension: κ-th smallest capacity **at or above** a floor.
+
+    Capacities below ``floor`` are clamped up to it before aggregation —
+    the group refuses to slow below the floor for pathologically small
+    nodes (which will simply drop more; gossip redundancy is the safety
+    margin, §3.1).
+    """
+
+    def __init__(self, k: int, floor: int) -> None:
+        super().__init__(k)
+        if floor < 1:
+            raise ValueError("floor must be >= 1")
+        self.floor = floor
+
+    def lift(self, capacity: int, node: Hashable) -> tuple[tuple[int, Hashable], ...]:
+        return ((max(int(capacity), self.floor), node),)

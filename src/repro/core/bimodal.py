@@ -1,0 +1,92 @@
+"""Bimodal multicast + the paper's adaptation (§5 generality claim).
+
+:class:`AdaptiveBimodalProtocol` binds the shared
+:class:`~repro.core.machinery.AdaptiveMachinery` to the pbcast-style
+substrate of :mod:`repro.gossip.bimodal` exactly the way
+:class:`~repro.core.adaptive.AdaptiveLpbcastProtocol` binds it to the
+lpbcast substrate — which is the point: the mechanism never looks inside
+the substrate, only at the event buffer and the piggybacked headers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.aggregation import Aggregate
+from repro.core.config import AdaptiveConfig
+from repro.core.machinery import AdaptiveMachinery
+from repro.gossip.bimodal import BimodalProtocol
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId
+from repro.gossip.peer_sampling import TargetSampler
+from repro.gossip.protocol import AdaptiveHeader, DeliverFn, DropFn, GossipMessage, NodeId
+
+__all__ = ["AdaptiveBimodalProtocol"]
+
+
+class AdaptiveBimodalProtocol(BimodalProtocol):
+
+    """Bimodal multicast + the paper's adaptation, via the shared machinery.
+
+    The binding is identical to the lpbcast case — which is the point:
+    the mechanism never looks inside the substrate, only at the buffer
+    and the piggybacked headers.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: SystemConfig,
+        membership,
+        rng,
+        adaptive: Optional[AdaptiveConfig] = None,
+        deliver_fn: Optional[DeliverFn] = None,
+        drop_fn: Optional[DropFn] = None,
+        sampler: Optional[TargetSampler] = None,
+        aggregate: Optional[Aggregate] = None,
+        now: float = 0.0,
+    ) -> None:
+        super().__init__(node_id, config, membership, rng, deliver_fn, drop_fn, sampler)
+        self.adaptive_config = adaptive if adaptive is not None else AdaptiveConfig()
+        self.machinery = AdaptiveMachinery(
+            node_id, config, self.adaptive_config, rng, aggregate=aggregate, now=now
+        )
+
+    def try_broadcast(self, payload: Any, now: float) -> Optional[EventId]:
+        if not self.machinery.try_admit(now):
+            return None
+        return self.broadcast(payload, now)
+
+    def time_until_admission(self, now: float) -> float:
+        return self.machinery.time_until_admission(now)
+
+    @property
+    def allowed_rate(self) -> float:
+        return self.machinery.allowed_rate
+
+    @property
+    def avg_age(self) -> Optional[float]:
+        return self.machinery.avg_age
+
+    @property
+    def min_buff_estimate(self) -> int:
+        return self.machinery.min_buff_estimate
+
+    def _before_emission(self, now: float) -> None:
+        self.machinery.round_tick(now)
+
+    def _emission_headers(self, now: float) -> AdaptiveHeader:
+        return self.machinery.header(now)
+
+    def _on_adaptive_header(self, header: AdaptiveHeader, now: float) -> None:
+        self.machinery.on_header(header, now)
+
+    def _after_receive(self, message: GossipMessage, now: float) -> None:
+        # Only data-bearing messages change the buffer contents; digests
+        # and requests carry no new events to account.
+        if message.kind in ("multicast", "reply", "gossip"):
+            self.machinery.observe_buffer(self.buffer, now)
+
+    def set_buffer_capacity(self, capacity: int, now: float) -> None:
+        super().set_buffer_capacity(capacity, now)
+        self.machinery.on_capacity_change(capacity, now)

@@ -1,0 +1,154 @@
+"""The adaptation mechanism as a reusable component.
+
+The paper stresses that its mechanism "can be applied to all
+gossip-based broadcast algorithms we know of" (§1, §5). To make that
+concrete, everything Figure 5 adds to a protocol lives in one object —
+:class:`AdaptiveMachinery` — with a small contract any gossip substrate
+can satisfy:
+
+* call :meth:`round_tick` once per gossip round (Figure 5(c) throttle);
+* piggyback :meth:`header` on outgoing gossip and feed incoming headers
+  to :meth:`on_header` (Figure 5(a) discovery);
+* call :meth:`observe_buffer` after folding a message into the (not yet
+  garbage-collected) event buffer (Figure 5(b) estimation);
+* admit application sends through :meth:`try_admit` (Figure 3);
+* report capacity changes via :meth:`on_capacity_change`.
+
+:class:`repro.core.adaptive.AdaptiveLpbcastProtocol` (push gossip) and
+:class:`repro.gossip.bimodal.AdaptiveBimodalProtocol` (multicast +
+anti-entropy) are both thin bindings of this one object, which *is* the
+paper's generality claim in code.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.aggregation import Aggregate
+from repro.core.config import AdaptiveConfig
+from repro.core.congestion import CongestionEstimator
+from repro.core.ewma import Ewma
+from repro.core.minbuff import MinBuffEstimator
+from repro.core.rate_controller import RateController, RateDecision
+from repro.core.tokens import TokenBucket
+from repro.gossip.buffer import EventBuffer
+from repro.gossip.config import SystemConfig
+from repro.gossip.protocol import AdaptiveHeader
+
+__all__ = ["AdaptiveMachinery"]
+
+
+class AdaptiveMachinery:
+    """All Figure 3 + Figure 5 state for one node."""
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        system: SystemConfig,
+        adaptive: AdaptiveConfig,
+        rng,
+        aggregate: Optional[Aggregate] = None,
+        now: float = 0.0,
+    ) -> None:
+        self.config = adaptive
+        self.minbuff = MinBuffEstimator(
+            node_id=node_id,
+            local_capacity=system.buffer_capacity,
+            sample_period=adaptive.resolved_sample_period(system),
+            window=adaptive.window,
+            aggregate=aggregate,
+            now=now,
+        )
+        self.congestion = CongestionEstimator(
+            adaptive.alpha, initial_age=adaptive.initial_avg_age
+        )
+        self.controller = RateController(adaptive, rng)
+        self.bucket = TokenBucket(self.controller.rate, adaptive.max_tokens, now=now)
+        self.avg_tokens = Ewma(adaptive.alpha, initial=float(adaptive.max_tokens))
+        self.last_decision: Optional[RateDecision] = None
+        # congestion-evidence freshness (see AdaptiveConfig.evidence_ttl_rounds)
+        self._seen_accounted = 0
+        self._quiet_rounds = 0
+
+    # ------------------------------------------------------------------
+    # Figure 5(c): once per round
+    # ------------------------------------------------------------------
+    def round_tick(self, now: float) -> RateDecision:
+        """Sample grant usage and run one rate-adjustment step.
+
+        ``avgAge`` only moves while the hypothetical minimal buffer would
+        be dropping something; if no new evidence has arrived for
+        ``evidence_ttl_rounds`` rounds the stale average is withheld from
+        the controller (treated as "no congestion observed"), otherwise a
+        frozen mid-band value could pin the rate forever after resources
+        recover.
+        """
+        accounted = self.congestion.events_accounted
+        if accounted != self._seen_accounted:
+            self._seen_accounted = accounted
+            self._quiet_rounds = 0
+        else:
+            self._quiet_rounds += 1
+        avg_age = self.congestion.avg_age
+        if self._quiet_rounds >= self.config.evidence_ttl_rounds:
+            avg_age = None
+        self.avg_tokens.update(self.bucket.tokens(now))
+        self.last_decision = self.controller.step(avg_age, self.avg_tokens.value)
+        self.bucket.set_rate(self.controller.rate, now)
+        return self.last_decision
+
+    @property
+    def evidence_fresh(self) -> bool:
+        """Whether the congestion evidence is recent enough to be used."""
+        return self._quiet_rounds < self.config.evidence_ttl_rounds
+
+    # ------------------------------------------------------------------
+    # Figure 5(a): discovery via piggybacked headers
+    # ------------------------------------------------------------------
+    def header(self, now: float) -> AdaptiveHeader:
+        """The ``(period, minBuff)`` pair to piggyback on outgoing gossip."""
+        return self.minbuff.header(now)
+
+    def on_header(self, header: AdaptiveHeader, now: float) -> None:
+        """Fold a received adaptation header into the estimator."""
+        self.minbuff.on_header(header, now)
+
+    # ------------------------------------------------------------------
+    # Figure 5(b): estimation against the un-trimmed buffer
+    # ------------------------------------------------------------------
+    def observe_buffer(self, buffer: EventBuffer, now: float) -> int:
+        """Figure 5(b): account the un-trimmed buffer against minBuff."""
+        return self.congestion.update(buffer, self.minbuff.min_buff(now))
+
+    # ------------------------------------------------------------------
+    # Figure 3: admission
+    # ------------------------------------------------------------------
+    def try_admit(self, now: float) -> bool:
+        """Figure 3 admission: take one token if available."""
+        return self.bucket.try_consume(now)
+
+    def time_until_admission(self, now: float) -> float:
+        """Seconds until :meth:`try_admit` can succeed."""
+        return self.bucket.time_until(1.0, now)
+
+    # ------------------------------------------------------------------
+    # resources & observation
+    # ------------------------------------------------------------------
+    def on_capacity_change(self, capacity: int, now: float) -> None:
+        """Report a local buffer resize to the resource estimator."""
+        self.minbuff.set_local_capacity(capacity, now)
+
+    @property
+    def allowed_rate(self) -> float:
+        """The currently allowed sending rate (msg/s)."""
+        return self.controller.rate
+
+    @property
+    def avg_age(self) -> Optional[float]:
+        """Current ``avgAge`` congestion estimate (may be stale; see TTL)."""
+        return self.congestion.avg_age
+
+    @property
+    def min_buff_estimate(self) -> int:
+        """Windowed estimate of the group's smallest buffer."""
+        return self.minbuff.min_buff()

@@ -1,0 +1,169 @@
+"""Distributed discovery of the group's minimum buffer (paper Figure 5(a)).
+
+Every node keeps, per *sample period* ``s``, a running aggregate of the
+buffer capacities it has heard of, seeded with its own capacity. The pair
+``(period, state)`` rides the header of every normal gossip message — no
+extra traffic. On reception the local state for that period is merged
+with the received one; because the aggregate is a gossip-min (or one of
+the §6 variants), every node converges to the group value within ~τ
+rounds, with high probability inside one period (that is how §3.4 sizes
+``s ≥ τ·T``).
+
+The value actually *used* is the aggregate over the last ``W`` periods
+(:meth:`MinBuffEstimator.min_buff`), which
+
+* bridges the start of each period, when the fresh sample has not yet
+  converged and would otherwise cause rate fluctuation, and
+* makes the estimate forget nodes that left or grew — resources released
+  become visible after at most ``W`` periods, while resource *decreases*
+  propagate within the current period (new minima win merges instantly).
+
+Loosely synchronised period clocks are enough: a node receiving a header
+from a later period jumps its own period forward (§3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Optional
+
+from repro.core.aggregation import Aggregate, AggregateState, MinAggregate
+from repro.gossip.protocol import AdaptiveHeader
+
+__all__ = ["MinBuffEstimator"]
+
+
+class MinBuffEstimator:
+    """Windowed gossip aggregation of buffer capacities.
+
+    Parameters
+    ----------
+    node_id:
+        Identity used by id-aware aggregates (κ-smallest).
+    local_capacity:
+        This node's current ``|events|max``.
+    sample_period:
+        ``s`` in seconds.
+    window:
+        ``W`` — number of periods (including the current one) combined.
+    aggregate:
+        Merge strategy; defaults to the paper's plain minimum.
+    now:
+        Clock value at construction (periods are anchored at t=0).
+    """
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        local_capacity: int,
+        sample_period: float,
+        window: int,
+        aggregate: Optional[Aggregate] = None,
+        now: float = 0.0,
+    ) -> None:
+        if local_capacity < 1:
+            raise ValueError("local_capacity must be >= 1")
+        if sample_period <= 0:
+            raise ValueError("sample_period must be > 0")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.node_id = node_id
+        self._local_capacity = int(local_capacity)
+        self._period_len = float(sample_period)
+        self._window = int(window)
+        self._aggregate = aggregate if aggregate is not None else MinAggregate()
+        self._current = self._wall_period(now)
+        self._samples: dict[int, AggregateState] = {
+            self._current: self._aggregate.lift(self._local_capacity, node_id)
+        }
+
+    # ------------------------------------------------------------------
+    # clock / periods
+    # ------------------------------------------------------------------
+    def _wall_period(self, now: float) -> int:
+        return int(math.floor(now / self._period_len))
+
+    @property
+    def current_period(self) -> int:
+        return self._current
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def local_capacity(self) -> int:
+        return self._local_capacity
+
+    def advance(self, now: float) -> None:
+        """Roll to the wall-clock period (monotone; never goes back)."""
+        self._enter_period(max(self._wall_period(now), self._current))
+
+    def _enter_period(self, period: int) -> None:
+        if period <= self._current and period in self._samples:
+            return
+        self._current = max(self._current, period)
+        if self._current not in self._samples:
+            self._samples[self._current] = self._aggregate.lift(
+                self._local_capacity, self.node_id
+            )
+        horizon = self._current - self._window
+        for stale in [p for p in self._samples if p <= horizon]:
+            del self._samples[stale]
+
+    # ------------------------------------------------------------------
+    # resource changes
+    # ------------------------------------------------------------------
+    def set_local_capacity(self, capacity: int, now: float) -> None:
+        """Record a runtime change of the local buffer.
+
+        Decreases take effect in the *current* period immediately (they
+        merge in as new minima); increases only influence periods started
+        after the change — the window then ages the old minimum out,
+        which is the paper's deliberate slow-up / fast-down asymmetry.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.advance(now)
+        self._local_capacity = int(capacity)
+        lifted = self._aggregate.lift(capacity, self.node_id)
+        self._samples[self._current] = self._aggregate.merge(
+            self._samples[self._current], lifted
+        )
+
+    # ------------------------------------------------------------------
+    # gossip integration
+    # ------------------------------------------------------------------
+    def header(self, now: float) -> AdaptiveHeader:
+        """The ``(s, minBuff)`` pair to piggyback on an outgoing gossip."""
+        self.advance(now)
+        return AdaptiveHeader(period=self._current, min_buff=self._samples[self._current])
+
+    def on_header(self, header: AdaptiveHeader, now: float) -> None:
+        """Fold a received header in (may fast-forward our period clock)."""
+        self.advance(now)
+        if header.period > self._current:
+            self._enter_period(header.period)
+        if header.period <= self._current - self._window:
+            return  # too old to matter
+        existing = self._samples.get(header.period)
+        if existing is None:
+            # We lived through that period with our current capacity.
+            existing = self._aggregate.lift(self._local_capacity, self.node_id)
+        self._samples[header.period] = self._aggregate.merge(existing, header.min_buff)
+
+    # ------------------------------------------------------------------
+    # the estimate
+    # ------------------------------------------------------------------
+    def min_buff(self, now: Optional[float] = None) -> int:
+        """The effective group capacity: aggregate over the last W periods."""
+        if now is not None:
+            self.advance(now)
+        merged: Optional[AggregateState] = None
+        horizon = self._current - self._window
+        for period, state in self._samples.items():
+            if period <= horizon:
+                continue
+            merged = state if merged is None else self._aggregate.merge(merged, state)
+        assert merged is not None  # current period always has a sample
+        return self._aggregate.result(merged)

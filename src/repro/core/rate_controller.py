@@ -1,0 +1,89 @@
+"""Sender rate adaptation (paper Figure 5(c)).
+
+Once per gossip round a sender compares its congestion estimate
+(``avgAge``) with two thresholds around the critical age ``τ``:
+
+* ``avgAge < L`` — events are dying young somewhere: the system is
+  congested; **decrease** the allowed rate multiplicatively by ``Δdec``.
+  The same applies when the sender is not using its grant (``avgTokens``
+  high): an unused allowance must not accumulate, or the application
+  could later burst into a stale grant and congest the system (§3.3).
+* ``avgAge > H`` **and** the grant is fully used (``avgTokens`` low) —
+  capacity is available; **increase** by ``Δinc``, but only with
+  probability ``ρ``, so that a large sender population ramps up smoothly
+  instead of stampeding from the low mark to the high mark (§3.3).
+
+Between the marks the rate holds — the hysteresis that keeps the system
+from oscillating on every minor fluctuation of ``avgAge``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.config import AdaptiveConfig
+
+__all__ = ["RateDecision", "RateController"]
+
+
+class RateDecision(enum.Enum):
+    """Outcome of one adaptation step (useful for traces and tests)."""
+
+    DECREASE = "decrease"
+    INCREASE = "increase"
+    HOLD = "hold"
+    SKIPPED_INCREASE = "skipped_increase"  # eligible, but lost the ρ coin-flip
+
+
+class RateController:
+    """Thresholded multiplicative-increase/decrease controller."""
+
+    def __init__(self, config: AdaptiveConfig, rng, initial_rate: Optional[float] = None) -> None:
+        self.config = config
+        self.rng = rng
+        rate = config.initial_rate if initial_rate is None else initial_rate
+        self._rate = min(config.max_rate, max(config.min_rate, float(rate)))
+        self.low_mark, self.high_mark = config.resolved_marks()
+        self._tokens_low = config.tokens_low_frac * config.max_tokens
+        self._tokens_high = config.tokens_high_frac * config.max_tokens
+        self.decisions: dict[RateDecision, int] = {d: 0 for d in RateDecision}
+
+    @property
+    def rate(self) -> float:
+        """The currently allowed sending rate (msg/s)."""
+        return self._rate
+
+    def step(self, avg_age: Optional[float], avg_tokens: float) -> RateDecision:
+        """Run one Figure 5(c) adjustment; returns what happened.
+
+        ``avg_age`` may be None while the congestion estimator has no
+        samples yet: nothing would have been dropped anywhere, which is
+        evidence of an *uncongested* system — the decrease rule cannot
+        fire on age, and the increase rule treats it as above the high
+        mark (a hypothetical minimal buffer with no evictions behaves
+        like one dropping at infinite age).
+        """
+        cfg = self.config
+        congested = avg_age is not None and avg_age < self.low_mark
+        grant_unused = avg_tokens > self._tokens_high
+        if congested or grant_unused:
+            decision = RateDecision.DECREASE
+            self._rate = max(cfg.min_rate, self._rate * (1.0 - cfg.dec))
+        else:
+            roomy = avg_age is None or avg_age > self.high_mark
+            grant_used = avg_tokens < self._tokens_low
+            if roomy and grant_used:
+                if self.rng.random() < cfg.rho:
+                    decision = RateDecision.INCREASE
+                    self._rate = min(cfg.max_rate, self._rate * (1.0 + cfg.inc))
+                else:
+                    decision = RateDecision.SKIPPED_INCREASE
+            else:
+                decision = RateDecision.HOLD
+        self.decisions[decision] += 1
+        return decision
+
+    def set_rate(self, rate: float) -> None:
+        """Force the allowed rate (clamped); used by tests and scenarios."""
+        self._rate = min(self.config.max_rate, max(self.config.min_rate, float(rate)))

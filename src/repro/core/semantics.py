@@ -1,0 +1,35 @@
+"""Adaptation composed with semantic purging ([11] + Figure 5).
+
+The paper's §5 positions semantic obsolescence (PSRM, [11]) as a
+*complementary* optimisation: it changes **what** survives congestion
+(the freshest event per key), while the adaptation mechanism changes
+**whether** congestion happens at all. Since both are expressed as
+orthogonal extensions of the same baseline, composing them is a
+three-line class — and the ablation benchmark measures each alone and
+both together.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.adaptive import AdaptiveLpbcastProtocol
+from repro.gossip.semantics import ObsolescencePolicy, SemanticLpbcastProtocol
+
+__all__ = ["AdaptiveSemanticLpbcastProtocol"]
+
+
+class AdaptiveSemanticLpbcastProtocol(AdaptiveLpbcastProtocol, SemanticLpbcastProtocol):
+    """Figure 5 adaptation + [11]-style obsolescence purging.
+
+    The MRO stacks the two orthogonal extensions over the Figure 1
+    baseline: the semantic layer intercepts buffering to purge obsolete
+    events; the adaptive layer rides the protocol hooks (headers, round
+    throttle, congestion observation). Neither knows about the other.
+    """
+
+    def __init__(self, *args: Any, policy: Optional[ObsolescencePolicy] = None,
+                 **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        if policy is not None:
+            self.policy = policy

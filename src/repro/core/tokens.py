@@ -1,0 +1,92 @@
+"""Token-bucket admission control (paper Figure 3).
+
+Figure 3 restores one token every ``1/rate`` seconds up to ``max`` and
+makes ``BROADCAST`` wait for a token. Scheduling a timer per token would
+flood a discrete-event simulator, so this bucket is *lazy*: the token
+count is recomputed from elapsed time on access. Refill is continuous
+(fractional tokens accumulate) which is equivalent to Figure 3's discrete
+restore at every observation instant that matters (admission checks).
+
+Rate changes re-anchor the accumulation so past time is always credited
+at the rate that was in force when it elapsed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Lazy token bucket with runtime-adjustable rate."""
+
+    __slots__ = ("_rate", "_max", "_tokens", "_anchor")
+
+    def __init__(
+        self,
+        rate: float,
+        max_tokens: float,
+        now: float = 0.0,
+        initial: float | None = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        if max_tokens <= 0:
+            raise ValueError("max_tokens must be > 0")
+        self._rate = float(rate)
+        self._max = float(max_tokens)
+        self._tokens = float(max_tokens if initial is None else initial)
+        if not 0 <= self._tokens <= self._max:
+            raise ValueError("initial tokens must be within [0, max_tokens]")
+        self._anchor = float(now)
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Tokens restored per second (the sender's allowed rate)."""
+        return self._rate
+
+    @property
+    def max_tokens(self) -> float:
+        return self._max
+
+    def tokens(self, now: float) -> float:
+        """Token level at time ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self._tokens
+
+    def _refill(self, now: float) -> None:
+        if now < self._anchor:
+            # Clocks handed to us must be monotone; tolerate exact replays.
+            raise ValueError(f"time went backwards: {now} < {self._anchor}")
+        self._tokens = min(self._max, self._tokens + (now - self._anchor) * self._rate)
+        self._anchor = now
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def set_rate(self, rate: float, now: float) -> None:
+        """Change the refill rate, crediting elapsed time at the old rate."""
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self._refill(now)
+        self._rate = float(rate)
+
+    def try_consume(self, now: float, amount: float = 1.0) -> bool:
+        """Take ``amount`` tokens if available; False otherwise."""
+        if amount <= 0:
+            raise ValueError("amount must be > 0")
+        self._refill(now)
+        if self._tokens + 1e-12 >= amount:
+            self._tokens = max(0.0, self._tokens - amount)
+            return True
+        return False
+
+    def time_until(self, amount: float, now: float) -> float:
+        """Seconds until ``amount`` tokens will be available (0 if now)."""
+        self._refill(now)
+        deficit = amount - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._rate

@@ -1,0 +1,61 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+* :mod:`repro.experiments.profiles` — ``quick`` (default) and ``paper``
+  scale profiles; select with ``REPRO_PROFILE=paper``.
+* :mod:`repro.experiments.harness` — single-run specification/execution.
+* :mod:`repro.experiments.calibrate` — the §2.3 procedure: per buffer
+  size, find the maximum input rate keeping average delivery ≥95% and
+  record the drop age at that edge (Figure 4, and the source of ``τ``).
+* :mod:`repro.experiments.figures` — one function per paper figure.
+* :mod:`repro.experiments.report` — ASCII tables for benchmark output.
+"""
+
+from repro.experiments.calibrate import CalibrationPoint, CalibrationResult, calibrate
+from repro.experiments.figures import (
+    figure2,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    buffer_sweep_comparison,
+)
+from repro.experiments.harness import RunResult, RunSpec, run_once
+from repro.experiments.profiles import PAPER, QUICK, Profile, get_profile
+from repro.experiments.replication import (
+    MetricSummary,
+    replicate,
+    summarize_metric,
+    t_interval,
+)
+from repro.experiments.report import render_series, render_sparkline, render_table
+from repro.experiments.scalability import ScalePoint, scale_sweep
+
+__all__ = [
+    "Profile",
+    "QUICK",
+    "PAPER",
+    "get_profile",
+    "RunSpec",
+    "RunResult",
+    "run_once",
+    "calibrate",
+    "CalibrationPoint",
+    "CalibrationResult",
+    "figure2",
+    "figure4",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "buffer_sweep_comparison",
+    "render_table",
+    "render_series",
+    "render_sparkline",
+    "replicate",
+    "summarize_metric",
+    "t_interval",
+    "MetricSummary",
+    "scale_sweep",
+    "ScalePoint",
+]

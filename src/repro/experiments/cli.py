@@ -1,0 +1,206 @@
+"""Command-line interface to the experiment harness.
+
+Regenerate any of the paper's figures without writing code::
+
+    python -m repro.experiments figure2
+    python -m repro.experiments figure4 --iterations 5
+    python -m repro.experiments figure7 --profile paper
+    python -m repro.experiments figure9 -o fig9.txt
+    python -m repro.experiments calibrate --buffers 30 60 90
+
+Figures 6/7/8 share a buffer sweep; invoking several of them in one
+process reuses it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.calibrate import calibrate as run_calibration
+from repro.experiments.profiles import get_profile
+from repro.experiments.report import render_series, render_table
+
+__all__ = ["main", "build_parser"]
+
+_SWEEP_CACHE: dict[str, tuple] = {}
+
+
+def _sweep(profile):
+    if profile.name not in _SWEEP_CACHE:
+        _SWEEP_CACHE[profile.name] = figures.buffer_sweep_comparison(profile)
+    return _SWEEP_CACHE[profile.name]
+
+
+def _run_figure2(profile, args) -> str:
+    result = figures.figure2(profile)
+    return render_table(
+        ["input rate", "msgs to >95% (%)", "avg receivers (%)", "drop age"],
+        [
+            (r.input_rate, r.atomicity_pct, r.avg_receiver_pct, r.drop_age)
+            for r in result.rows
+        ],
+        title=f"Figure 2 (buffer={result.buffer_capacity}, {profile.name})",
+    )
+
+
+def _run_figure4(profile, args) -> str:
+    result = run_calibration(profile, iterations=args.iterations)
+    return render_table(
+        ["buffer", "max rate", "drop age @max", "reliability @max"],
+        [
+            (p.buffer_capacity, p.max_rate, p.drop_age_at_max, p.reliability_at_max)
+            for p in result.points
+        ],
+        title=f"Figure 4 ({profile.name}); tau = {result.tau:.2f}",
+        digits=2,
+    )
+
+
+def _run_figure6(profile, args) -> str:
+    result = figures.figure6(profile, _sweep(profile))
+    return render_table(
+        ["buffer", "offered", "allowed", "maximum"],
+        [(r.buffer_capacity, r.offered, r.allowed, r.maximum) for r in result.rows],
+        title=f"Figure 6 ({profile.name})",
+    )
+
+
+def _run_figure7(profile, args) -> str:
+    result = figures.figure7(profile, _sweep(profile))
+    return render_table(
+        ["buffer", "in lpb", "in adpt", "out lpb", "out adpt", "da lpb", "da adpt"],
+        [
+            (
+                r.buffer_capacity,
+                r.input_lpbcast,
+                r.input_adaptive,
+                r.output_lpbcast,
+                r.output_adaptive,
+                r.drop_age_lpbcast,
+                r.drop_age_adaptive,
+            )
+            for r in result.rows
+        ],
+        title=f"Figure 7 ({profile.name})",
+    )
+
+
+def _run_figure8(profile, args) -> str:
+    result = figures.figure8(profile, _sweep(profile))
+    return render_table(
+        ["buffer", "recv lpb (%)", "recv adpt (%)", "atom lpb (%)", "atom adpt (%)"],
+        [
+            (
+                r.buffer_capacity,
+                r.avg_receiver_pct_lpbcast,
+                r.avg_receiver_pct_adaptive,
+                r.atomicity_pct_lpbcast,
+                r.atomicity_pct_adaptive,
+            )
+            for r in result.rows
+        ],
+        title=f"Figure 8 ({profile.name})",
+    )
+
+
+def _run_figure9(profile, args) -> str:
+    result = figures.figure9(profile)
+    phases = ("base", "low", "mid")
+    head = render_table(
+        ["phase", "ideal", "allowed", "atom adpt (%)", "atom lpb (%)"],
+        [
+            (
+                phases[i],
+                result.ideal_rates[i],
+                result.allowed_by_phase[i],
+                100 * result.atomicity_adaptive_by_phase[i],
+                100 * result.atomicity_lpbcast_by_phase[i],
+            )
+            for i in range(3)
+        ],
+        title=f"Figure 9 ({profile.name})",
+    )
+    tail = render_series(
+        result.allowed_series,
+        title="Figure 9(a) series",
+        v_label="allowed (msg/s)",
+        every=2,
+    )
+    return head + "\n\n" + tail
+
+
+def _run_calibrate(profile, args) -> str:
+    buffers = tuple(args.buffers) if args.buffers else None
+    result = run_calibration(
+        profile, buffer_sizes=buffers, iterations=args.iterations
+    )
+    lines = [
+        f"buffer={p.buffer_capacity} max_rate={p.max_rate:.2f} "
+        f"drop_age={p.drop_age_at_max:.2f} reliability={p.reliability_at_max:.3f}"
+        for p in result.points
+    ]
+    lines.append(f"tau = {result.tau:.3f}")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "figure2": _run_figure2,
+    "figure4": _run_figure4,
+    "figure6": _run_figure6,
+    "figure7": _run_figure7,
+    "figure8": _run_figure8,
+    "figure9": _run_figure9,
+    "calibrate": _run_calibrate,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted([*_COMMANDS, "all"]),
+        help="which figure to regenerate ('all' runs every figure)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        help="scale profile: quick (default) or paper; also via REPRO_PROFILE",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=5,
+        help="bisection iterations for calibration-based figures",
+    )
+    parser.add_argument(
+        "--buffers",
+        type=int,
+        nargs="*",
+        default=None,
+        help="buffer sizes for the calibrate command",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the result to this file",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    profile = get_profile(args.profile)
+    names = sorted(_COMMANDS) if args.command == "all" else [args.command]
+    chunks = [_COMMANDS[name](profile, args) for name in names]
+    text = "\n\n".join(chunks)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0

@@ -1,0 +1,163 @@
+"""Single-experiment harness.
+
+A :class:`RunSpec` fully describes one simulation run (protocol variant,
+buffer size, offered load, horizon); :func:`run_once` executes it and
+distils a :class:`RunResult` with every quantity the paper's figures
+plot. Sweeps are then just comprehensions over specs, and benchmarks
+print rows straight from results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.config import AdaptiveConfig
+from repro.experiments.profiles import Profile
+from repro.gossip.config import SystemConfig
+from repro.metrics.delivery import DeliveryStats, analyze_delivery
+from repro.workload.cluster import SimCluster
+from repro.workload.dynamics import ResourceScript
+
+__all__ = ["RunSpec", "RunResult", "run_once", "spec_for_profile"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation run."""
+
+    protocol: str  # "lpbcast" | "adaptive" | "static"
+    system: SystemConfig
+    n_nodes: int
+    sender_ids: tuple[int, ...]
+    offered_load: float  # total msg/s across all senders
+    duration: float
+    warmup: float
+    drain: float
+    seed: int = 0
+    adaptive: Optional[AdaptiveConfig] = None
+    rate_limit: Optional[float] = None  # per sender, for "static"
+    script: Optional[ResourceScript] = None
+    membership: str = "full"
+    bucket_width: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.sender_ids:
+            raise ValueError("need at least one sender")
+        if self.offered_load <= 0:
+            raise ValueError("offered_load must be > 0")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must fall inside the run")
+        if not 0 <= self.drain < self.duration - self.warmup:
+            raise ValueError("drain must leave a non-empty window")
+
+    @property
+    def rate_per_sender(self) -> float:
+        return self.offered_load / len(self.sender_ids)
+
+    @property
+    def window(self) -> tuple[float, float]:
+        return (self.warmup, self.duration - self.drain)
+
+    def with_protocol(self, protocol: str) -> "RunSpec":
+        return replace(self, protocol=protocol)
+
+    def with_buffer(self, capacity: int) -> "RunSpec":
+        return replace(self, system=self.system.with_buffer(capacity))
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Steady-state measurements of one run (over the spec's window)."""
+
+    spec: RunSpec
+    delivery: DeliveryStats
+    offered_rate: float  # msg/s offered by the application
+    input_rate: float  # msg/s admitted (the paper's "input rate")
+    output_rate: float  # unique deliveries per member per second
+    drop_age_mean: float  # mean age of overflow-dropped events
+    allowed_rate_total: float  # sum of senders' allowed rates (NaN for lpbcast)
+    avg_age_mean: float  # mean avgAge estimate across nodes (NaN for lpbcast)
+    min_buff_mean: float  # mean minBuff estimate across nodes (NaN for lpbcast)
+    drops_overflow: float
+    drops_age_out: float
+
+    @property
+    def loss_rate(self) -> float:
+        """input − output (the gap Figure 7(b) visualises)."""
+        return self.input_rate - self.output_rate
+
+
+def spec_for_profile(
+    profile: Profile,
+    protocol: str,
+    buffer_capacity: Optional[int] = None,
+    offered_load: Optional[float] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
+    **overrides,
+) -> RunSpec:
+    """Convenience: build a :class:`RunSpec` from a profile."""
+    if adaptive is None and protocol == "adaptive":
+        adaptive = AdaptiveConfig(age_critical=profile.tau_hint)
+    return RunSpec(
+        protocol=protocol,
+        system=profile.system(buffer_capacity),
+        n_nodes=profile.n_nodes,
+        sender_ids=tuple(profile.sender_ids()),
+        offered_load=(
+            offered_load if offered_load is not None else profile.offered_load
+        ),
+        duration=profile.duration,
+        warmup=profile.warmup,
+        drain=profile.drain,
+        seed=profile.seed,
+        adaptive=adaptive,
+        **overrides,
+    )
+
+
+def build_cluster(spec: RunSpec) -> SimCluster:
+    """Materialise the cluster and senders for a spec (without running)."""
+    cluster = SimCluster(
+        n_nodes=spec.n_nodes,
+        system=spec.system,
+        protocol=spec.protocol,
+        adaptive=spec.adaptive,
+        rate_limit=spec.rate_limit,
+        seed=spec.seed,
+        membership=spec.membership,
+        bucket_width=spec.bucket_width,
+    )
+    cluster.add_senders(list(spec.sender_ids), rate_each=spec.rate_per_sender)
+    if spec.script is not None:
+        spec.script.apply(cluster)
+    return cluster
+
+
+def run_once(spec: RunSpec) -> RunResult:
+    """Execute a spec and summarise its steady-state window."""
+    cluster = build_cluster(spec)
+    cluster.run(until=spec.duration)
+
+    since, until = spec.window
+    m = cluster.metrics
+    delivery = analyze_delivery(m.messages_in_window(since, until), cluster.group_size)
+    window_len = until - since
+    senders = list(spec.sender_ids)
+    allowed_each = m.gauge_mean_over("allowed_rate", senders, since, until)
+    return RunResult(
+        spec=spec,
+        delivery=delivery,
+        offered_rate=m.offered.rate(since, until),
+        input_rate=m.admitted.rate(since, until),
+        output_rate=m.deliveries.count(since, until) / (cluster.group_size * window_len),
+        drop_age_mean=m.mean_drop_age(since, until),
+        allowed_rate_total=(
+            allowed_each * len(senders) if not math.isnan(allowed_each) else math.nan
+        ),
+        avg_age_mean=m.gauge_mean("avg_age", since, until),
+        min_buff_mean=m.gauge_mean("min_buff", since, until),
+        drops_overflow=m.drops_overflow.count(since, until),
+        drops_age_out=m.drops_age_out.count(since, until),
+    )

@@ -1,0 +1,100 @@
+"""ASCII rendering of experiment results.
+
+Benchmarks print these tables so a benchmark session's log *is* the
+reproduced evaluation: one table per paper figure, with the same columns
+the figure plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional, Sequence
+
+__all__ = ["fmt", "render_table", "render_series", "render_sparkline"]
+
+
+def fmt(value: Any, digits: int = 1) -> str:
+    """Format one cell: floats rounded, NaN as '-', everything else str()."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    digits: int = 1,
+) -> str:
+    """Render a fixed-width table with a rule under the header."""
+    str_rows = [[fmt(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(
+    series: Iterable[tuple[float, float]],
+    title: Optional[str] = None,
+    width: int = 60,
+) -> str:
+    """Render a (time, value) series as a one-line unicode sparkline.
+
+    NaN samples render as spaces; the value range is printed alongside
+    so the line is quantitatively readable in benchmark logs.
+    """
+    points = [(t, v) for t, v in series]
+    values = [v for _, v in points if not math.isnan(v)]
+    if not points or not values:
+        return (title + "\n" if title else "") + "(no samples)"
+    if len(points) > width:
+        stride = len(points) / width
+        points = [points[int(i * stride)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    chars = []
+    for _, v in points:
+        if math.isnan(v):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_LEVELS[0])
+        else:
+            idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[idx])
+    t0, t1 = points[0][0], points[-1][0]
+    line = (
+        f"[{lo:.1f}..{hi:.1f}] {''.join(chars)} "
+        f"(t={t0:.0f}..{t1:.0f}s)"
+    )
+    return (title + "\n" if title else "") + line
+
+
+def render_series(
+    series: Iterable[tuple[float, float]],
+    title: Optional[str] = None,
+    t_label: str = "t(s)",
+    v_label: str = "value",
+    digits: int = 2,
+    every: int = 1,
+) -> str:
+    """Render a (time, value) series as a two-column table.
+
+    ``every`` subsamples long series (keep one row in N) so benchmark
+    logs stay readable.
+    """
+    rows = [row for i, row in enumerate(series) if i % max(1, every) == 0]
+    return render_table([t_label, v_label], rows, title=title, digits=digits)

@@ -1,0 +1,252 @@
+"""The bounded, age-ordered event buffer (the paper's ``events`` store).
+
+Semantics reproduced from the paper's Figure 1:
+
+* every gossip round, **all** stored events age by one;
+* events older than the age-out limit ``k`` are dropped;
+* when the buffer exceeds its capacity, the *oldest* events (highest age,
+  ties broken by arrival order) are discarded first — age-based purging;
+* when a duplicate arrives with a higher age, the stored age is raised to
+  the maximum (ages synchronise across copies).
+
+Performance note — the "anchor" representation
+----------------------------------------------
+The naive implementation ages every buffered event every round (O(buffer)
+per round per node) and scans for the oldest event on every overflow
+(O(buffer) per drop). Both are on the simulator's hottest path. We instead
+store, per event, the *anchor* ``round - age``: ageing everything is then a
+single increment of the buffer's round counter, and "oldest first" is a
+min-heap on ``(anchor, arrival_seq)``. Raising an age just lowers the
+anchor and lazily re-pushes a heap entry; stale heap entries are discarded
+on pop by validating against the live anchor. The observable behaviour is
+identical to Figure 1 (the unit tests check this against a brute-force
+model).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Container, Iterator, NamedTuple, Optional
+
+from repro.gossip.events import EventId, EventSummary
+
+__all__ = ["DroppedEvent", "EventBuffer"]
+
+
+class DroppedEvent(NamedTuple):
+    """An event removed from the buffer, with its age at drop time."""
+
+    id: EventId
+    age: int
+    payload: Any
+    reason: str  # "overflow" | "age_out" | "resize"
+
+
+class _Entry:
+    __slots__ = ("id", "anchor", "arrival", "payload")
+
+    def __init__(self, id: EventId, anchor: int, arrival: int, payload: Any) -> None:
+        self.id = id
+        self.anchor = anchor
+        self.arrival = arrival
+        self.payload = payload
+
+
+class EventBuffer:
+    """Bounded event store with age-based purging.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of events retained (``|events|max`` in the paper).
+        May be changed at runtime with :meth:`resize` — the Figure 9
+        experiment does exactly that.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._round = 0
+        self._entries: dict[EventId, _Entry] = {}
+        self._heap: list[tuple[int, int, EventId]] = []
+        self._arrivals = itertools.count()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def round(self) -> int:
+        """Number of times :meth:`advance_round` has been called."""
+        return self._round
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, event_id: EventId) -> bool:
+        return event_id in self._entries
+
+    def age_of(self, event_id: EventId) -> int:
+        """Current age of a stored event (KeyError if absent)."""
+        return self._round - self._entries[event_id].anchor
+
+    def payload_of(self, event_id: EventId) -> Any:
+        return self._entries[event_id].payload
+
+    def ids(self) -> Iterator[EventId]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def advance_round(self) -> None:
+        """Age every stored event by one round. O(1)."""
+        self._round += 1
+
+    def add(self, event_id: EventId, age: int = 0, payload: Any = None) -> list[DroppedEvent]:
+        """Insert a new event with the given age; evict overflow.
+
+        Returns the events dropped to make room (possibly including the
+        event just inserted, if it is itself the oldest). Duplicate ids
+        raise ``ValueError`` — callers dedup first (Figure 1 checks
+        ``eventIds`` before buffering).
+        """
+        self.stage(event_id, age, payload)
+        return self.evict_overflow()
+
+    def stage(self, event_id: EventId, age: int = 0, payload: Any = None) -> None:
+        """Insert a new event *without* evicting overflow.
+
+        Figure 1 folds a whole gossip message into ``events`` first and
+        garbage-collects afterwards; Figure 5(b)'s congestion accounting
+        runs in between, against the un-trimmed buffer. Receive paths
+        therefore ``stage`` every event, run the estimator hook, then
+        call :meth:`evict_overflow`.
+        """
+        if event_id in self._entries:
+            raise ValueError(f"event {event_id!r} already buffered")
+        if age < 0:
+            raise ValueError("age must be >= 0")
+        anchor = self._round - age
+        entry = _Entry(event_id, anchor, next(self._arrivals), payload)
+        self._entries[event_id] = entry
+        heapq.heappush(self._heap, (anchor, entry.arrival, event_id))
+
+    def evict_overflow(self) -> list[DroppedEvent]:
+        """Trim to capacity, oldest first; returns what was dropped."""
+        return self._evict_overflow("overflow")
+
+    def sync_age(self, event_id: EventId, age: int) -> bool:
+        """Raise the stored age to ``max(current, age)``.
+
+        Returns True if the age changed. Unknown ids are ignored (the
+        duplicate may have already been purged locally) and return False.
+        """
+        entry = self._entries.get(event_id)
+        if entry is None:
+            return False
+        anchor = self._round - age
+        if anchor < entry.anchor:
+            entry.anchor = anchor
+            heapq.heappush(self._heap, (anchor, entry.arrival, event_id))
+            return True
+        return False
+
+    def drop_aged_out(self, max_age: int) -> list[DroppedEvent]:
+        """Remove every event with age strictly greater than ``max_age``."""
+        cutoff = self._round - max_age  # drop anchors strictly below cutoff
+        dropped: list[DroppedEvent] = []
+        while self._heap:
+            anchor, arrival, event_id = self._heap[0]
+            entry = self._entries.get(event_id)
+            if entry is None or entry.anchor != anchor or entry.arrival != arrival:
+                heapq.heappop(self._heap)  # stale
+                continue
+            if anchor >= cutoff:
+                break
+            heapq.heappop(self._heap)
+            del self._entries[event_id]
+            dropped.append(DroppedEvent(event_id, self._round - anchor, entry.payload, "age_out"))
+        return dropped
+
+    def remove(self, event_id: EventId, reason: str = "obsolete") -> Optional[DroppedEvent]:
+        """Remove a specific event (semantic purging, [11]-style).
+
+        Returns the removed record, or None if the id is not buffered.
+        The stale heap entry is discarded lazily on a later pop.
+        """
+        entry = self._entries.pop(event_id, None)
+        if entry is None:
+            return None
+        return DroppedEvent(event_id, self._round - entry.anchor, entry.payload, reason)
+
+    def resize(self, capacity: int) -> list[DroppedEvent]:
+        """Change the capacity at runtime; evicts oldest events if shrinking."""
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self._capacity = int(capacity)
+        return self._evict_overflow("resize")
+
+    def _evict_overflow(self, reason: str) -> list[DroppedEvent]:
+        dropped: list[DroppedEvent] = []
+        while len(self._entries) > self._capacity:
+            event_id, entry = self._pop_oldest()
+            dropped.append(
+                DroppedEvent(event_id, self._round - entry.anchor, entry.payload, reason)
+            )
+        return dropped
+
+    def _pop_oldest(self) -> tuple[EventId, _Entry]:
+        while True:
+            anchor, arrival, event_id = heapq.heappop(self._heap)
+            entry = self._entries.get(event_id)
+            if entry is None or entry.anchor != anchor or entry.arrival != arrival:
+                continue  # stale heap record
+            del self._entries[event_id]
+            return event_id, entry
+
+    # ------------------------------------------------------------------
+    # read paths used by the protocols
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[EventSummary]:
+        """Wire summaries of all stored events with their current ages.
+
+        The caller may share the returned list between the ``f`` copies of
+        one round's gossip message; it must not mutate it.
+        """
+        round_ = self._round
+        return [
+            EventSummary(eid, round_ - e.anchor, e.payload) for eid, e in self._entries.items()
+        ]
+
+    def oldest_excluding(
+        self, count: int, exclude: Optional[Container[EventId]] = None
+    ) -> list[tuple[EventId, int]]:
+        """The ``count`` oldest stored events not in ``exclude``.
+
+        Used by the congestion estimator (Figure 5(b)) to find the events
+        a hypothetical buffer of size ``minBuff`` would have dropped.
+        Returns ``(id, age)`` pairs, oldest first. Does not remove anything.
+        """
+        if count <= 0:
+            return []
+        if exclude is None:
+            exclude = ()
+        candidates = (
+            (e.anchor, e.arrival, eid)
+            for eid, e in self._entries.items()
+            if eid not in exclude
+        )
+        picked = heapq.nsmallest(count, candidates)
+        round_ = self._round
+        return [(eid, round_ - anchor) for anchor, _arrival, eid in picked]
+
+    def compact(self) -> None:
+        """Rebuild the heap, discarding stale entries (housekeeping)."""
+        self._heap = [(e.anchor, e.arrival, eid) for eid, e in self._entries.items()]
+        heapq.heapify(self._heap)

@@ -1,0 +1,67 @@
+"""Bounded duplicate-detection store (the paper's ``eventIds``).
+
+Figure 1 keeps a set of already-seen event identifiers so an event is
+delivered at most once, and bounds it by evicting the *oldest* identifiers
+first. We implement it as an insertion-ordered dict used as a FIFO set.
+
+If an identifier is evicted while copies of the event still circulate, the
+event can be re-delivered — a real lpbcast artefact. The store exposes its
+eviction count so experiments can confirm it was sized adequately
+(``|eventIds|max`` must comfortably exceed the number of ids seen during
+an event's lifetime); duplicate deliveries themselves are detected by the
+metrics collector, which tracks per-event receiver sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gossip.events import EventId
+
+__all__ = ["DedupStore"]
+
+
+class DedupStore:
+    """FIFO-bounded set of event identifiers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("dedup capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._ids: dict[EventId, None] = {}
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, event_id: EventId) -> bool:
+        return event_id in self._ids
+
+    def __iter__(self) -> Iterator[EventId]:
+        return iter(self._ids)
+
+    def add(self, event_id: EventId) -> bool:
+        """Record an id. Returns True if it was new (not currently stored)."""
+        if event_id in self._ids:
+            return False
+        self._ids[event_id] = None
+        if len(self._ids) > self._capacity:
+            self._evict_oldest()
+        return True
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity; evicts oldest ids if shrinking."""
+        if capacity < 1:
+            raise ValueError("dedup capacity must be >= 1")
+        self._capacity = int(capacity)
+        while len(self._ids) > self._capacity:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        oldest = next(iter(self._ids))
+        del self._ids[oldest]
+        self.evictions += 1

@@ -1,0 +1,40 @@
+"""Event identities and wire representations.
+
+An *event* is one application broadcast. Its identity is the pair
+``(origin, seq)`` — the broadcasting node and that node's local sequence
+number — which is unique without coordination.
+
+The *age* of an event (paper §2.1, citing Kouznetsov et al.) is the number
+of gossip rounds the event has been carried by buffers: each holder
+increments the age of everything it stores once per round, and holders
+synchronise ages to the maximum seen when duplicates arrive. Age is a
+proxy for how widely the event has been disseminated, which is exactly why
+the adaptive mechanism uses the age of *dropped* events as its congestion
+signal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+__all__ = ["EventId", "EventSummary", "make_event_id"]
+
+
+class EventId(NamedTuple):
+    """Globally unique event identity: broadcasting node + local sequence."""
+
+    origin: Any
+    seq: int
+
+
+class EventSummary(NamedTuple):
+    """Wire form of a buffered event, as carried inside gossip messages."""
+
+    id: EventId
+    age: int
+    payload: Any
+
+
+def make_event_id(origin: Any, seq: int) -> EventId:
+    """Build an :class:`EventId` (kept as a function for codec symmetry)."""
+    return EventId(origin, seq)

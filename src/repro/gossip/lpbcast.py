@@ -1,0 +1,244 @@
+"""Baseline gossip broadcast — the paper's Figure 1 (lpbcast-style).
+
+Behaviour, in the paper's own structure:
+
+``every T ms`` (:meth:`LpbcastProtocol.on_round`):
+  1. *Update ages* — every buffered event ages by one; events older than
+     ``k`` are purged.
+  2. *Gossip* — all buffered events are sent to ``f`` random members.
+
+``upon RECEIVE(gossip)`` (:meth:`LpbcastProtocol.on_receive`):
+  1. *Update events and ages* — unseen events are buffered and delivered;
+     duplicate ages are raised to the maximum seen.
+  2. *Garbage collect* — ``eventIds`` is FIFO-bounded; ``events`` drops
+     its oldest entries when over capacity.
+
+``upon BROADCAST(event)`` (:meth:`LpbcastProtocol.broadcast`):
+  buffer the new event locally with age 0 (admission control — the token
+  bucket of Figure 3 — lives in :mod:`repro.core.tokens` and is applied by
+  the sender, not by the protocol).
+
+The class exposes protected hooks (``_emission_headers``,
+``_on_adaptive_header``, ``_after_receive``) that the adaptive variant
+(:class:`repro.core.adaptive.AdaptiveLpbcastProtocol`) overrides; the
+baseline keeps them as no-ops so the two variants differ *only* by the
+paper's Figure 5 additions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.gossip.buffer import DroppedEvent, EventBuffer
+from repro.gossip.config import SystemConfig
+from repro.gossip.dedup import DedupStore
+from repro.gossip.events import EventId
+from repro.gossip.peer_sampling import TargetSampler, UniformSampler
+from repro.gossip.protocol import (
+    AdaptiveHeader,
+    DeliverFn,
+    DropFn,
+    Emission,
+    GossipMessage,
+    GossipProtocol,
+    NodeId,
+)
+
+__all__ = ["LpbcastProtocol", "ProtocolStats"]
+
+
+@dataclass
+class ProtocolStats:
+    """Per-node protocol counters (used by tests and metrics)."""
+
+    rounds: int = 0
+    broadcasts: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    events_delivered: int = 0
+    duplicates_seen: int = 0
+    drops_overflow: int = 0
+    drops_age_out: int = 0
+    drops_resize: int = 0
+    drops_obsolete: int = 0
+
+    def note_drop(self, reason: str) -> None:
+        if reason == "overflow":
+            self.drops_overflow += 1
+        elif reason == "age_out":
+            self.drops_age_out += 1
+        elif reason == "obsolete":
+            self.drops_obsolete += 1
+        else:
+            self.drops_resize += 1
+
+
+class LpbcastProtocol(GossipProtocol):
+    """The baseline protocol of Figure 1 as a sans-IO state machine.
+
+    Parameters
+    ----------
+    node_id:
+        This node's identity (must be usable as a dict key).
+    config:
+        Static algorithm parameters (:class:`SystemConfig`).
+    membership:
+        Any view with ``sample_targets(count, rng)``; full and partial
+        views from :mod:`repro.membership` both qualify.
+    rng:
+        Source of randomness for target selection (a named stream from
+        the driver, for reproducibility).
+    deliver_fn / drop_fn:
+        Optional callbacks for application delivery and buffer drops;
+        the metrics collector hooks in here.
+    sampler:
+        Target-selection strategy; defaults to the paper's uniform pick.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: SystemConfig,
+        membership,
+        rng,
+        deliver_fn: Optional[DeliverFn] = None,
+        drop_fn: Optional[DropFn] = None,
+        sampler: Optional[TargetSampler] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.membership = membership
+        self.rng = rng
+        self.buffer = EventBuffer(config.buffer_capacity)
+        self.dedup = DedupStore(config.dedup_capacity)
+        self.stats = ProtocolStats()
+        self._deliver_fn = deliver_fn
+        self._drop_fn = drop_fn
+        self._sampler = sampler if sampler is not None else UniformSampler()
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    # application side
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: Any, now: float) -> EventId:
+        """Admit one application event into the local buffer (age 0)."""
+        event_id = EventId(self.node_id, self._next_seq)
+        self._next_seq += 1
+        self.dedup.add(event_id)
+        self.stats.broadcasts += 1
+        self._deliver(event_id, payload, now)  # the sender is a receiver too
+        self._note_drops(self.buffer.add(event_id, age=0, payload=payload), now)
+        return event_id
+
+    def try_broadcast(self, payload: Any, now: float) -> Optional[EventId]:
+        """Admission-controlled broadcast.
+
+        The baseline has no admission control (its input rate is whatever
+        the application offers — the behaviour Figure 7(a) shows), so this
+        always succeeds. Rate-limited variants override it.
+        """
+        return self.broadcast(payload, now)
+
+    def time_until_admission(self, now: float) -> float:
+        """Seconds until :meth:`try_broadcast` could succeed (0 here)."""
+        return 0.0
+
+    @property
+    def allowed_rate(self) -> Optional[float]:
+        """Currently allowed sending rate; None means unbounded."""
+        return None
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+    def on_round(self, now: float) -> list[Emission]:
+        self.stats.rounds += 1
+        self.buffer.advance_round()
+        self._note_drops(self.buffer.drop_aged_out(self.config.max_age), now)
+        self._before_emission(now)
+
+        targets = self._sampler.select(self.membership, self.config.fanout, self.rng)
+        if not targets:
+            return []
+        events = tuple(self.buffer.snapshot())  # shared across the f copies
+        membership_header = self.membership.on_gossip_emit(self.rng)
+        adaptive_header = self._emission_headers(now)
+        message = GossipMessage(
+            sender=self.node_id,
+            events=events,
+            adaptive=adaptive_header,
+            membership=membership_header,
+        )
+        self.stats.messages_sent += len(targets)
+        return [Emission(t, message) for t in targets]
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def on_receive(self, message: GossipMessage, now: float) -> list[Emission]:
+        self.stats.messages_received += 1
+        self.membership.on_gossip_receive(message.membership, message.sender, self.rng)
+        if message.adaptive is not None:
+            self._on_adaptive_header(message.adaptive, now)
+
+        # Figure 1 ordering: fold every event in first, garbage collect
+        # after. The _after_receive hook runs in between, against the
+        # un-trimmed buffer — that is where Figure 5(b) measures what a
+        # minBuff-sized buffer would have dropped.
+        buffer = self.buffer
+        dedup = self.dedup
+        for event_id, age, payload in message.events:
+            if not dedup.add(event_id):
+                self.stats.duplicates_seen += 1
+                buffer.sync_age(event_id, age)
+                continue
+            self._deliver(event_id, payload, now)
+            buffer.stage(event_id, age=age, payload=payload)
+
+        self._after_receive(message, now)
+        self._note_drops(buffer.evict_overflow(), now)
+        return []
+
+    # ------------------------------------------------------------------
+    # resources
+    # ------------------------------------------------------------------
+    def set_buffer_capacity(self, capacity: int, now: float) -> None:
+        """Change ``|events|max`` at runtime (Figure 9's resource change)."""
+        self._note_drops(self.buffer.resize(capacity), now)
+
+    @property
+    def buffer_capacity(self) -> int:
+        return self.buffer.capacity
+
+    # ------------------------------------------------------------------
+    # hooks for the adaptive variant
+    # ------------------------------------------------------------------
+    def _emission_headers(self, now: float) -> Optional[AdaptiveHeader]:
+        """Adaptation header for outgoing gossip; baseline sends none."""
+        return None
+
+    def _on_adaptive_header(self, header: AdaptiveHeader, now: float) -> None:
+        """Fold a received adaptation header; baseline ignores it."""
+
+    def _before_emission(self, now: float) -> None:
+        """Called each round after ageing, before building the message."""
+
+    def _after_receive(self, message: GossipMessage, now: float) -> None:
+        """Called after a message's events have been folded in."""
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _deliver(self, event_id: EventId, payload: Any, now: float) -> None:
+        self.stats.events_delivered += 1
+        if self._deliver_fn is not None:
+            self._deliver_fn(event_id, payload, now)
+
+    def _note_drops(self, drops: list[DroppedEvent], now: float) -> None:
+        if not drops:
+            return
+        for d in drops:
+            self.stats.note_drop(d.reason)
+            if self._drop_fn is not None:
+                self._drop_fn(d.id, d.age, d.reason, now)

@@ -1,0 +1,53 @@
+"""Gossip target selection strategies.
+
+Figure 1 simply picks ``f`` uniformly random members per round. Real
+deployments (and the lpbcast prototype) often refine this slightly; the
+strategies here are all uniform-safe and interchangeable:
+
+* :class:`UniformSampler` — the paper's choice.
+* :class:`AvoidRepeatSampler` — avoids re-picking the previous round's
+  targets when the view is large enough, reducing wasted duplicates.
+
+Both draw from any membership view exposing ``sample_targets(count, rng)``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.gossip.protocol import NodeId
+
+__all__ = ["TargetSampler", "UniformSampler", "AvoidRepeatSampler"]
+
+
+class TargetSampler(Protocol):
+    def select(self, membership, fanout: int, rng) -> list[NodeId]: ...
+
+
+class UniformSampler:
+    """Uniform random targets, the behaviour in the paper's Figure 1."""
+
+    def select(self, membership, fanout: int, rng) -> list[NodeId]:
+        return membership.sample_targets(fanout, rng)
+
+
+class AvoidRepeatSampler:
+    """Uniform targets, biased away from the immediately previous round.
+
+    When the membership view holds more than ``fanout`` extra members,
+    targets picked last round are excluded; otherwise it degrades to
+    uniform sampling so small views still get full fanout.
+    """
+
+    def __init__(self) -> None:
+        self._last: frozenset[NodeId] = frozenset()
+
+    def select(self, membership, fanout: int, rng) -> list[NodeId]:
+        candidates = membership.sample_targets(fanout + len(self._last), rng)
+        fresh = [c for c in candidates if c not in self._last]
+        if len(fresh) >= fanout:
+            picked = fresh[:fanout]
+        else:
+            picked = candidates[:fanout]
+        self._last = frozenset(picked)
+        return picked

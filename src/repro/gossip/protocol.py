@@ -1,0 +1,116 @@
+"""Wire messages and the sans-IO protocol interface.
+
+All gossip variants in this library are *sans-IO* state machines: they
+never touch clocks, sockets or the simulator. A **driver** (the discrete-
+event simulator in :mod:`repro.workload.cluster_sim`, or the threaded
+real-time runtime in :mod:`repro.runtime`) calls:
+
+* :meth:`GossipProtocol.on_round` once per gossip period,
+* :meth:`GossipProtocol.on_receive` for every arriving message,
+* :meth:`GossipProtocol.broadcast` when the application sends,
+
+and transmits the returned :class:`Emission` list however it likes. This
+is how one protocol implementation backs both the paper's simulation and
+its prototype deployment.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Hashable, NamedTuple, Optional, Sequence
+
+from repro.gossip.events import EventId, EventSummary
+
+__all__ = [
+    "NodeId",
+    "AdaptiveHeader",
+    "MembershipHeader",
+    "GossipMessage",
+    "Emission",
+    "DeliverFn",
+    "DropFn",
+    "GossipProtocol",
+]
+
+NodeId = Hashable
+
+
+class AdaptiveHeader(NamedTuple):
+    """Piggybacked adaptation state (paper Figure 5(a)).
+
+    ``period`` is the sender's current sample period index ``s`` and
+    ``min_buff`` its current minimum-buffer estimate for that period.
+    """
+
+    period: int
+    min_buff: int
+
+
+class MembershipHeader(NamedTuple):
+    """Piggybacked membership gossip (lpbcast-style subs/unsubs)."""
+
+    subs: tuple[NodeId, ...]
+    unsubs: tuple[NodeId, ...]
+
+
+class GossipMessage(NamedTuple):
+    """One gossip message: event summaries plus optional headers.
+
+    ``events`` may be shared between the ``f`` emissions of a round —
+    receivers must treat it as immutable.
+    """
+
+    sender: NodeId
+    events: tuple[EventSummary, ...]
+    adaptive: Optional[AdaptiveHeader] = None
+    membership: Optional[MembershipHeader] = None
+    kind: str = "gossip"
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+
+class Emission(NamedTuple):
+    """An outbound message produced by a protocol."""
+
+    dest: NodeId
+    message: GossipMessage
+
+
+# deliver_fn(event_id, payload, now) — called exactly once per locally new event
+DeliverFn = Callable[[EventId, Any, float], None]
+# drop_fn(event_id, age, reason, now) — called when the real buffer drops an event
+DropFn = Callable[[EventId, int, str, float], None]
+
+
+class GossipProtocol(abc.ABC):
+    """Interface implemented by every gossip variant."""
+
+    node_id: NodeId
+
+    @abc.abstractmethod
+    def broadcast(self, payload: Any, now: float) -> EventId:
+        """Inject an application broadcast; returns the new event's id."""
+
+    @abc.abstractmethod
+    def on_round(self, now: float) -> list[Emission]:
+        """Advance one gossip round; returns the messages to transmit."""
+
+    @abc.abstractmethod
+    def on_receive(self, message: GossipMessage, now: float) -> list[Emission]:
+        """Handle an arriving message; may return replies (pull variants)."""
+
+    # Optional capabilities -------------------------------------------------
+    def set_buffer_capacity(self, capacity: int, now: float) -> None:
+        """Change local buffer resources at runtime (Figure 9 scenario)."""
+        raise NotImplementedError
+
+    @property
+    def buffer_capacity(self) -> int:
+        raise NotImplementedError
+
+
+def summaries_tuple(summaries: Sequence[EventSummary]) -> tuple[EventSummary, ...]:
+    """Normalise a summary sequence for embedding in a message."""
+    return tuple(summaries)

@@ -1,0 +1,302 @@
+"""Hash-designated long-term bufferers (related work [10], contrast for §5).
+
+The paper positions its mechanism *against* recovery-based alternatives:
+
+* Ozkasap et al. [10] give every message a fixed set of **bufferers** —
+  members, identified by hashing the message id, that keep it long-term
+  so anyone can later recover it directly from them;
+* Sun & Sturman [14] log messages at dedicated servers and repair from
+  the log, "with the inconvenient of requiring possibly very large
+  buffers at logging servers and delivering some messages much later".
+
+This module implements the bufferer scheme so the contrast can be
+*measured* (benchmark ``test_ablation_recovery.py``): recovery repairs
+omissions after the fact — at the price of extra pinned memory and late
+deliveries — while the adaptive mechanism prevents them. Setting
+``replicas=1`` with a large ``long_term_capacity`` approximates the
+logging-server design of [14].
+
+Bufferers are selected by **rendezvous (highest-random-weight) hashing**
+over the current membership: deterministic for every observer sharing
+the view, uniformly balanced, and minimally disrupted by churn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Optional
+
+from repro.gossip.bimodal import BimodalProtocol
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId, EventSummary
+from repro.gossip.peer_sampling import TargetSampler
+from repro.gossip.protocol import DeliverFn, DropFn, Emission, GossipMessage, NodeId
+
+__all__ = ["rendezvous_bufferers", "LongTermStore", "BuffererBimodalProtocol"]
+
+
+def _weight(event_id: EventId, member: NodeId) -> int:
+    material = repr((event_id, member)).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+def rendezvous_bufferers(
+    event_id: EventId, members: Iterable[NodeId], replicas: int
+) -> list[NodeId]:
+    """The ``replicas`` members responsible for buffering ``event_id``.
+
+    Every observer that knows the same membership computes the same set,
+    so recoverers know whom to contact without any directory service —
+    the property [10] relies on ("bufferers can be easily identified by
+    hashing the message identifier").
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    ranked = sorted(members, key=lambda m: _weight(event_id, m), reverse=True)
+    return ranked[:replicas]
+
+
+class LongTermStore:
+    """Bounded FIFO store of pinned events (payload + last known age)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._items: dict[EventId, tuple[int, Any]] = {}
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, event_id: EventId) -> bool:
+        return event_id in self._items
+
+    def pin(self, event_id: EventId, age: int, payload: Any) -> None:
+        if event_id in self._items:
+            old_age, old_payload = self._items[event_id]
+            self._items[event_id] = (max(old_age, age), old_payload)
+            return
+        self._items[event_id] = (age, payload)
+        if len(self._items) > self._capacity:
+            oldest = next(iter(self._items))
+            del self._items[oldest]
+            self.evictions += 1
+
+    def get(self, event_id: EventId) -> Optional[tuple[int, Any]]:
+        return self._items.get(event_id)
+
+
+class BuffererBimodalProtocol(BimodalProtocol):
+    """Bimodal multicast + [10]-style designated bufferers.
+
+    Differences from the plain substrate:
+
+    * when folding an event in, a node that is one of the event's
+      ``replicas`` rendezvous bufferers also *pins* it in a separate
+      long-term store, immune to the gossip buffer's ageing/overflow;
+    * a node missing events from a digest asks the events' *bufferers*
+      (not the digest sender) for retransmission;
+    * retransmission requests are served from the gossip buffer or the
+      long-term store, whichever still holds the event.
+
+    The gossip-side behaviour (rounds, digests, ages, GC) is untouched,
+    so the adaptation mechanism would compose with this variant exactly
+    as with the plain one.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: SystemConfig,
+        membership,
+        rng,
+        deliver_fn: Optional[DeliverFn] = None,
+        drop_fn: Optional[DropFn] = None,
+        sampler: Optional[TargetSampler] = None,
+        replicas: int = 3,
+        long_term_capacity: int = 2000,
+        recovery_grace_rounds: int = 2,
+        recovery_attempts: int = 10,
+        max_recovery_per_round: int = 64,
+    ) -> None:
+        super().__init__(node_id, config, membership, rng, deliver_fn, drop_fn, sampler)
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self.long_term = LongTermStore(long_term_capacity)
+        self.recoveries_served = 0
+        self.recovery_grace_rounds = recovery_grace_rounds
+        self.recovery_attempts = recovery_attempts
+        self.max_recovery_per_round = max_recovery_per_round
+        # Gap detection: event ids are (origin, seq) with seq contiguous
+        # per origin, so a hole in the sequence is a detectable loss —
+        # the trigger real recovery protocols use ([10]; pbcast's NAKs).
+        self._next_seq_of: dict[NodeId, int] = {}
+        # missing id -> (rounds waited since grace started, attempts used)
+        self._missing: dict[EventId, list[int]] = {}
+        self.recovery_requests_sent = 0
+        self.recoveries_abandoned = 0
+
+    # ------------------------------------------------------------------
+    # pinning
+    # ------------------------------------------------------------------
+    def _members_for_hashing(self) -> list[NodeId]:
+        # Full-membership views expose everyone; partial views expose the
+        # local sample — [10] explicitly assumes full membership, which
+        # is one of the paper's criticisms of it (§5).
+        members = self.membership.sample_targets(2**31, self.rng)
+        return [*members, self.node_id]
+
+    def is_bufferer_for(self, event_id: EventId) -> bool:
+        return self.node_id in rendezvous_bufferers(
+            event_id, self._members_for_hashing(), self.replicas
+        )
+
+    def _maybe_pin(self, event_id: EventId, age: int, payload: Any) -> None:
+        if self.is_bufferer_for(event_id):
+            self.long_term.pin(event_id, age, payload)
+
+    def broadcast(self, payload: Any, now: float) -> EventId:
+        event_id = super().broadcast(payload, now)
+        self._maybe_pin(event_id, 0, payload)
+        return event_id
+
+    def _fold_events(self, message: GossipMessage, now: float) -> None:
+        for event_id, age, payload in message.events:
+            if event_id not in self.dedup:
+                self._maybe_pin(event_id, age, payload)
+                self._note_sequence(event_id)
+        super()._fold_events(message, now)
+
+    # ------------------------------------------------------------------
+    # gap detection
+    # ------------------------------------------------------------------
+    def _note_sequence(self, event_id: EventId) -> None:
+        """Record arrival of (origin, seq); holes become recovery targets."""
+        origin, seq = event_id
+        if not isinstance(seq, int):
+            return
+        self._missing.pop(event_id, None)
+        expected = self._next_seq_of.get(origin, seq)
+        for hole in range(expected, seq):
+            hole_id = EventId(origin, hole)
+            if hole_id not in self.dedup and hole_id not in self._missing:
+                self._missing[hole_id] = [0, 0]
+        self._next_seq_of[origin] = max(expected, seq + 1)
+
+    def _recovery_emissions(self) -> list[Emission]:
+        """Request overdue missing events from their bufferers."""
+        if not self._missing:
+            return []
+        members = self._members_for_hashing()
+        by_target: dict[NodeId, list[EventSummary]] = {}
+        budget = self.max_recovery_per_round
+        for event_id, state in list(self._missing.items()):
+            if event_id in self.dedup:
+                del self._missing[event_id]
+                continue
+            state[0] += 1
+            if state[0] <= self.recovery_grace_rounds:
+                continue  # it may still arrive by normal gossip
+            if state[1] >= self.recovery_attempts:
+                del self._missing[event_id]
+                self.recoveries_abandoned += 1
+                continue
+            if budget <= 0:
+                continue
+            budget -= 1
+            state[1] += 1
+            bufferers = rendezvous_bufferers(event_id, members, self.replicas)
+            candidates = [b for b in bufferers if b != self.node_id]
+            if not candidates:
+                continue
+            # rotate through the replicas across attempts
+            target = candidates[(state[1] - 1) % len(candidates)]
+            by_target.setdefault(target, []).append(EventSummary(event_id, 0, None))
+        emissions = []
+        for target, summaries in by_target.items():
+            self.recovery_requests_sent += 1
+            self.stats.events_requested += len(summaries)
+            emissions.append(
+                Emission(
+                    target,
+                    GossipMessage(
+                        sender=self.node_id, events=tuple(summaries), kind="request"
+                    ),
+                )
+            )
+        return emissions
+
+    def on_round(self, now: float) -> list[Emission]:
+        emissions = super().on_round(now)
+        emissions.extend(self._recovery_emissions())
+        return emissions
+
+    # ------------------------------------------------------------------
+    # recovery routing
+    # ------------------------------------------------------------------
+    def _answer_digest(self, message: GossipMessage, now: float) -> list[Emission]:
+        """Ask each missing event's bufferers instead of the digest sender."""
+        missing: list[EventSummary] = []
+        for event_id, age, _none in message.events:
+            if event_id in self.dedup:
+                self.buffer.sync_age(event_id, age)
+            else:
+                missing.append(EventSummary(event_id, 0, None))
+        if not missing:
+            return []
+        members = self._members_for_hashing()
+        by_target: dict[NodeId, list[EventSummary]] = {}
+        for summary in missing:
+            bufferers = rendezvous_bufferers(summary.id, members, self.replicas)
+            target = bufferers[0] if bufferers[0] != self.node_id else bufferers[-1]
+            if target == self.node_id:
+                continue  # we are the sole bufferer of something we miss
+            by_target.setdefault(target, []).append(summary)
+        emissions = []
+        for target, summaries in by_target.items():
+            self.stats.requests_sent += 1
+            self.stats.events_requested += len(summaries)
+            emissions.append(
+                Emission(
+                    target,
+                    GossipMessage(
+                        sender=self.node_id, events=tuple(summaries), kind="request"
+                    ),
+                )
+            )
+        return emissions
+
+    def _serve_request(self, message: GossipMessage) -> list[Emission]:
+        """Serve from the gossip buffer, falling back to the pinned store."""
+        available: list[EventSummary] = []
+        for event_id, _age, _p in message.events:
+            if event_id in self.buffer:
+                available.append(
+                    EventSummary(
+                        event_id,
+                        self.buffer.age_of(event_id),
+                        self.buffer.payload_of(event_id),
+                    )
+                )
+                continue
+            pinned = self.long_term.get(event_id)
+            if pinned is not None:
+                age, payload = pinned
+                available.append(EventSummary(event_id, age, payload))
+                self.recoveries_served += 1
+        if not available:
+            return []
+        return [
+            Emission(
+                message.sender,
+                GossipMessage(
+                    sender=self.node_id, events=tuple(available), kind="reply"
+                ),
+            )
+        ]

@@ -1,0 +1,27 @@
+"""Membership substrates for gossip target selection.
+
+The paper's experiments use a fixed group of 60 processes with full
+membership knowledge; its mechanism is explicitly designed to also work
+with *partial* membership views ("our mechanisms could be applied to a
+gossip-based algorithm relying on a partial membership knowledge", §5).
+Both are provided:
+
+* :mod:`repro.membership.full` — a shared :class:`Directory` of alive
+  nodes plus per-node full views.
+* :mod:`repro.membership.views` — lpbcast-style partial views maintained
+  by piggybacked subscription/unsubscription gossip.
+* :mod:`repro.membership.churn` — scripted join/leave schedules.
+"""
+
+from repro.membership.full import Directory, FullMembershipView
+from repro.membership.views import PartialViewMembership, ViewConfig
+from repro.membership.churn import ChurnEvent, ChurnScript
+
+__all__ = [
+    "Directory",
+    "FullMembershipView",
+    "PartialViewMembership",
+    "ViewConfig",
+    "ChurnEvent",
+    "ChurnScript",
+]

@@ -1,0 +1,66 @@
+"""Scripted membership churn.
+
+The paper motivates adaptation with dynamic systems: nodes join and leave
+groups at runtime, which both changes where the minimum buffer sits and
+how much load the group can carry. A :class:`ChurnScript` is a declarative
+schedule of join/leave actions that a cluster driver replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from repro.gossip.protocol import NodeId
+
+__all__ = ["ChurnEvent", "ChurnScript"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """One membership change at an absolute simulation time."""
+
+    time: float
+    action: Literal["join", "leave", "crash"]
+    node: NodeId
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("churn time must be >= 0")
+        if self.action not in ("join", "leave", "crash"):
+            raise ValueError(f"unknown churn action {self.action!r}")
+
+
+@dataclass
+class ChurnScript:
+    """An ordered schedule of churn events.
+
+    ``leave`` is a graceful departure (the node unsubscribes and stops);
+    ``crash`` is silent (the node just stops answering), which exercises
+    the gossip redundancy the paper relies on as a safety margin.
+    """
+
+    events: list[ChurnEvent] = field(default_factory=list)
+
+    def join(self, time: float, node: NodeId) -> "ChurnScript":
+        self.events.append(ChurnEvent(time, "join", node))
+        return self
+
+    def leave(self, time: float, node: NodeId) -> "ChurnScript":
+        self.events.append(ChurnEvent(time, "leave", node))
+        return self
+
+    def crash(self, time: float, node: NodeId) -> "ChurnScript":
+        self.events.append(ChurnEvent(time, "crash", node))
+        return self
+
+    def extend(self, events: Iterable[ChurnEvent]) -> "ChurnScript":
+        self.events.extend(events)
+        return self
+
+    def sorted_events(self) -> list[ChurnEvent]:
+        """Events in replay order (stable for equal times)."""
+        return sorted(self.events, key=lambda e: e.time)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,94 @@
+"""Full-membership directory, as used in the paper's 60-node experiments.
+
+A single :class:`Directory` is shared by all nodes of a simulation (it is
+bookkeeping, not a protocol — the paper's testbed configures membership
+statically). Each node holds a :class:`FullMembershipView` that samples
+uniform gossip targets among the other alive nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.gossip.protocol import NodeId
+
+__all__ = ["Directory", "FullMembershipView"]
+
+
+class Directory:
+    """Registry of alive node ids with cheap change detection."""
+
+    def __init__(self, members: Optional[Iterable[NodeId]] = None) -> None:
+        self._alive: dict[NodeId, None] = {}
+        self._version = 0
+        for m in members or ():
+            self.join(m)
+
+    @property
+    def version(self) -> int:
+        """Bumped on every join/leave; views use it to invalidate caches."""
+        return self._version
+
+    def join(self, node: NodeId) -> None:
+        """Add a member (idempotent)."""
+        if node not in self._alive:
+            self._alive[node] = None
+            self._version += 1
+
+    def leave(self, node: NodeId) -> None:
+        """Remove a member (idempotent)."""
+        if node in self._alive:
+            del self._alive[node]
+            self._version += 1
+
+    def is_alive(self, node: NodeId) -> bool:
+        """Whether ``node`` is currently a member."""
+        return node in self._alive
+
+    def alive(self) -> list[NodeId]:
+        """All current members, in join order."""
+        return list(self._alive)
+
+    def __len__(self) -> int:
+        return len(self._alive)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._alive
+
+
+class FullMembershipView:
+    """A node's view over a shared :class:`Directory` (itself excluded)."""
+
+    def __init__(self, directory: Directory, owner: NodeId) -> None:
+        self._directory = directory
+        self._owner = owner
+        self._cache_version = -1
+        self._cache: list[NodeId] = []
+
+    def _peers(self) -> list[NodeId]:
+        if self._cache_version != self._directory.version:
+            self._cache = [n for n in self._directory.alive() if n != self._owner]
+            self._cache_version = self._directory.version
+        return self._cache
+
+    def size(self) -> int:
+        """Number of known peers (excluding the owner)."""
+        return len(self._peers())
+
+    def contains(self, node: NodeId) -> bool:
+        """Whether ``node`` is a known peer (the owner never is)."""
+        return node != self._owner and self._directory.is_alive(node)
+
+    def sample_targets(self, count: int, rng) -> list[NodeId]:
+        """Uniform sample (without replacement) of up to ``count`` peers."""
+        peers = self._peers()
+        if count >= len(peers):
+            return list(peers)
+        return rng.sample(peers, count)
+
+    # Partial-view protocol compatibility: full views ignore gossip.
+    def on_gossip_emit(self, rng):  # pragma: no cover - trivial
+        return None
+
+    def on_gossip_receive(self, header, sender: NodeId, rng) -> None:
+        return None

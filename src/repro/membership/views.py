@@ -1,0 +1,153 @@
+"""lpbcast-style partial membership views.
+
+Each node knows only a bounded random *view* of the group. Membership
+information travels inside normal gossip messages as subscription
+(``subs``) and unsubscription (``unsubs``) lists — exactly the mechanism
+of the lpbcast paper the reproduction's baseline comes from. When a view
+or buffer overflows, a uniformly random element is discarded, which keeps
+views converging to uniform samples of the group.
+
+The adaptive mechanism composes with this unchanged: its headers ride the
+same messages, and its minimum aggregation only needs the gossip overlay
+to be connected, not complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gossip.protocol import MembershipHeader, NodeId
+
+__all__ = ["ViewConfig", "PartialViewMembership"]
+
+
+@dataclass(frozen=True, slots=True)
+class ViewConfig:
+    """Bounds for the partial-view state.
+
+    ``view_size`` bounds the gossip target view; ``subs_size`` and
+    ``unsubs_size`` bound the subscription buffers; ``subs_per_gossip`` /
+    ``unsubs_per_gossip`` bound how many entries ride each message.
+    """
+
+    view_size: int = 12
+    subs_size: int = 20
+    unsubs_size: int = 20
+    subs_per_gossip: int = 4
+    unsubs_per_gossip: int = 4
+
+    def __post_init__(self) -> None:
+        if self.view_size < 1:
+            raise ValueError("view_size must be >= 1")
+        if min(self.subs_size, self.unsubs_size) < 1:
+            raise ValueError("subs/unsubs buffers must hold >= 1 entry")
+        if min(self.subs_per_gossip, self.unsubs_per_gossip) < 0:
+            raise ValueError("per-gossip counts must be >= 0")
+
+
+class PartialViewMembership:
+    """A node's partial view plus subs/unsubs gossip buffers."""
+
+    def __init__(
+        self,
+        owner: NodeId,
+        config: Optional[ViewConfig] = None,
+        initial_view: Optional[list[NodeId]] = None,
+    ) -> None:
+        self.owner = owner
+        self.config = config or ViewConfig()
+        self._view: dict[NodeId, None] = {}
+        self._subs: dict[NodeId, None] = {}
+        self._unsubs: dict[NodeId, None] = {}
+        self.unsubscribed = False
+        for node in initial_view or ():
+            self._add_to_view(node, rng=None)
+
+    # ------------------------------------------------------------------
+    # view maintenance
+    # ------------------------------------------------------------------
+    def _trim(self, store: dict[NodeId, None], limit: int, rng) -> None:
+        while len(store) > limit:
+            if rng is None:
+                victim = next(iter(store))
+            else:
+                victim = rng.choice(list(store))
+            del store[victim]
+
+    def _add_to_view(self, node: NodeId, rng) -> None:
+        if node == self.owner or node in self._view:
+            return
+        self._view[node] = None
+        if len(self._view) > self.config.view_size:
+            # lpbcast: evict a random element, remembering it as a sub so
+            # knowledge of it keeps circulating.
+            victims = [n for n in self._view if n != node] or [node]
+            victim = victims[0] if rng is None else rng.choice(victims)
+            del self._view[victim]
+            self._subs[victim] = None
+            self._trim(self._subs, self.config.subs_size, rng)
+
+    def view(self) -> list[NodeId]:
+        return list(self._view)
+
+    def size(self) -> int:
+        return len(self._view)
+
+    def contains(self, node: NodeId) -> bool:
+        return node in self._view
+
+    def sample_targets(self, count: int, rng) -> list[NodeId]:
+        view = list(self._view)
+        if count >= len(view):
+            return view
+        return rng.sample(view, count)
+
+    # ------------------------------------------------------------------
+    # subscription management
+    # ------------------------------------------------------------------
+    def unsubscribe(self) -> None:
+        """Announce departure: future gossip carries our unsubscription."""
+        self.unsubscribed = True
+
+    # ------------------------------------------------------------------
+    # gossip integration
+    # ------------------------------------------------------------------
+    def on_gossip_emit(self, rng) -> MembershipHeader:
+        """Build the membership header for an outgoing gossip message."""
+        cfg = self.config
+        subs_pool = list(self._subs)
+        n_subs = min(len(subs_pool), max(0, cfg.subs_per_gossip - 1))
+        subs = rng.sample(subs_pool, n_subs) if n_subs else []
+        if not self.unsubscribed:
+            subs.append(self.owner)  # keep (re-)subscribing ourselves
+
+        unsubs_pool = list(self._unsubs)
+        n_unsubs = min(len(unsubs_pool), cfg.unsubs_per_gossip)
+        unsubs = rng.sample(unsubs_pool, n_unsubs) if n_unsubs else []
+        if self.unsubscribed:
+            unsubs.append(self.owner)
+        return MembershipHeader(subs=tuple(subs), unsubs=tuple(unsubs))
+
+    def on_gossip_receive(
+        self, header: Optional[MembershipHeader], sender: NodeId, rng
+    ) -> None:
+        """Fold a received membership header into local state."""
+        if header is None:
+            header = MembershipHeader(subs=(), unsubs=())
+        cfg = self.config
+        for node in header.unsubs:
+            if node == self.owner:
+                continue
+            self._view.pop(node, None)
+            self._subs.pop(node, None)
+            self._unsubs[node] = None
+        self._trim(self._unsubs, cfg.unsubs_size, rng)
+
+        for node in (sender, *header.subs):
+            if node == self.owner or node in self._unsubs:
+                continue
+            self._add_to_view(node, rng)
+            if node != sender:
+                self._subs[node] = None
+        self._trim(self._subs, cfg.subs_size, rng)

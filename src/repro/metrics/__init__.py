@@ -1,0 +1,43 @@
+"""Measurement pipeline.
+
+* :mod:`repro.metrics.collector` — the :class:`MetricsCollector` that the
+  drivers hook into protocol callbacks (deliveries, drops, admissions).
+* :mod:`repro.metrics.rates` — bucketed time series for rates and gauges.
+* :mod:`repro.metrics.delivery` — reliability/atomicity analysis of
+  per-message delivery records (the paper's Figures 2, 8, 9(b) metrics).
+* :mod:`repro.metrics.stats` — small numeric helpers.
+
+The paper's metrics, as implemented here:
+
+* **reliability / atomicity** — fraction of messages delivered to more
+  than 95% of group members (Figures 2, 8(b), 9(b));
+* **average % of receivers** — mean over messages of the fraction of
+  members that delivered it (Figure 8(a));
+* **input rate** — broadcasts *admitted* per second (Figure 7(a));
+* **output rate** — unique deliveries per member per second, i.e. input
+  minus loss (Figure 7(b));
+* **average drop age** — mean age of events evicted by buffer overflow
+  (Figures 2's narrative, 4, 7(c)).
+"""
+
+from repro.metrics.collector import MessageRecord, MetricsCollector
+from repro.metrics.convergence import StepResponse, settling_time, step_response
+from repro.metrics.delivery import DeliveryStats, analyze_delivery, atomicity_series
+from repro.metrics.rates import BucketSeries, GaugeSeries
+from repro.metrics.stats import mean, percentile, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "MessageRecord",
+    "DeliveryStats",
+    "analyze_delivery",
+    "atomicity_series",
+    "BucketSeries",
+    "GaugeSeries",
+    "mean",
+    "percentile",
+    "summarize",
+    "StepResponse",
+    "settling_time",
+    "step_response",
+]

@@ -1,0 +1,201 @@
+"""The metrics collector wired into protocol callbacks by the drivers.
+
+One :class:`MetricsCollector` instance observes a whole cluster run. The
+drivers connect it to each node:
+
+* sender admission — :meth:`on_offered` / :meth:`on_admitted` /
+  :meth:`on_rejected`;
+* protocol delivery callback — :meth:`on_deliver`;
+* protocol drop callback — :meth:`on_drop`;
+* per-round gauges — :meth:`sample_gauge` (allowed rate, avgAge,
+  minBuff estimate, buffer occupancy).
+
+Analysis (reliability, atomicity, rate series) lives in
+:mod:`repro.metrics.delivery`; this module only records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gossip.events import EventId
+from repro.gossip.protocol import NodeId
+from repro.metrics.rates import BucketSeries, GaugeSeries
+
+__all__ = ["MessageRecord", "MetricsCollector"]
+
+
+@dataclass(slots=True)
+class MessageRecord:
+    """Lifecycle of one broadcast message."""
+
+    origin: NodeId
+    broadcast_time: float
+    receivers: set[NodeId] = field(default_factory=set)
+    duplicate_deliveries: int = 0
+    first_delivery: Optional[float] = None
+    last_delivery: Optional[float] = None
+
+    def note_delivery(self, node: NodeId, time: float) -> bool:
+        """Record a delivery; returns True if this receiver was new."""
+        if node in self.receivers:
+            self.duplicate_deliveries += 1
+            return False
+        self.receivers.add(node)
+        if self.first_delivery is None:
+            self.first_delivery = time
+        self.last_delivery = time
+        return True
+
+
+class MetricsCollector:
+    """Records everything the experiments measure."""
+
+    def __init__(self, bucket_width: float = 1.0) -> None:
+        self.bucket_width = bucket_width
+        self.messages: dict[EventId, MessageRecord] = {}
+        # point-event series
+        self.offered = BucketSeries(bucket_width)
+        self.admitted = BucketSeries(bucket_width)
+        self.rejected = BucketSeries(bucket_width)
+        self.deliveries = BucketSeries(bucket_width)
+        self.drops_overflow = BucketSeries(bucket_width)
+        self.drops_age_out = BucketSeries(bucket_width)
+        self.drops_obsolete = BucketSeries(bucket_width)
+        # drop ages (the congestion signal measured from the outside)
+        self.drop_age_gauge = GaugeSeries(bucket_width)
+        self.drop_ages: list[int] = []
+        # named per-node gauges: (name, node) -> series
+        self._gauges: dict[tuple[str, NodeId], GaugeSeries] = {}
+        # counters
+        self.duplicate_deliveries = 0
+        # Deliveries observed before their admission was recorded. The
+        # protocol delivers a broadcast to its own sender *inside*
+        # broadcast(), i.e. before the Sender can call on_admitted, so
+        # early deliveries are parked here and replayed on admission.
+        self._early: dict[EventId, list[tuple[NodeId, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # sender-side hooks
+    # ------------------------------------------------------------------
+    def on_offered(self, node: NodeId, time: float) -> None:
+        """The application offered one broadcast (admitted or not)."""
+        self.offered.add(time)
+
+    def on_admitted(self, node: NodeId, event_id: EventId, time: float) -> None:
+        """A broadcast passed admission control; start its record."""
+        self.admitted.add(time)
+        if event_id not in self.messages:
+            self.messages[event_id] = MessageRecord(origin=node, broadcast_time=time)
+        for early_node, early_time in self._early.pop(event_id, ()):
+            self.on_deliver(early_node, event_id, early_time)
+
+    def on_rejected(self, node: NodeId, time: float) -> None:
+        """An offer was abandoned (bounded pending queue overflowed)."""
+        self.rejected.add(time)
+
+    # ------------------------------------------------------------------
+    # protocol hooks (bound per node by the driver)
+    # ------------------------------------------------------------------
+    def on_deliver(self, node: NodeId, event_id: EventId, time: float) -> None:
+        """A node delivered an event (deduplicated per receiver)."""
+        record = self.messages.get(event_id)
+        if record is None:
+            # Not admitted (yet): either the sender's own in-broadcast
+            # delivery racing its on_admitted call, or a message from an
+            # uninstrumented source. Parked and replayed on admission.
+            self._early.setdefault(event_id, []).append((node, time))
+            return
+        if record.note_delivery(node, time):
+            self.deliveries.add(time)
+        else:
+            self.duplicate_deliveries += 1
+
+    def on_drop(self, node: NodeId, event_id: EventId, age: int, reason: str, time: float) -> None:
+        """A buffer dropped an event; overflow drops feed the age signal."""
+        if reason == "age_out":
+            self.drops_age_out.add(time)
+            return
+        if reason == "obsolete":
+            # semantic purging ([11]) is voluntary, not congestion — it
+            # must not pollute the drop-age signal statistics
+            self.drops_obsolete.add(time)
+            return
+        # overflow and resize evictions are the paper's "dropped messages"
+        self.drops_overflow.add(time)
+        self.drop_age_gauge.sample(time, age)
+        self.drop_ages.append(age)
+
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+    def sample_gauge(self, name: str, node: NodeId, time: float, value: float) -> None:
+        """Record one sample of a named per-node gauge."""
+        key = (name, node)
+        series = self._gauges.get(key)
+        if series is None:
+            series = GaugeSeries(self.bucket_width)
+            self._gauges[key] = series
+        series.sample(time, value)
+
+    def gauge(self, name: str, node: NodeId) -> Optional[GaugeSeries]:
+        """The series for one (gauge, node), or None if never sampled."""
+        return self._gauges.get((name, node))
+
+    def gauge_nodes(self, name: str) -> list[NodeId]:
+        """All nodes that ever sampled the named gauge."""
+        return [node for (gname, node) in self._gauges if gname == name]
+
+    def gauge_mean(
+        self, name: str, since: float = float("-inf"), until: float = float("inf")
+    ) -> float:
+        """Mean over all nodes' samples of a named gauge in a window."""
+        total = 0.0
+        count = 0
+        for (gname, _node), series in self._gauges.items():
+            if gname != name:
+                continue
+            m = series.mean(since, until)
+            if m == m:  # not NaN
+                total += m
+                count += 1
+        return total / count if count else float("nan")
+
+    def gauge_mean_over(
+        self,
+        name: str,
+        nodes,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> float:
+        """Mean of a named gauge restricted to ``nodes`` (e.g. senders only)."""
+        total = 0.0
+        count = 0
+        for node in nodes:
+            series = self._gauges.get((name, node))
+            if series is None:
+                continue
+            m = series.mean(since, until)
+            if m == m:  # not NaN
+                total += m
+                count += 1
+        return total / count if count else float("nan")
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def unknown_deliveries(self) -> int:
+        """Deliveries never matched to an admission (instrumentation gap)."""
+        return sum(len(v) for v in self._early.values())
+
+    def messages_in_window(self, since: float, until: float) -> list[MessageRecord]:
+        """Messages broadcast within [since, until)."""
+        return [
+            r for r in self.messages.values() if since <= r.broadcast_time < until
+        ]
+
+    def mean_drop_age(self, since: float = float("-inf"), until: float = float("inf")) -> float:
+        """Mean age of overflow-dropped events in a window."""
+        return self.drop_age_gauge.mean(since, until)

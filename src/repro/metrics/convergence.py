@@ -1,0 +1,107 @@
+"""Step-response analysis of adaptation transients.
+
+The paper's Figure 9 narrative makes a *dynamic* claim: after a resource
+change, "the adaptive mechanism quickly moves the allowed input to a
+value that is close to the target and then smoothly stabilizes until no
+instability can be observed around 60s after the configuration change".
+This module turns that into measurable quantities:
+
+* :func:`settling_time` — when a series enters (and stays in) a band
+  around its final value;
+* :func:`step_response` — settle time, overshoot/undershoot and steady
+  value after a known change instant.
+
+Used by the Figure 9 experiment and the stability ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.metrics.stats import mean
+
+__all__ = ["StepResponse", "settling_time", "step_response"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepResponse:
+    """Transient characterisation of a (time, value) series after a step."""
+
+    change_time: float
+    steady_value: float  # mean over the final fraction of the window
+    settle_time: Optional[float]  # absolute time entering the band for good
+    settle_delay: Optional[float]  # settle_time - change_time
+    peak_deviation: float  # max |value - steady| after the change
+
+    @property
+    def settled(self) -> bool:
+        return self.settle_time is not None
+
+
+def _clean(series: Sequence[tuple[float, float]]) -> list[tuple[float, float]]:
+    return [(t, v) for t, v in series if not math.isnan(v)]
+
+
+def settling_time(
+    series: Sequence[tuple[float, float]],
+    target: float,
+    band: float,
+    after: float = float("-inf"),
+) -> Optional[float]:
+    """First time from which the series stays within ``±band`` of ``target``.
+
+    Only samples with ``t >= after`` are considered. Returns None if the
+    series never settles (or has no samples in range).
+    """
+    if band <= 0:
+        raise ValueError("band must be > 0")
+    samples = [(t, v) for t, v in _clean(series) if t >= after]
+    if not samples:
+        return None
+    settle: Optional[float] = None
+    for t, v in samples:
+        inside = abs(v - target) <= band
+        if inside and settle is None:
+            settle = t
+        elif not inside:
+            settle = None
+    return settle
+
+
+def step_response(
+    series: Sequence[tuple[float, float]],
+    change_time: float,
+    window_end: float,
+    band_frac: float = 0.15,
+    steady_frac: float = 0.3,
+) -> StepResponse:
+    """Characterise the transient between ``change_time`` and ``window_end``.
+
+    The steady value is the mean over the last ``steady_frac`` of the
+    window; the settle band is ``band_frac`` of that steady value
+    (minimum absolute band of 1e-9 to stay well-defined at zero).
+    """
+    if window_end <= change_time:
+        raise ValueError("window_end must be after change_time")
+    if not 0 < band_frac < 1 or not 0 < steady_frac <= 1:
+        raise ValueError("fractions must lie in (0, 1)")
+    window = [
+        (t, v) for t, v in _clean(series) if change_time <= t <= window_end
+    ]
+    if not window:
+        raise ValueError("no samples in the analysis window")
+    steady_start = window_end - steady_frac * (window_end - change_time)
+    steady_samples = [v for t, v in window if t >= steady_start]
+    steady = mean(steady_samples if steady_samples else [window[-1][1]])
+    band = max(abs(steady) * band_frac, 1e-9)
+    settle = settling_time(window, steady, band, after=change_time)
+    peak = max(abs(v - steady) for _, v in window)
+    return StepResponse(
+        change_time=change_time,
+        steady_value=steady,
+        settle_time=settle,
+        settle_delay=None if settle is None else settle - change_time,
+        peak_deviation=peak,
+    )

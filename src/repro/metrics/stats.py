@@ -1,0 +1,80 @@
+"""Small numeric helpers used by the analysis code.
+
+Kept dependency-free (the library runs without numpy; the analysis extras
+may use it, but nothing here requires it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["mean", "percentile", "stdev", "summarize", "Summary"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; NaN for an empty input (explicit, not an error)."""
+    total = 0.0
+    count = 0
+    for v in values:
+        total += v
+        count += 1
+    return total / count if count else math.nan
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; NaN for fewer than one value."""
+    if not values:
+        return math.nan
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi or ordered[lo] == ordered[hi]:
+        # equal endpoints: return directly — interpolating can underflow
+        # for subnormal values (e.g. 0.5 * 5e-324 == 0.0)
+        return float(ordered[lo])
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    min: float
+    p50: float
+    p95: float
+    max: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary`; empty input yields NaN fields."""
+    if not values:
+        nan = math.nan
+        return Summary(0, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stdev=stdev(values),
+        min=float(min(values)),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        max=float(max(values)),
+    )

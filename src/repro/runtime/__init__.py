@@ -1,0 +1,31 @@
+"""Real-time runtime: the counterpart of the paper's Java prototype.
+
+The paper validates its simulations with "a full implementation, based on
+Java 2 Standard Edition … deployed on 60 workstations". This package is
+that half of the methodology: the *same* sans-IO protocol objects used by
+the simulator, driven by wall-clock threads over a real transport.
+
+* :mod:`repro.runtime.codec` — wire codecs (compact binary and JSON).
+* :mod:`repro.runtime.transport` — in-memory hub (tests, CI) and UDP
+  sockets (localhost deployments).
+* :mod:`repro.runtime.node` — the per-node thread: rounds, receive loop,
+  application offers.
+* :mod:`repro.runtime.cluster` — convenience builder running a whole
+  group in one process.
+"""
+
+from repro.runtime.codec import BinaryCodec, CodecError, JsonCodec
+from repro.runtime.cluster import ThreadedCluster
+from repro.runtime.node import RuntimeNode
+from repro.runtime.transport import InMemoryHub, InMemoryTransport, UdpTransport
+
+__all__ = [
+    "BinaryCodec",
+    "JsonCodec",
+    "CodecError",
+    "InMemoryHub",
+    "InMemoryTransport",
+    "UdpTransport",
+    "RuntimeNode",
+    "ThreadedCluster",
+]

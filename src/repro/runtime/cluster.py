@@ -1,0 +1,163 @@
+"""Whole-group runner for the real-time runtime.
+
+:class:`ThreadedCluster` builds N :class:`~repro.runtime.node.RuntimeNode`
+threads over an in-memory hub or UDP sockets, wires a (lock-serialised)
+:class:`~repro.metrics.collector.MetricsCollector` into every protocol,
+and runs the group for a wall-clock duration — the in-process equivalent
+of the paper's 60-workstation deployment.
+
+Because this half of the methodology exists to *validate the simulator*,
+it reuses the exact protocol classes and metrics pipeline; only the
+driver differs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Optional
+
+from repro.core.config import AdaptiveConfig
+from repro.gossip.config import SystemConfig
+from repro.membership.full import Directory, FullMembershipView
+from repro.metrics.collector import MetricsCollector
+from repro.runtime.codec import BinaryCodec
+from repro.runtime.node import RuntimeNode
+from repro.runtime.transport import InMemoryHub, UdpTransport
+from repro.sim.rng import RngRegistry
+from repro.workload.cluster import make_protocol_factory
+
+__all__ = ["ThreadedCluster"]
+
+
+class ThreadedCluster:
+    """A gossip group running on real threads and a real transport.
+
+    Parameters
+    ----------
+    n_nodes:
+        Group size.
+    system:
+        Gossip parameters. Real runs usually want a short
+        ``gossip_period`` (e.g. 0.05–0.2 s) so experiments finish fast.
+    protocol:
+        ``"lpbcast"``, ``"static"`` or ``"adaptive"``.
+    transport:
+        ``"memory"`` (default) or ``"udp"`` (localhost sockets).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        system: Optional[SystemConfig] = None,
+        protocol: str = "lpbcast",
+        adaptive: Optional[AdaptiveConfig] = None,
+        rate_limit: Optional[float] = None,
+        transport: str = "memory",
+        seed: int = 0,
+        codec: Optional[Any] = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        self.system = system if system is not None else SystemConfig(gossip_period=0.1)
+        self.codec = codec if codec is not None else BinaryCodec()
+        self.metrics = MetricsCollector(bucket_width=max(0.1, self.system.gossip_period))
+        self._metrics_lock = threading.Lock()
+        self._rngs = RngRegistry(seed)
+        self.directory = Directory(range(n_nodes))
+        factory = make_protocol_factory(protocol, adaptive=adaptive, rate_limit=rate_limit)
+
+        self._hub = InMemoryHub() if transport == "memory" else None
+        self._addr_of: dict[Any, Any] = {}
+        self.nodes: dict[Any, RuntimeNode] = {}
+        self._t0 = time.monotonic()
+
+        transports = {}
+        for node_id in range(n_nodes):
+            if transport == "memory":
+                endpoint = self._hub.create(node_id)
+                self._addr_of[node_id] = node_id
+            elif transport == "udp":
+                endpoint = UdpTransport()
+                self._addr_of[node_id] = endpoint.address
+            else:
+                raise ValueError(f"unknown transport {transport!r}")
+            transports[node_id] = endpoint
+
+        for node_id in range(n_nodes):
+            membership = FullMembershipView(self.directory, node_id)
+            proto = factory(
+                node_id,
+                self.system,
+                membership,
+                self._rngs.stream("protocol", node_id),
+                self._deliver_fn(node_id),
+                self._drop_fn(node_id),
+                0.0,
+            )
+            self.nodes[node_id] = RuntimeNode(
+                proto,
+                transports[node_id],
+                self.codec,
+                self._addr_of.get,
+                gossip_period=self.system.gossip_period,
+                clock=self._clock,
+            )
+
+    # ------------------------------------------------------------------
+    # clocks & metrics plumbing
+    # ------------------------------------------------------------------
+    def _clock(self) -> float:
+        """Cluster-relative wall clock (metrics buckets start at 0)."""
+        return time.monotonic() - self._t0
+
+    def _deliver_fn(self, node_id: Any):
+        def deliver(event_id, payload, now):
+            with self._metrics_lock:
+                self.metrics.on_deliver(node_id, event_id, now)
+
+        return deliver
+
+    def _drop_fn(self, node_id: Any):
+        def drop(event_id, age, reason, now):
+            with self._metrics_lock:
+                self.metrics.on_drop(node_id, event_id, age, reason, now)
+
+        return drop
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for node in self.nodes.values():
+            node.start()
+
+    def broadcast(self, node_id: Any, payload: Any = None) -> None:
+        """Offer a broadcast through ``node_id`` (admission on its thread)."""
+        self.nodes[node_id].broadcast(payload)
+
+    def note_admitted(self, node_id: Any, event_id, when: Optional[float] = None) -> None:
+        """Record an admission in the metrics (used by runtime tests)."""
+        with self._metrics_lock:
+            self.metrics.on_admitted(node_id, event_id, when if when is not None else self._clock())
+
+    def run_for(self, duration: float) -> None:
+        """Start (if needed), run for ``duration`` wall seconds, stop."""
+        if not any(n.is_alive() for n in self.nodes.values()):
+            self.start()
+        time.sleep(duration)
+        self.stop()
+
+    def stop(self) -> None:
+        for node in self.nodes.values():
+            node.shutdown()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def group_size(self) -> int:
+        return len(self.nodes)
+
+    def protocol_of(self, node_id: Any):
+        return self.nodes[node_id].protocol

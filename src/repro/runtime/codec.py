@@ -1,0 +1,322 @@
+"""Wire codecs for gossip messages.
+
+Two interchangeable codecs serialise :class:`~repro.gossip.protocol.GossipMessage`:
+
+* :class:`BinaryCodec` — a compact, versioned, self-describing binary
+  format (type-tagged values, zigzag varints). This is what the UDP
+  transport uses; one gossip message with a 90-event buffer fits well
+  under a UDP datagram.
+* :class:`JsonCodec` — human-readable, for debugging and interop tests.
+
+Both round-trip every value type a protocol can legally put on the wire:
+ints, strings, floats, bools, None, bytes, and (nested) tuples — which
+covers event ids, κ-smallest aggregate states and pub/sub addresses.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Optional
+
+from repro.gossip.events import EventId, EventSummary
+from repro.gossip.protocol import AdaptiveHeader, GossipMessage, MembershipHeader
+
+__all__ = ["CodecError", "BinaryCodec", "JsonCodec"]
+
+_MAGIC = 0xAD
+_VERSION = 1
+
+# message kinds (1 byte on the wire)
+_KINDS = ("gossip", "multicast", "digest", "request", "reply")
+_KIND_CODE = {k: i for i, k in enumerate(_KINDS)}
+
+# value type tags
+_T_NONE = 0
+_T_INT = 1
+_T_STR = 2
+_T_FLOAT = 3
+_T_TUPLE = 4
+_T_BYTES = 5
+_T_TRUE = 6
+_T_FALSE = 7
+
+
+class CodecError(ValueError):
+    """Raised for malformed wire data or unencodable values."""
+
+
+# ----------------------------------------------------------------------
+# varints
+# ----------------------------------------------------------------------
+def _zigzag(n: int) -> int:
+    return (n << 1) ^ (n >> 63) if n < 0 else n << 1
+
+
+def _unzigzag(n: int) -> int:
+    return (n >> 1) ^ -(n & 1)
+
+
+def _write_uvarint(out: bytearray, n: int) -> None:
+    if n < 0:
+        raise CodecError("uvarint cannot encode negatives")
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise CodecError("truncated message")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def byte(self) -> int:
+        return self.take(1)[0]
+
+    def uvarint(self) -> int:
+        shift = 0
+        result = 0
+        while True:
+            b = self.byte()
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
+
+
+# ----------------------------------------------------------------------
+# tagged values
+# ----------------------------------------------------------------------
+def _write_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        _write_uvarint(out, _zigzag(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_uvarint(out, len(raw))
+        out.extend(raw)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, bytes):
+        out.append(_T_BYTES)
+        _write_uvarint(out, len(value))
+        out.extend(value)
+    elif isinstance(value, tuple):
+        out.append(_T_TUPLE)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _write_value(out, item)
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__} on the wire")
+
+
+def _read_value(r: _Reader) -> Any:
+    tag = r.byte()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return _unzigzag(r.uvarint())
+    if tag == _T_STR:
+        return r.take(r.uvarint()).decode("utf-8")
+    if tag == _T_FLOAT:
+        return struct.unpack(">d", r.take(8))[0]
+    if tag == _T_BYTES:
+        return bytes(r.take(r.uvarint()))
+    if tag == _T_TUPLE:
+        return tuple(_read_value(r) for _ in range(r.uvarint()))
+    raise CodecError(f"unknown value tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# codecs
+# ----------------------------------------------------------------------
+class BinaryCodec:
+    """Compact binary encoding of gossip messages."""
+
+    def encode(self, message: GossipMessage) -> bytes:
+        """Serialise a message to the compact binary wire format."""
+        kind = _KIND_CODE.get(message.kind)
+        if kind is None:
+            raise CodecError(f"unknown message kind {message.kind!r}")
+        out = bytearray((_MAGIC, _VERSION, kind))
+        _write_value(out, message.sender)
+        _write_uvarint(out, len(message.events))
+        for event_id, age, payload in message.events:
+            _write_value(out, event_id.origin)
+            _write_uvarint(out, event_id.seq)
+            _write_uvarint(out, age)
+            _write_value(out, payload)
+        if message.adaptive is None:
+            out.append(0)
+        else:
+            out.append(1)
+            _write_uvarint(out, _zigzag(message.adaptive.period))
+            _write_value(out, message.adaptive.min_buff)
+        if message.membership is None:
+            out.append(0)
+        else:
+            out.append(1)
+            _write_value(out, tuple(message.membership.subs))
+            _write_value(out, tuple(message.membership.unsubs))
+        return bytes(out)
+
+    def decode(self, data: bytes) -> GossipMessage:
+        """Parse wire bytes; raises :class:`CodecError` on malformed input."""
+        r = _Reader(data)
+        if r.byte() != _MAGIC:
+            raise CodecError("bad magic")
+        version = r.byte()
+        if version != _VERSION:
+            raise CodecError(f"unsupported version {version}")
+        kind_code = r.byte()
+        if kind_code >= len(_KINDS):
+            raise CodecError(f"unknown message kind code {kind_code}")
+        sender = _read_value(r)
+        events = []
+        for _ in range(r.uvarint()):
+            origin = _read_value(r)
+            seq = r.uvarint()
+            age = r.uvarint()
+            payload = _read_value(r)
+            events.append(EventSummary(EventId(origin, seq), age, payload))
+        adaptive: Optional[AdaptiveHeader] = None
+        if r.byte():
+            period = _unzigzag(r.uvarint())
+            min_buff = _read_value(r)
+            adaptive = AdaptiveHeader(period, min_buff)
+        membership: Optional[MembershipHeader] = None
+        if r.byte():
+            subs = _read_value(r)
+            unsubs = _read_value(r)
+            membership = MembershipHeader(subs, unsubs)
+        if r.pos != len(data):
+            raise CodecError("trailing garbage")
+        return GossipMessage(
+            sender=sender,
+            events=tuple(events),
+            adaptive=adaptive,
+            membership=membership,
+            kind=_KINDS[kind_code],
+        )
+
+
+class JsonCodec:
+    """JSON encoding (tuples tagged to survive the round-trip)."""
+
+    def encode(self, message: GossipMessage) -> bytes:
+        """Serialise a message as JSON bytes."""
+        if message.kind not in _KIND_CODE:
+            raise CodecError(f"unknown message kind {message.kind!r}")
+        doc = {
+            "v": _VERSION,
+            "kind": message.kind,
+            "sender": _jsonify(message.sender),
+            "events": [
+                [_jsonify(e.id.origin), e.id.seq, e.age, _jsonify(e.payload)]
+                for e in message.events
+            ],
+            "adaptive": (
+                None
+                if message.adaptive is None
+                else [message.adaptive.period, _jsonify(message.adaptive.min_buff)]
+            ),
+            "membership": (
+                None
+                if message.membership is None
+                else [
+                    [_jsonify(s) for s in message.membership.subs],
+                    [_jsonify(u) for u in message.membership.unsubs],
+                ]
+            ),
+        }
+        return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+    def decode(self, data: bytes) -> GossipMessage:
+        """Parse JSON bytes; raises :class:`CodecError` on malformed input."""
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"bad json: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("v") != _VERSION:
+            raise CodecError("unsupported json document")
+        try:
+            events = tuple(
+                EventSummary(
+                    EventId(_unjsonify(origin), seq), age, _unjsonify(payload)
+                )
+                for origin, seq, age, payload in doc["events"]
+            )
+            adaptive = doc["adaptive"]
+            membership = doc["membership"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CodecError(f"malformed document: {exc}") from exc
+        kind = doc.get("kind", "gossip")
+        if kind not in _KIND_CODE:
+            raise CodecError(f"unknown message kind {kind!r}")
+        return GossipMessage(
+            sender=_unjsonify(doc["sender"]),
+            events=events,
+            kind=kind,
+            adaptive=(
+                None
+                if adaptive is None
+                else AdaptiveHeader(adaptive[0], _unjsonify(adaptive[1]))
+            ),
+            membership=(
+                None
+                if membership is None
+                else MembershipHeader(
+                    tuple(_unjsonify(s) for s in membership[0]),
+                    tuple(_unjsonify(u) for u in membership[1]),
+                )
+            ),
+        )
+
+
+def _jsonify(value: Any) -> Any:
+    """Tag tuples so JSON arrays round-trip back to tuples."""
+    if isinstance(value, tuple):
+        return {"t": [_jsonify(v) for v in value]}
+    if isinstance(value, bytes):
+        return {"b": value.hex()}
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    raise CodecError(f"cannot encode {type(value).__name__} as json")
+
+
+def _unjsonify(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "t" in value:
+            return tuple(_unjsonify(v) for v in value["t"])
+        if "b" in value:
+            return bytes.fromhex(value["b"])
+        raise CodecError("unknown json tag")
+    return value

@@ -1,0 +1,151 @@
+"""The per-node runtime thread.
+
+A :class:`RuntimeNode` drives one sans-IO protocol instance with wall
+clock time: it fires gossip rounds every ``gossip_period`` (with phase
+jitter, like real deployments), decodes and feeds incoming datagrams,
+and pushes application offers through the protocol's admission control —
+the same loop the paper's Java prototype runs on each workstation.
+
+Thread-safety model: the protocol object is touched *only* by its node's
+thread. Cross-thread interaction happens through two safe channels: the
+transport's receive queue, and an offer queue fed by :meth:`broadcast`.
+Metrics callbacks are serialised by the cluster's shared lock.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Optional
+
+__all__ = ["RuntimeNode"]
+
+
+class RuntimeNode(threading.Thread):
+    """One node of a real-time gossip group.
+
+    Parameters
+    ----------
+    protocol:
+        A sans-IO protocol instance (baseline, static or adaptive).
+    transport:
+        A transport endpoint (:mod:`repro.runtime.transport`).
+    codec:
+        Wire codec (:mod:`repro.runtime.codec`).
+    resolve:
+        Maps protocol-level node ids to transport addresses.
+    gossip_period:
+        Wall seconds between rounds.
+    clock:
+        Time source (``time.monotonic`` by default; injectable for tests).
+    on_error:
+        Callback for decode errors (malformed datagrams are counted and
+        dropped — a real deployment cannot crash on bad input).
+    """
+
+    POLL_CAP = 0.05  # max blocking wait, keeps shutdown responsive
+
+    def __init__(
+        self,
+        protocol,
+        transport,
+        codec,
+        resolve: Callable[[Any], Any],
+        gossip_period: float,
+        clock: Callable[[], float] = time.monotonic,
+        jitter: float = 0.05,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        if gossip_period <= 0:
+            raise ValueError("gossip_period must be > 0")
+        node_name = getattr(protocol, "node_id", "unbound")
+        super().__init__(name=f"gossip-node-{node_name}", daemon=True)
+        self.protocol = protocol
+        self.transport = transport
+        self.codec = codec
+        self.resolve = resolve
+        self.gossip_period = gossip_period
+        self.clock = clock
+        self.jitter = jitter
+        self.on_error = on_error
+        self._offers: "queue.Queue[Any]" = queue.Queue()
+        self._stop_event = threading.Event()
+        self._pending: list[Any] = []
+        self.decode_errors = 0
+        self.send_failures = 0
+        self.offers_admitted = 0
+        self.offers_queued = 0
+
+    # ------------------------------------------------------------------
+    # application interface (any thread)
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: Any = None) -> None:
+        """Offer one broadcast; admission happens on the node thread."""
+        self._offers.put(payload)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the loop and join the thread."""
+        self._stop_event.set()
+        self.join(timeout=timeout)
+        self.transport.close()
+
+    # ------------------------------------------------------------------
+    # the loop (node thread only)
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        rng = self.protocol.rng
+        next_round = self.clock() + rng.uniform(0, self.gossip_period)
+        while not self._stop_event.is_set():
+            now = self.clock()
+            if now >= next_round:
+                self._fire_round(now)
+                period = self.gossip_period
+                if self.jitter:
+                    period *= rng.uniform(1 - self.jitter, 1 + self.jitter)
+                next_round = now + period
+                continue
+            self._drain_offers(now)
+            wait = min(next_round - self.clock(), self.POLL_CAP)
+            packet = self.transport.recv(wait)
+            if packet is not None:
+                self._handle_packet(packet)
+
+    def _fire_round(self, now: float) -> None:
+        for dest, message in self.protocol.on_round(now):
+            self._transmit(dest, message)
+
+    def _handle_packet(self, packet: tuple[bytes, Any]) -> None:
+        data, _src = packet
+        try:
+            message = self.codec.decode(data)
+        except Exception as exc:  # malformed input must never kill the node
+            self.decode_errors += 1
+            if self.on_error is not None:
+                self.on_error(exc)
+            return
+        for dest, reply in self.protocol.on_receive(message, self.clock()):
+            self._transmit(dest, reply)
+
+    def _transmit(self, dest: Any, message: Any) -> None:
+        addr = self.resolve(dest)
+        if addr is None:
+            self.send_failures += 1
+            return
+        if not self.transport.send(addr, self.codec.encode(message)):
+            self.send_failures += 1
+
+    def _drain_offers(self, now: float) -> None:
+        while True:
+            try:
+                self._pending.append(self._offers.get_nowait())
+            except queue.Empty:
+                break
+        while self._pending:
+            event_id = self.protocol.try_broadcast(self._pending[0], now)
+            if event_id is None:
+                self.offers_queued = len(self._pending)
+                return
+            self._pending.pop(0)
+            self.offers_admitted += 1
+        self.offers_queued = 0

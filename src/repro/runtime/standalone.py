@@ -1,0 +1,210 @@
+"""Standalone node processes — the paper's deployment, one OS process each.
+
+The prototype the paper validates against is 60 separate workstations.
+This module provides the same deployment shape in miniature: every node
+is its **own operating-system process** speaking the binary wire format
+over UDP; a launcher spawns and supervises a whole group locally.
+
+Run one node by hand::
+
+    python -m repro.runtime.standalone --node-id 0 --port 9000 \\
+        --peers 1=127.0.0.1:9001 2=127.0.0.1:9002 \\
+        --protocol adaptive --period 0.1 --buffer 64 --duration 10 \\
+        --offered-rate 5
+
+or a whole group in one command (spawns N child processes)::
+
+    python -m repro.runtime.standalone --launch 8 --base-port 9000 \\
+        --protocol adaptive --duration 10
+
+Each node prints a one-line JSON report on exit (deliveries, drops,
+adaptive state), so launchers and tests can assert on behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.config import AdaptiveConfig
+from repro.gossip.config import SystemConfig
+from repro.membership.full import Directory, FullMembershipView
+from repro.runtime.codec import BinaryCodec
+from repro.runtime.node import RuntimeNode
+from repro.runtime.transport import UdpTransport
+from repro.sim.rng import RngRegistry
+from repro.workload.cluster import make_protocol_factory
+
+__all__ = ["build_parser", "run_node", "launch_group", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.standalone",
+        description="Run one gossip node (or launch a local group) over UDP.",
+    )
+    parser.add_argument("--node-id", type=int, default=0, help="this node's id")
+    parser.add_argument("--port", type=int, default=0, help="UDP port (0 = ephemeral)")
+    parser.add_argument(
+        "--peers",
+        nargs="*",
+        default=[],
+        metavar="ID=HOST:PORT",
+        help="peer address book entries",
+    )
+    parser.add_argument(
+        "--protocol",
+        default="lpbcast",
+        choices=["lpbcast", "adaptive", "static", "bimodal", "adaptive-bimodal"],
+    )
+    parser.add_argument("--period", type=float, default=0.1, help="gossip period (s)")
+    parser.add_argument("--buffer", type=int, default=64, help="|events|max")
+    parser.add_argument("--max-age", type=int, default=10)
+    parser.add_argument("--fanout", type=int, default=4)
+    parser.add_argument("--tau", type=float, default=4.46, help="critical age for adaptive")
+    parser.add_argument("--rate-limit", type=float, default=None, help="for --protocol static")
+    parser.add_argument("--duration", type=float, default=10.0, help="run time (s)")
+    parser.add_argument(
+        "--offered-rate", type=float, default=0.0,
+        help="application offers per second from this node (0 = silent)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    # launcher mode
+    parser.add_argument("--launch", type=int, default=None, metavar="N",
+                        help="spawn a local group of N node processes instead")
+    parser.add_argument("--base-port", type=int, default=9500)
+    parser.add_argument("--senders", type=int, default=1,
+                        help="how many of the launched nodes offer traffic")
+    return parser
+
+
+def _parse_peers(entries: Sequence[str]) -> dict[int, tuple[str, int]]:
+    book: dict[int, tuple[str, int]] = {}
+    for entry in entries:
+        try:
+            node_part, addr_part = entry.split("=", 1)
+            host, port = addr_part.rsplit(":", 1)
+            book[int(node_part)] = (host, int(port))
+        except ValueError as exc:
+            raise SystemExit(f"bad --peers entry {entry!r}: {exc}")
+    return book
+
+
+def run_node(args) -> dict:
+    """Run one node for ``--duration`` seconds; returns the exit report."""
+    peers = _parse_peers(args.peers)
+    system = SystemConfig(
+        fanout=args.fanout,
+        gossip_period=args.period,
+        buffer_capacity=args.buffer,
+        dedup_capacity=max(4000, 40 * args.buffer),
+        max_age=args.max_age,
+    )
+    adaptive = AdaptiveConfig(
+        age_critical=args.tau,
+        sample_period=max(args.period * 5, 0.25),
+        initial_rate=max(args.offered_rate, 1.0),
+    )
+    factory = make_protocol_factory(
+        args.protocol, adaptive=adaptive, rate_limit=args.rate_limit
+    )
+    directory = Directory([args.node_id, *peers])
+    rngs = RngRegistry(args.seed)
+    transport = UdpTransport(port=args.port)
+    protocol = factory(
+        args.node_id,
+        system,
+        FullMembershipView(directory, args.node_id),
+        rngs.stream("protocol", args.node_id),
+        None,
+        None,
+        0.0,
+    )
+    node = RuntimeNode(
+        protocol, transport, BinaryCodec(), peers.get, gossip_period=args.period
+    )
+    node.start()
+    deadline = time.monotonic() + args.duration
+    next_offer = time.monotonic()
+    try:
+        while time.monotonic() < deadline:
+            if args.offered_rate > 0 and time.monotonic() >= next_offer:
+                node.broadcast(None)
+                next_offer += 1.0 / args.offered_rate
+            time.sleep(0.005)
+    finally:
+        node.shutdown()
+    stats = protocol.stats
+    report = {
+        "node_id": args.node_id,
+        "protocol": args.protocol,
+        "broadcasts": stats.broadcasts,
+        "events_delivered": stats.events_delivered,
+        "messages_received": stats.messages_received,
+        "drops_overflow": stats.drops_overflow,
+        "decode_errors": node.decode_errors,
+        "send_failures": node.send_failures,
+    }
+    allowed = getattr(protocol, "allowed_rate", None)
+    if allowed is not None:
+        report["allowed_rate"] = round(allowed, 3)
+        report["min_buff"] = getattr(protocol, "min_buff_estimate", None)
+    return report
+
+
+def launch_group(args) -> list[dict]:
+    """Spawn ``--launch`` node processes on localhost and collect reports."""
+    n = args.launch
+    if n < 2:
+        raise SystemExit("--launch needs at least 2 nodes")
+    ports = {i: args.base_port + i for i in range(n)}
+    peer_args: dict[int, list[str]] = {}
+    for i in range(n):
+        peer_args[i] = [
+            f"{j}=127.0.0.1:{ports[j]}" for j in range(n) if j != i
+        ]
+    procs = []
+    for i in range(n):
+        cmd = [
+            sys.executable, "-m", "repro.runtime.standalone",
+            "--node-id", str(i),
+            "--port", str(ports[i]),
+            "--peers", *peer_args[i],
+            "--protocol", args.protocol,
+            "--period", str(args.period),
+            "--buffer", str(args.buffer),
+            "--tau", str(args.tau),
+            "--duration", str(args.duration),
+            "--seed", str(args.seed + i),
+        ]
+        if i < args.senders and args.offered_rate > 0:
+            cmd += ["--offered-rate", str(args.offered_rate)]
+        if args.rate_limit is not None:
+            cmd += ["--rate-limit", str(args.rate_limit)]
+        procs.append(subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True))
+    reports = []
+    for proc in procs:
+        out, _ = proc.communicate(timeout=args.duration + 30)
+        if proc.returncode != 0:
+            raise SystemExit(f"node process failed with code {proc.returncode}")
+        reports.append(json.loads(out.strip().splitlines()[-1]))
+    return reports
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.launch is not None:
+        reports = launch_group(args)
+        for report in reports:
+            print(json.dumps(report, sort_keys=True))
+        return 0
+    print(json.dumps(run_node(args), sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Transports for the real-time runtime.
+
+A transport delivers opaque datagrams between addresses. Two are
+provided:
+
+* :class:`InMemoryTransport` — endpoints registered on a shared
+  :class:`InMemoryHub`; delivery is a thread-safe queue hand-off.
+  Deterministic enough for CI, no sockets involved.
+* :class:`UdpTransport` — real UDP on localhost (or a LAN), mirroring
+  the paper's prototype deployment. Gossip tolerates datagram loss by
+  design, so UDP's best-effort semantics are exactly right.
+
+Both expose the same blocking ``recv(timeout)`` interface the node loop
+consumes.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Optional
+
+__all__ = ["InMemoryHub", "InMemoryTransport", "UdpTransport"]
+
+
+class InMemoryHub:
+    """Shared registry connecting in-memory endpoints by address."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[object, "InMemoryTransport"] = {}
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def create(self, address: object, max_queue: int = 1024) -> "InMemoryTransport":
+        """Register a new endpoint at ``address``."""
+        transport = InMemoryTransport(self, address, max_queue)
+        with self._lock:
+            if address in self._endpoints:
+                raise ValueError(f"address {address!r} already registered")
+            self._endpoints[address] = transport
+        return transport
+
+    def _route(self, dest: object, data: bytes, src: object) -> bool:
+        with self._lock:
+            endpoint = self._endpoints.get(dest)
+        if endpoint is None:
+            self.dropped += 1
+            return False
+        return endpoint._enqueue(data, src)
+
+    def _remove(self, address: object) -> None:
+        with self._lock:
+            self._endpoints.pop(address, None)
+
+    def addresses(self) -> list[object]:
+        """All currently registered endpoint addresses."""
+        with self._lock:
+            return list(self._endpoints)
+
+
+class InMemoryTransport:
+    """One endpoint on an :class:`InMemoryHub`."""
+
+    def __init__(self, hub: InMemoryHub, address: object, max_queue: int) -> None:
+        self._hub = hub
+        self.address = address
+        self._queue: "queue.Queue[tuple[bytes, object]]" = queue.Queue(max_queue)
+        self._closed = False
+
+    def send(self, dest: object, data: bytes) -> bool:
+        """Deliver ``data`` to ``dest``'s queue; False if unknown/full."""
+        if self._closed:
+            raise RuntimeError("transport closed")
+        return self._hub._route(dest, data, self.address)
+
+    def _enqueue(self, data: bytes, src: object) -> bool:
+        try:
+            self._queue.put_nowait((data, src))
+            return True
+        except queue.Full:
+            # Best-effort like UDP: drop on overrun.
+            self._hub.dropped += 1
+            return False
+
+    def recv(self, timeout: float) -> Optional[tuple[bytes, object]]:
+        """Blocking receive; None on timeout."""
+        try:
+            return self._queue.get(timeout=max(0.0, timeout))
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        """Unregister from the hub; further sends raise."""
+        self._closed = True
+        self._hub._remove(self.address)
+
+
+class UdpTransport:
+    """A UDP socket endpoint; addresses are ``(host, port)`` pairs."""
+
+    MAX_DATAGRAM = 65507
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self.address = self._sock.getsockname()
+        self._closed = False
+
+    def send(self, dest: tuple[str, int], data: bytes) -> bool:
+        """Send one datagram; False on OS-level send failure."""
+        if self._closed:
+            raise RuntimeError("transport closed")
+        if len(data) > self.MAX_DATAGRAM:
+            raise ValueError(f"datagram too large: {len(data)} bytes")
+        try:
+            self._sock.sendto(data, dest)
+            return True
+        except OSError:
+            return False
+
+    def recv(self, timeout: float) -> Optional[tuple[bytes, tuple[str, int]]]:
+        """Blocking receive; None on timeout or if closed mid-wait."""
+        self._sock.settimeout(max(1e-4, timeout))
+        try:
+            data, src = self._sock.recvfrom(self.MAX_DATAGRAM)
+            return data, src
+        except (TimeoutError, socket.timeout):
+            return None
+        except OSError:
+            return None  # closed under us
+
+    def close(self) -> None:
+        """Close the socket; a blocked recv returns None."""
+        self._closed = True
+        self._sock.close()

@@ -1,0 +1,91 @@
+"""Declarative fault injection for simulations.
+
+The paper's §5 is candid about a weakness: "network congestion also
+results in correlated message loss thus degrading reliability. This is a
+potential weakness of the approach". A :class:`FaultScript` schedules
+exactly such pathologies — loss windows and partition windows — onto a
+running network so experiments can measure what the adaptation can and
+cannot rescue (see ``benchmarks/test_ablation_correlated_loss.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.sim.engine import Simulator
+from repro.sim.network import BernoulliLoss, LossModel, Network, NoLoss
+
+__all__ = ["LossWindow", "PartitionWindow", "FaultScript"]
+
+
+@dataclass(frozen=True, slots=True)
+class LossWindow:
+    """Bernoulli loss at probability ``p`` during [time, time+duration)."""
+
+    time: float
+    duration: float
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError("need time >= 0 and duration > 0")
+        if not 0 < self.p <= 1:
+            raise ValueError("p must be in (0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionWindow:
+    """Network split into ``groups`` during [time, time+duration)."""
+
+    time: float
+    duration: float
+    groups: tuple[tuple, ...]
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError("need time >= 0 and duration > 0")
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+
+
+Fault = Union[LossWindow, PartitionWindow]
+
+
+@dataclass
+class FaultScript:
+    """An ordered schedule of network faults."""
+
+    faults: list[Fault] = field(default_factory=list)
+
+    def loss(self, time: float, duration: float, p: float) -> "FaultScript":
+        self.faults.append(LossWindow(time, duration, p))
+        return self
+
+    def partition(
+        self, time: float, duration: float, groups: Sequence[Sequence]
+    ) -> "FaultScript":
+        self.faults.append(
+            PartitionWindow(time, duration, tuple(tuple(g) for g in groups))
+        )
+        return self
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def apply(self, sim: Simulator, network: Network,
+              baseline_loss: Optional[LossModel] = None) -> None:
+        """Schedule every fault window on the simulator.
+
+        ``baseline_loss`` is restored when a loss window closes (defaults
+        to no loss). Overlapping loss windows are not supported — the
+        later window simply wins while it is open.
+        """
+        restore = baseline_loss if baseline_loss is not None else NoLoss()
+        for fault in sorted(self.faults, key=lambda f: f.time):
+            if isinstance(fault, LossWindow):
+                sim.schedule_at(fault.time, network.set_loss, BernoulliLoss(fault.p))
+                sim.schedule_at(fault.time + fault.duration, network.set_loss, restore)
+            else:
+                sim.schedule_at(fault.time, network.partition, [list(g) for g in fault.groups])
+                sim.schedule_at(fault.time + fault.duration, network.heal)

@@ -1,0 +1,264 @@
+"""Simulated message transport with pluggable latency and loss models.
+
+The :class:`Network` connects simulated processes by address. ``send``
+samples a latency (and possibly a loss decision) and schedules the
+receiver's handler on the simulator. Latency models, loss models and
+partitions compose independently so experiments can dial in exactly the
+network pathology they need.
+
+The paper's experiments run on a 60-workstation Ethernet LAN; the default
+model is therefore a low, lightly-jittered latency with no loss. Loss and
+burst-loss models exist for the robustness studies (the paper notes that
+correlated loss degrades gossip reliability, §5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Protocol
+
+from repro.sim.engine import Simulator
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "BurstLoss",
+    "NetworkStats",
+    "Network",
+]
+
+Address = Hashable
+Handler = Callable[[Any, Address, float], None]
+
+
+class LatencyModel(Protocol):
+    """Samples a one-way delay for a (src, dst) message."""
+
+    def sample(self, src: Address, dst: Address, rng) -> float: ...
+
+
+class LossModel(Protocol):
+    """Decides whether a (src, dst) message is dropped."""
+
+    def is_lost(self, src: Address, dst: Address, rng) -> bool: ...
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Every message takes exactly ``delay`` seconds."""
+
+    delay: float = 0.01
+
+    def sample(self, src: Address, dst: Address, rng) -> float:
+        """Return the fixed delay."""
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency:
+    """Latency uniform in [low, high] — the default LAN-ish model."""
+
+    low: float = 0.005
+    high: float = 0.05
+
+    def sample(self, src: Address, dst: Address, rng) -> float:
+        """Draw a delay uniformly from [low, high]."""
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class LogNormalLatency:
+    """Heavy-tailed latency, parameterised by median and sigma.
+
+    ``median`` is the median one-way delay; ``sigma`` the log-space
+    standard deviation (0.5 gives a moderate tail). An optional ``cap``
+    bounds pathological samples.
+    """
+
+    median: float = 0.02
+    sigma: float = 0.5
+    cap: float = 2.0
+
+    def sample(self, src: Address, dst: Address, rng) -> float:
+        """Draw a capped log-normal delay."""
+        return min(self.cap, rng.lognormvariate(math.log(self.median), self.sigma))
+
+
+@dataclass(frozen=True)
+class NoLoss:
+    """Perfect network: nothing is ever dropped."""
+
+    def is_lost(self, src: Address, dst: Address, rng) -> bool:
+        """Always False."""
+        return False
+
+
+@dataclass(frozen=True)
+class BernoulliLoss:
+    """Independent loss with probability ``p`` per message."""
+
+    p: float = 0.01
+
+    def is_lost(self, src: Address, dst: Address, rng) -> bool:
+        """Independent coin flip per message."""
+        return rng.random() < self.p
+
+
+class BurstLoss:
+    """Gilbert–Elliott two-state burst loss.
+
+    ``p_enter`` is the probability of moving from the good to the bad
+    state per message; ``p_exit`` of leaving the bad state; ``p_bad`` the
+    loss probability while in the bad state. State is kept per network
+    (correlated loss — the pathology the paper warns about in §5).
+    """
+
+    def __init__(self, p_enter: float = 0.005, p_exit: float = 0.2, p_bad: float = 0.8):
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.p_bad = p_bad
+        self._bad = False
+
+    def is_lost(self, src: Address, dst: Address, rng) -> bool:
+        """Advance the two-state chain and sample loss in the bad state."""
+        if self._bad:
+            if rng.random() < self.p_exit:
+                self._bad = False
+        else:
+            if rng.random() < self.p_enter:
+                self._bad = True
+        return self._bad and rng.random() < self.p_bad
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by :class:`Network`."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    partitioned: int = 0
+    no_route: int = 0
+    payload_items: int = 0
+
+    def reset(self) -> None:
+        self.sent = self.delivered = self.lost = 0
+        self.partitioned = self.no_route = self.payload_items = 0
+
+
+class Network:
+    """Delivers messages between attached handlers through the simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulator used for scheduling deliveries and as RNG source.
+    latency:
+        A :class:`LatencyModel`; defaults to :class:`UniformLatency`.
+    loss:
+        A :class:`LossModel`; defaults to :class:`NoLoss`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+    ) -> None:
+        self._sim = sim
+        self._latency = latency if latency is not None else UniformLatency()
+        self._loss = loss if loss is not None else NoLoss()
+        self._rng = sim.rngs.stream("network")
+        self._handlers: dict[Address, Handler] = {}
+        self._partition_of: dict[Address, int] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, address: Address, handler: Handler) -> None:
+        """Register ``handler(message, src, now)`` as receiver for ``address``."""
+        if address in self._handlers:
+            raise ValueError(f"address {address!r} already attached")
+        self._handlers[address] = handler
+
+    def detach(self, address: Address) -> None:
+        """Remove an address; in-flight messages to it are dropped on arrival."""
+        self._handlers.pop(address, None)
+
+    def set_loss(self, loss: Optional[LossModel]) -> None:
+        """Swap the loss model at runtime (fault injection)."""
+        self._loss = loss if loss is not None else NoLoss()
+
+    def is_attached(self, address: Address) -> bool:
+        """Whether ``address`` currently has a receiver."""
+        return address in self._handlers
+
+    @property
+    def addresses(self) -> list[Address]:
+        """All currently attached addresses."""
+        return list(self._handlers)
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def partition(self, groups: list[list[Address]]) -> None:
+        """Split the network: messages may only cross within one group.
+
+        Addresses not mentioned in any group remain in the implicit group
+        ``-1`` and can still talk to each other.
+        """
+        self._partition_of = {}
+        for gid, group in enumerate(groups):
+            for addr in group:
+                self._partition_of[addr] = gid
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition_of = {}
+
+    def _crosses_partition(self, src: Address, dst: Address) -> bool:
+        if not self._partition_of:
+            return False
+        return self._partition_of.get(src, -1) != self._partition_of.get(dst, -1)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, src: Address, dst: Address, message: Any, items: int = 1) -> bool:
+        """Queue ``message`` from ``src`` to ``dst``.
+
+        Returns True if the message was scheduled for delivery, False if
+        it was dropped (loss, partition, or unknown destination). ``items``
+        is an accounting hint (number of application events inside) used
+        for payload statistics only.
+        """
+        self.stats.sent += 1
+        self.stats.payload_items += items
+        if self._crosses_partition(src, dst):
+            self.stats.partitioned += 1
+            return False
+        if dst not in self._handlers:
+            self.stats.no_route += 1
+            return False
+        if self._loss.is_lost(src, dst, self._rng):
+            self.stats.lost += 1
+            return False
+        delay = self._latency.sample(src, dst, self._rng)
+        self._sim.schedule(delay, self._deliver, dst, message, src)
+        return True
+
+    def _deliver(self, dst: Address, message: Any, src: Address) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            # Receiver left while the message was in flight.
+            self.stats.no_route += 1
+            return
+        self.stats.delivered += 1
+        handler(message, src, self._sim.now)

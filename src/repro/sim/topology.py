@@ -1,0 +1,110 @@
+"""Latency topologies.
+
+These wrap a base-latency function ``(src, dst) -> seconds`` behind the
+:class:`repro.sim.network.LatencyModel` protocol, optionally adding jitter.
+They let experiments move from the paper's single-LAN setting to clustered
+(multi-site) or arbitrary-graph settings, which the paper's §5 mentions as
+the motivation for topology-aware gossip (directional gossip).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+__all__ = ["UniformTopology", "ClusteredTopology", "GraphTopology"]
+
+Address = Hashable
+
+
+class UniformTopology:
+    """All pairs share one base latency with multiplicative jitter."""
+
+    def __init__(self, base: float = 0.02, jitter: float = 0.5) -> None:
+        if base < 0:
+            raise ValueError("base latency must be >= 0")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self.base = base
+        self.jitter = jitter
+
+    def sample(self, src: Address, dst: Address, rng) -> float:
+        if self.jitter == 0:
+            return self.base
+        return self.base * rng.uniform(1 - self.jitter, 1 + self.jitter)
+
+
+class ClusteredTopology:
+    """Two-level latency: cheap intra-cluster, expensive inter-cluster.
+
+    ``cluster_of`` maps address -> cluster id; unknown addresses are
+    treated as their own singleton cluster.
+    """
+
+    def __init__(
+        self,
+        cluster_of: Mapping[Address, int],
+        intra: float = 0.005,
+        inter: float = 0.08,
+        jitter: float = 0.3,
+    ) -> None:
+        self.cluster_of = dict(cluster_of)
+        self.intra = intra
+        self.inter = inter
+        self.jitter = jitter
+
+    def _cluster(self, addr: Address) -> object:
+        return self.cluster_of.get(addr, ("singleton", addr))
+
+    def sample(self, src: Address, dst: Address, rng) -> float:
+        base = self.intra if self._cluster(src) == self._cluster(dst) else self.inter
+        if self.jitter == 0:
+            return base
+        return base * rng.uniform(1 - self.jitter, 1 + self.jitter)
+
+
+class GraphTopology:
+    """Latency proportional to shortest-path distance in a graph.
+
+    Accepts any ``networkx``-style graph (only ``nodes`` and adjacency are
+    required). Distances are precomputed with BFS (unweighted hops) and
+    multiplied by ``per_hop``; disconnected pairs fall back to ``default``.
+    """
+
+    def __init__(
+        self,
+        graph,
+        per_hop: float = 0.01,
+        default: float = 0.2,
+        jitter: float = 0.2,
+    ) -> None:
+        self.per_hop = per_hop
+        self.default = default
+        self.jitter = jitter
+        self._dist: dict[Address, dict[Address, int]] = {}
+        nodes = list(graph.nodes) if hasattr(graph, "nodes") else list(graph)
+        adjacency = {n: list(graph[n]) for n in nodes}
+        for start in nodes:
+            dist = {start: 0}
+            frontier = [start]
+            while frontier:
+                nxt: list[Address] = []
+                for u in frontier:
+                    for v in adjacency[u]:
+                        if v not in dist:
+                            dist[v] = dist[u] + 1
+                            nxt.append(v)
+                frontier = nxt
+            self._dist[start] = dist
+
+    def hops(self, src: Address, dst: Address) -> Optional[int]:
+        """Shortest-path hop count, or None if unreachable/unknown."""
+        if src == dst:
+            return 0
+        return self._dist.get(src, {}).get(dst)
+
+    def sample(self, src: Address, dst: Address, rng) -> float:
+        hops = self.hops(src, dst)
+        base = self.default if hops is None else max(1, hops) * self.per_hop
+        if self.jitter == 0:
+            return base
+        return base * rng.uniform(1 - self.jitter, 1 + self.jitter)

@@ -1,0 +1,118 @@
+"""Structured trace log for simulations.
+
+A :class:`TraceLog` collects ``(time, category, node, fields)`` records.
+It is the debugging and verification backbone: the determinism tests
+assert that two runs with the same seed produce identical traces, and the
+metrics pipeline can be cross-checked against raw trace queries.
+
+Tracing is off by default; a disabled log rejects records at a cost of a
+single attribute check, so leaving trace calls in hot paths is fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    node: Any
+    fields: tuple[tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        d = {"time": self.time, "category": self.category, "node": self.node}
+        d.update(self.fields)
+        return d
+
+
+@dataclass
+class TraceLog:
+    """Append-only in-memory trace with simple query helpers.
+
+    Parameters
+    ----------
+    enabled:
+        When False (the default), :meth:`record` is a no-op.
+    capacity:
+        Optional bound on retained records; older records are discarded
+        (FIFO) once exceeded. ``None`` keeps everything.
+    categories:
+        Optional allow-list; when set, only these categories are recorded.
+    """
+
+    enabled: bool = False
+    capacity: Optional[int] = None
+    categories: Optional[frozenset[str]] = None
+    records: list[TraceRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, time: float, category: str, node: Any, **fields: Any) -> None:
+        """Append a record (no-op when disabled or category filtered out)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, node, tuple(sorted(fields.items()))))
+        if self.capacity is not None and len(self.records) > self.capacity:
+            overflow = len(self.records) - self.capacity
+            del self.records[:overflow]
+            self.dropped += overflow
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Any = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        where: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> Iterator[TraceRecord]:
+        """Yield records matching all the given filters, in time order."""
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if not (since <= rec.time <= until):
+                continue
+            if where is not None and not where(rec):
+                continue
+            yield rec
+
+    def count(self, category: Optional[str] = None, **kwargs: Any) -> int:
+        return sum(1 for _ in self.select(category=category, **kwargs))
+
+    def fingerprint(self) -> int:
+        """A stable hash of the whole trace, for determinism tests."""
+        acc = 0
+        for rec in self.records:
+            acc = hash((acc, rec.time, rec.category, repr(rec.node), rec.fields))
+        return acc
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    @staticmethod
+    def merge(traces: Iterable["TraceLog"]) -> "TraceLog":
+        """Merge several traces into one, sorted by time."""
+        merged = TraceLog(enabled=True)
+        for tr in traces:
+            merged.records.extend(tr.records)
+        merged.records.sort(key=lambda r: r.time)
+        return merged

@@ -1,0 +1,39 @@
+"""Workloads and drivers for simulation experiments.
+
+* :mod:`repro.workload.senders` — arrival processes and the
+  :class:`Sender` that implements the paper's blocking ``BROADCAST`` on
+  top of the protocols' non-blocking admission interface.
+* :mod:`repro.workload.cluster` — :class:`SimCluster`, the discrete-event
+  driver that wires protocols, network, membership, metrics and senders
+  into a runnable system.
+* :mod:`repro.workload.dynamics` — scripted runtime resource changes
+  (the Figure 9 scenario).
+* :mod:`repro.workload.pubsub` — the §1 motivating application: a
+  topic-based publish-subscribe layer with per-node buffer budgets split
+  across subscribed topics.
+"""
+
+from repro.workload.cluster import ClusterNode, SimCluster, make_protocol_factory
+from repro.workload.dynamics import CapacityChange, OfferedRateChange, ResourceScript
+from repro.workload.pubsub import PubSubHost, PubSubSystem
+from repro.workload.senders import (
+    OnOffArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    Sender,
+)
+
+__all__ = [
+    "SimCluster",
+    "ClusterNode",
+    "make_protocol_factory",
+    "Sender",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "ResourceScript",
+    "CapacityChange",
+    "OfferedRateChange",
+    "PubSubSystem",
+    "PubSubHost",
+]

@@ -1,0 +1,435 @@
+"""The discrete-event cluster driver.
+
+:class:`SimCluster` assembles a complete simulated system: a
+:class:`~repro.sim.engine.Simulator`, a :class:`~repro.sim.network.Network`,
+membership, one protocol instance per node, per-node round timers with
+phase jitter, senders, and a :class:`~repro.metrics.collector.MetricsCollector`.
+
+It reproduces the paper's experimental setting with defaults of 60 nodes,
+fanout 4 and a uniform low-latency LAN, and exposes the runtime controls
+the evaluation needs: changing node buffer capacities mid-run (Figure 9),
+scripted churn, and partial-view membership.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.adaptive import AdaptiveLpbcastProtocol, StaticRateLpbcastProtocol
+from repro.core.aggregation import Aggregate
+from repro.core.config import AdaptiveConfig
+from repro.gossip.config import SystemConfig
+from repro.gossip.lpbcast import LpbcastProtocol
+from repro.gossip.protocol import GossipMessage, NodeId
+from repro.membership.churn import ChurnScript
+from repro.membership.full import Directory, FullMembershipView
+from repro.membership.views import PartialViewMembership, ViewConfig
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, LossModel, Network, UniformLatency
+from repro.sim.process import SimProcess
+from repro.sim.trace import TraceLog
+from repro.workload.senders import PeriodicArrivals, Sender
+
+__all__ = ["ClusterNode", "SimCluster", "make_protocol_factory", "ProtocolFactory"]
+
+# factory(node_id, system, membership, rng, deliver_fn, drop_fn, now) -> protocol
+ProtocolFactory = Callable[..., Any]
+
+
+def make_protocol_factory(
+    kind: str = "lpbcast",
+    adaptive: Optional[AdaptiveConfig] = None,
+    rate_limit: Optional[float] = None,
+    aggregate: Optional[Aggregate] = None,
+) -> ProtocolFactory:
+    """Build a protocol factory for :class:`SimCluster`.
+
+    ``kind`` is one of:
+
+    * ``"lpbcast"`` — the Figure 1 baseline (no admission control);
+    * ``"static"`` — baseline + fixed-rate token bucket (Figure 3);
+      requires ``rate_limit``;
+    * ``"adaptive"`` — the paper's adaptive protocol (Figure 5); takes an
+      optional :class:`AdaptiveConfig` and aggregation strategy;
+    * ``"bimodal"`` / ``"adaptive-bimodal"`` — the pbcast-style substrate
+      of :mod:`repro.gossip.bimodal`, plain and adapted (§5 generality);
+    * ``"bufferer-bimodal"`` — bimodal + [10]-style recovery bufferers
+      (:mod:`repro.gossip.recovery`).
+    """
+    if kind == "lpbcast":
+
+        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
+            return LpbcastProtocol(node_id, system, membership, rng, deliver_fn, drop_fn)
+
+    elif kind == "bimodal":
+
+        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
+            from repro.gossip.bimodal import BimodalProtocol
+
+            return BimodalProtocol(node_id, system, membership, rng, deliver_fn, drop_fn)
+
+    elif kind == "bufferer-bimodal":
+
+        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
+            from repro.gossip.recovery import BuffererBimodalProtocol
+
+            return BuffererBimodalProtocol(
+                node_id, system, membership, rng, deliver_fn, drop_fn
+            )
+
+    elif kind == "adaptive-bimodal":
+
+        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
+            from repro.core.bimodal import AdaptiveBimodalProtocol
+
+            return AdaptiveBimodalProtocol(
+                node_id,
+                system,
+                membership,
+                rng,
+                adaptive=adaptive,
+                deliver_fn=deliver_fn,
+                drop_fn=drop_fn,
+                aggregate=aggregate,
+                now=now,
+            )
+
+    elif kind == "static":
+        if rate_limit is None:
+            raise ValueError("static protocol needs a rate_limit")
+
+        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
+            return StaticRateLpbcastProtocol(
+                node_id,
+                system,
+                membership,
+                rng,
+                rate_limit=rate_limit,
+                deliver_fn=deliver_fn,
+                drop_fn=drop_fn,
+                now=now,
+            )
+
+    elif kind == "adaptive":
+
+        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
+            return AdaptiveLpbcastProtocol(
+                node_id,
+                system,
+                membership,
+                rng,
+                adaptive=adaptive,
+                deliver_fn=deliver_fn,
+                drop_fn=drop_fn,
+                aggregate=aggregate,
+                now=now,
+            )
+
+    else:
+        raise ValueError(f"unknown protocol kind {kind!r}")
+    return factory
+
+
+class ClusterNode(SimProcess):
+    """One simulated node: a protocol instance plus its round timer."""
+
+    GAUGES_EVERY_ROUND = ("allowed_rate", "avg_age", "min_buff", "buffer_len")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: NodeId,
+        protocol,
+        system: SystemConfig,
+        collector: MetricsCollector,
+        sample_gauges: bool = True,
+    ) -> None:
+        super().__init__(sim, ("node", node_id))
+        self.node_id = node_id
+        self.network = network
+        self.protocol = protocol
+        self.system = system
+        self.collector = collector
+        self.sample_gauges = sample_gauges
+        network.attach(node_id, self._on_message)
+        self.every(system.gossip_period, self._on_round, jitter=system.round_jitter)
+
+    # ------------------------------------------------------------------
+    # driver plumbing
+    # ------------------------------------------------------------------
+    def _on_round(self) -> None:
+        now = self.sim.now
+        for dest, message in self.protocol.on_round(now):
+            self.network.send(self.node_id, dest, message, items=message.n_events)
+        if self.sample_gauges:
+            self._sample_gauges(now)
+
+    def _on_message(self, message: GossipMessage, src: NodeId, now: float) -> None:
+        for dest, reply in self.protocol.on_receive(message, now):
+            self.network.send(self.node_id, dest, reply, items=reply.n_events)
+
+    def _sample_gauges(self, now: float) -> None:
+        collector = self.collector
+        protocol = self.protocol
+        rate = getattr(protocol, "allowed_rate", None)
+        if rate is not None:
+            collector.sample_gauge("allowed_rate", self.node_id, now, rate)
+        avg_age = getattr(protocol, "avg_age", None)
+        if avg_age is not None:
+            collector.sample_gauge("avg_age", self.node_id, now, avg_age)
+        min_buff = getattr(protocol, "min_buff_estimate", None)
+        if min_buff is not None:
+            collector.sample_gauge("min_buff", self.node_id, now, min_buff)
+        collector.sample_gauge("buffer_len", self.node_id, now, len(protocol.buffer))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop rounds and detach from the network (leave/crash)."""
+        self.stop()
+        self.network.detach(self.node_id)
+
+
+class SimCluster:
+    """A complete simulated gossip group.
+
+    Parameters
+    ----------
+    n_nodes:
+        Group size (the paper uses 60).
+    system:
+        Gossip substrate parameters.
+    protocol:
+        Either a kind string (see :func:`make_protocol_factory`) or a
+        ready factory.
+    adaptive / rate_limit / aggregate:
+        Forwarded to :func:`make_protocol_factory` when ``protocol`` is a
+        kind string.
+    seed:
+        Root seed — everything (phases, targets, latencies, workloads)
+        derives from it; same seed, same run.
+    latency / loss:
+        Network models; defaults to a jittered LAN with no loss.
+    membership:
+        ``"full"`` (paper's setting) or ``"partial"`` (lpbcast views).
+    bucket_width:
+        Metrics time-bucket width in seconds.
+    trace:
+        Enable the structured trace log (slower; for debugging/tests).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 60,
+        system: Optional[SystemConfig] = None,
+        protocol: Any = "lpbcast",
+        adaptive: Optional[AdaptiveConfig] = None,
+        rate_limit: Optional[float] = None,
+        aggregate: Optional[Aggregate] = None,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        membership: str = "full",
+        view_config: Optional[ViewConfig] = None,
+        bucket_width: float = 1.0,
+        trace: bool = False,
+        sample_gauges: bool = True,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        self.system = system if system is not None else SystemConfig()
+        self.sim = Simulator(seed=seed, trace=TraceLog(enabled=trace))
+        self.network = Network(
+            self.sim,
+            latency=latency if latency is not None else UniformLatency(0.005, 0.05),
+            loss=loss,
+        )
+        self.metrics = MetricsCollector(bucket_width=bucket_width)
+        self.directory = Directory(range(n_nodes))
+        self.membership_kind = membership
+        self.view_config = view_config
+        self.nodes: dict[NodeId, ClusterNode] = {}
+        self.senders: dict[NodeId, Sender] = {}
+        self._sample_gauges = sample_gauges
+        if callable(protocol):
+            self._factory = protocol
+        else:
+            self._factory = make_protocol_factory(
+                protocol, adaptive=adaptive, rate_limit=rate_limit, aggregate=aggregate
+            )
+        # group size over time, for delivery analysis under churn
+        self._size_log: list[tuple[float, int]] = []
+        for node_id in range(n_nodes):
+            self._spawn_node(node_id)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _make_membership(self, node_id: NodeId):
+        if self.membership_kind == "full":
+            return FullMembershipView(self.directory, node_id)
+        if self.membership_kind == "partial":
+            rng = self.sim.rngs.stream("bootstrap_view", node_id)
+            others = [n for n in self.directory.alive() if n != node_id]
+            cfg = self.view_config or ViewConfig()
+            bootstrap = rng.sample(others, min(len(others), cfg.view_size))
+            return PartialViewMembership(node_id, cfg, initial_view=bootstrap)
+        raise ValueError(f"unknown membership kind {self.membership_kind!r}")
+
+    def _spawn_node(self, node_id: NodeId) -> ClusterNode:
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} already exists")
+        self.directory.join(node_id)
+        collector = self.metrics
+
+        def deliver_fn(event_id, payload, now, _node=node_id):
+            collector.on_deliver(_node, event_id, now)
+
+        def drop_fn(event_id, age, reason, now, _node=node_id):
+            collector.on_drop(_node, event_id, age, reason, now)
+
+        protocol = self._factory(
+            node_id,
+            self.system,
+            self._make_membership(node_id),
+            self.sim.rngs.stream("protocol", node_id),
+            deliver_fn,
+            drop_fn,
+            self.sim.now,
+        )
+        node = ClusterNode(
+            self.sim,
+            self.network,
+            node_id,
+            protocol,
+            self.system,
+            collector,
+            sample_gauges=self._sample_gauges,
+        )
+        self.nodes[node_id] = node
+        self._log_size()
+        return node
+
+    # ------------------------------------------------------------------
+    # workload
+    # ------------------------------------------------------------------
+    def add_sender(
+        self,
+        node_id: NodeId,
+        rate: float,
+        arrivals: Any = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        queue_limit: int = 100,
+        payload_fn: Optional[Callable[[int], Any]] = None,
+    ) -> Sender:
+        """Attach an application sender to ``node_id``.
+
+        ``arrivals`` defaults to :class:`PeriodicArrivals` at ``rate``;
+        pass a custom arrival process to override (its own rate wins).
+        ``payload_fn(seq)`` builds payloads (None payloads by default).
+        """
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id!r}")
+        if node_id in self.senders:
+            raise ValueError(f"node {node_id!r} already has a sender")
+        sender = Sender(
+            self.sim,
+            ("sender", node_id),
+            self.nodes[node_id].protocol,
+            arrivals if arrivals is not None else PeriodicArrivals(rate),
+            self.metrics,
+            payload_fn=payload_fn,
+            start=start,
+            stop=stop,
+            queue_limit=queue_limit,
+        )
+        self.senders[node_id] = sender
+        return sender
+
+    def add_senders(self, node_ids, rate_each: float, **kwargs: Any) -> list[Sender]:
+        """Attach identical periodic senders to several nodes."""
+        return [self.add_sender(n, rate_each, **kwargs) for n in node_ids]
+
+    # ------------------------------------------------------------------
+    # runtime control
+    # ------------------------------------------------------------------
+    def set_capacity(self, node_id: NodeId, capacity: int) -> None:
+        """Change a node's buffer capacity now (Figure 9's resource change)."""
+        self.nodes[node_id].protocol.set_buffer_capacity(capacity, self.sim.now)
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule a scenario action at an absolute simulation time."""
+        self.sim.schedule_at(time, fn)
+
+    def join_node(self, node_id: NodeId) -> ClusterNode:
+        """Add a fresh node to the running group."""
+        return self._spawn_node(node_id)
+
+    def leave_node(self, node_id: NodeId) -> None:
+        """Graceful departure: announce unsubscription, then stop."""
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            return
+        membership = node.protocol.membership
+        if isinstance(membership, PartialViewMembership):
+            membership.unsubscribe()
+        self.directory.leave(node_id)
+        node.shutdown()
+        self.senders.pop(node_id, None)
+        self._log_size()
+
+    def crash_node(self, node_id: NodeId) -> None:
+        """Silent failure: the node just stops (no unsubscription)."""
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            return
+        self.directory.leave(node_id)
+        node.shutdown()
+        self.senders.pop(node_id, None)
+        self._log_size()
+
+    def apply_churn(self, script: ChurnScript) -> None:
+        """Schedule a churn script's events on the simulator."""
+        for event in script.sorted_events():
+            action = {
+                "join": self.join_node,
+                "leave": self.leave_node,
+                "crash": self.crash_node,
+            }[event.action]
+            self.sim.schedule_at(event.time, action, event.node)
+
+    # ------------------------------------------------------------------
+    # execution & analysis
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until``."""
+        self.sim.run(until=until)
+
+    @property
+    def group_size(self) -> int:
+        """Number of currently alive members."""
+        return len(self.directory)
+
+    def _log_size(self) -> None:
+        self._size_log.append((self.sim.now, len(self.directory)))
+
+    def group_size_at(self, time: float) -> int:
+        """The group size in force at a (past) simulation time.
+
+        Delivery analysis under churn should compare each message against
+        the group it was broadcast into, not against the final group.
+        """
+        size = self._size_log[0][1] if self._size_log else len(self.directory)
+        for t, s in self._size_log:
+            if t > time:
+                break
+            size = s
+        return size
+
+    def protocol_of(self, node_id: NodeId):
+        """The protocol instance running on ``node_id``."""
+        return self.nodes[node_id].protocol

@@ -1,0 +1,105 @@
+"""Scripted runtime resource dynamics (the Figure 9 scenario).
+
+The paper's dynamic experiment starts a 60-node group below capacity,
+then at ``t1`` shrinks the buffers of 20% of the nodes from 90 to 45
+messages, and at ``t2`` grows them back — but only to 60, still below the
+initial provisioning. A :class:`ResourceScript` captures exactly this
+kind of schedule declaratively so experiments, tests and examples replay
+it identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.gossip.protocol import NodeId
+from repro.workload.cluster import SimCluster
+
+__all__ = ["CapacityChange", "OfferedRateChange", "ResourceScript"]
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityChange:
+    """Set the buffer capacity of some nodes at an absolute time."""
+
+    time: float
+    nodes: tuple[NodeId, ...]
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("time must be >= 0")
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not self.nodes:
+            raise ValueError("at least one node required")
+
+
+@dataclass(frozen=True, slots=True)
+class OfferedRateChange:
+    """Change the offered rate of some senders at an absolute time."""
+
+    time: float
+    nodes: tuple[NodeId, ...]
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("time must be >= 0")
+        if self.rate <= 0:
+            raise ValueError("rate must be > 0")
+        if not self.nodes:
+            raise ValueError("at least one node required")
+
+
+Change = Union[CapacityChange, OfferedRateChange]
+
+
+@dataclass
+class ResourceScript:
+    """A declarative schedule of resource changes."""
+
+    changes: list[Change] = field(default_factory=list)
+
+    def set_capacity(
+        self, time: float, nodes: Sequence[NodeId], capacity: int
+    ) -> "ResourceScript":
+        self.changes.append(CapacityChange(time, tuple(nodes), capacity))
+        return self
+
+    def set_offered_rate(
+        self, time: float, nodes: Sequence[NodeId], rate: float
+    ) -> "ResourceScript":
+        self.changes.append(OfferedRateChange(time, tuple(nodes), rate))
+        return self
+
+    def apply(self, cluster: SimCluster) -> None:
+        """Schedule every change on the cluster's simulator."""
+        for change in sorted(self.changes, key=lambda c: c.time):
+            if isinstance(change, CapacityChange):
+                cluster.at(change.time, _capacity_action(cluster, change))
+            else:
+                cluster.at(change.time, _rate_action(cluster, change))
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+
+def _capacity_action(cluster: SimCluster, change: CapacityChange):
+    def action() -> None:
+        for node in change.nodes:
+            if node in cluster.nodes:
+                cluster.set_capacity(node, change.capacity)
+
+    return action
+
+
+def _rate_action(cluster: SimCluster, change: OfferedRateChange):
+    def action() -> None:
+        for node in change.nodes:
+            sender = cluster.senders.get(node)
+            if sender is not None:
+                sender.set_rate(change.rate)
+
+    return action

@@ -1,0 +1,199 @@
+"""Application senders.
+
+A :class:`Sender` offers broadcasts to one node at a configurable arrival
+pattern and pushes them through the protocol's admission interface:
+
+* the baseline admits everything immediately (unbounded input rate —
+  Figure 7(a), "lpbcast");
+* token-bucket protocols may refuse; refused messages wait in a bounded
+  pending queue and are retried the moment a token is due — this is the
+  paper's blocking ``BROADCAST`` (Figure 3) without blocking a thread.
+
+Arrival patterns are small strategy objects exposing
+``next_interval(rng) -> float`` and a mutable ``rate`` so scenario scripts
+can change the offered load at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator, TimerHandle
+from repro.sim.process import SimProcess
+
+__all__ = ["PeriodicArrivals", "PoissonArrivals", "OnOffArrivals", "Sender"]
+
+
+class PeriodicArrivals:
+    """Strictly periodic offers at ``rate`` msg/s."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.rate = float(rate)
+
+    def next_interval(self, rng) -> float:
+        return 1.0 / self.rate
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival times with mean ``1/rate``."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.rate = float(rate)
+
+    def next_interval(self, rng) -> float:
+        return rng.expovariate(self.rate)
+
+
+class OnOffArrivals:
+    """Bursty traffic: periodic at ``rate`` for ``on`` seconds, silent for
+    ``off`` seconds, repeating. Exercises the unused-grant decay rule of
+    Figure 5(c) (§3.3's inflated-allowance attack)."""
+
+    def __init__(self, rate: float, on: float, off: float) -> None:
+        if rate <= 0 or on <= 0 or off < 0:
+            raise ValueError("need rate > 0, on > 0, off >= 0")
+        self.rate = float(rate)
+        self.on = float(on)
+        self.off = float(off)
+        self._phase_left = self.on
+        self._in_on = True
+
+    def next_interval(self, rng) -> float:
+        # The arrival clock only runs during ON phases; OFF phases add
+        # silence to the returned interval without consuming it.
+        remaining = 1.0 / self.rate
+        interval = 0.0
+        while True:
+            if self._in_on:
+                if remaining <= self._phase_left:
+                    self._phase_left -= remaining
+                    return interval + remaining
+                interval += self._phase_left
+                remaining -= self._phase_left
+                self._in_on = False
+                self._phase_left = self.off
+            else:
+                interval += self._phase_left
+                self._in_on = True
+                self._phase_left = self.on
+
+
+class Sender(SimProcess):
+    """Offers broadcasts to one protocol instance.
+
+    Parameters
+    ----------
+    sim, name:
+        Simulation process identity (name is usually ("sender", node_id)).
+    protocol:
+        The node's protocol; must expose ``try_broadcast`` and
+        ``time_until_admission``.
+    arrivals:
+        Arrival pattern strategy.
+    collector:
+        Metrics sink (offered/admitted/rejected accounting).
+    payload_fn:
+        Builds payloads; defaults to None payloads (the experiments only
+        study dissemination, not content).
+    start / stop:
+        Active interval; offers outside it are not generated.
+    queue_limit:
+        Bound on messages waiting for admission. When full, the *oldest*
+        queued offer is discarded and counted as rejected — the
+        application equivalent of giving up on a blocked ``BROADCAST``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: Any,
+        protocol,
+        arrivals,
+        collector: MetricsCollector,
+        payload_fn: Optional[Callable[[int], Any]] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        queue_limit: int = 100,
+    ) -> None:
+        super().__init__(sim, name)
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.protocol = protocol
+        self.arrivals = arrivals
+        self.collector = collector
+        self.payload_fn = payload_fn
+        self.start = start
+        self.stop_time = stop
+        self.queue_limit = queue_limit
+        self._pending: list[Any] = []
+        self._offer_seq = 0
+        self._retry: Optional[TimerHandle] = None
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.after(max(0.0, start - sim.now), self._tick)
+
+    # ------------------------------------------------------------------
+    # offer loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.sim.now
+        if self.stop_time is not None and now >= self.stop_time:
+            return
+        self._offer()
+        self.after(self.arrivals.next_interval(self.rng), self._tick)
+
+    def _offer(self) -> None:
+        now = self.sim.now
+        self.offered += 1
+        self.collector.on_offered(self.protocol.node_id, now)
+        payload = self.payload_fn(self._offer_seq) if self.payload_fn else None
+        self._offer_seq += 1
+        self._pending.append(payload)
+        if len(self._pending) > self.queue_limit:
+            self._pending.pop(0)
+            self.rejected += 1
+            self.collector.on_rejected(self.protocol.node_id, now)
+        self._drain()
+
+    def _drain(self) -> None:
+        now = self.sim.now
+        while self._pending:
+            event_id = self.protocol.try_broadcast(self._pending[0], now)
+            if event_id is None:
+                self._schedule_retry(now)
+                return
+            self._pending.pop(0)
+            self.admitted += 1
+            self.collector.on_admitted(self.protocol.node_id, event_id, now)
+        if self._retry is not None:
+            self._retry.cancel()
+            self._retry = None
+
+    def _schedule_retry(self, now: float) -> None:
+        if self._retry is not None and not self._retry.cancelled:
+            return
+        delay = max(self.protocol.time_until_admission(now), 1e-6)
+        self._retry = self.after(delay, self._on_retry)
+
+    def _on_retry(self) -> None:
+        self._retry = None
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # runtime control
+    # ------------------------------------------------------------------
+    def set_rate(self, rate: float) -> None:
+        """Change the offered rate (takes effect from the next arrival)."""
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.arrivals.rate = rate
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,107 @@
+"""Tests for gossip-mergeable capacity aggregates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    KSmallestAggregate,
+    MinAggregate,
+    ThresholdedKSmallestAggregate,
+)
+
+
+def test_min_aggregate_basics():
+    agg = MinAggregate()
+    a = agg.lift(30, "a")
+    b = agg.lift(50, "b")
+    assert agg.result(agg.merge(a, b)) == 30
+    assert agg.result(a) == 30
+
+
+def test_k_smallest_validation():
+    with pytest.raises(ValueError):
+        KSmallestAggregate(0)
+    with pytest.raises(ValueError):
+        ThresholdedKSmallestAggregate(1, 0)
+
+
+def test_k_smallest_counts_nodes_not_values():
+    agg = KSmallestAggregate(2)
+    state = agg.lift(30, "a")
+    state = agg.merge(state, agg.lift(30, "b"))
+    # two *nodes* at 30: the 2nd smallest is 30, not some larger value
+    assert agg.result(state) == 30
+
+
+def test_k_smallest_skips_single_straggler():
+    agg = KSmallestAggregate(2)
+    state = agg.lift(10, "straggler")
+    state = agg.merge(state, agg.lift(90, "b"))
+    state = agg.merge(state, agg.lift(80, "c"))
+    assert agg.result(state) == 80  # 2nd smallest node
+
+
+def test_k_smallest_conservative_below_k_nodes():
+    agg = KSmallestAggregate(3)
+    state = agg.merge(agg.lift(40, "a"), agg.lift(70, "b"))
+    assert agg.result(state) == 40  # only 2 nodes known -> plain minimum
+
+
+def test_k_smallest_node_reconfiguration_keeps_smallest():
+    agg = KSmallestAggregate(2)
+    state = agg.merge(agg.lift(50, "a"), agg.lift(30, "a"))
+    assert state == ((30, "a"),)  # one node, its smallest capacity
+
+
+def test_k_smallest_empty_state_rejected():
+    agg = KSmallestAggregate(2)
+    with pytest.raises(ValueError):
+        agg.result(())
+
+
+def test_thresholded_clamps_to_floor():
+    agg = ThresholdedKSmallestAggregate(1, floor=25)
+    state = agg.merge(agg.lift(5, "tiny"), agg.lift(90, "big"))
+    assert agg.result(state) == 25
+
+
+def test_merge_idempotent_commutative_associative():
+    agg = KSmallestAggregate(2)
+    a = agg.lift(10, "a")
+    b = agg.lift(20, "b")
+    c = agg.lift(30, "c")
+    assert agg.merge(a, a) == a
+    assert agg.merge(a, b) == agg.merge(b, a)
+    assert agg.merge(agg.merge(a, b), c) == agg.merge(a, agg.merge(b, c))
+
+
+caps = st.lists(
+    st.tuples(st.integers(1, 100), st.integers(0, 9)), min_size=1, max_size=20
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pairs=caps, k=st.integers(1, 4))
+def test_k_smallest_matches_bruteforce(pairs, k):
+    """Merging in any grouping equals the k-th smallest over node minima."""
+    agg = KSmallestAggregate(k)
+    state = agg.lift(pairs[0][0], pairs[0][1])
+    for capacity, node in pairs[1:]:
+        state = agg.merge(state, agg.lift(capacity, node))
+    best = {}
+    for capacity, node in pairs:
+        best[node] = min(best.get(node, capacity), capacity)
+    ordered = sorted(best.values())
+    expected = ordered[k - 1] if len(ordered) >= k else ordered[0]
+    assert agg.result(state) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=caps)
+def test_min_matches_bruteforce(pairs):
+    agg = MinAggregate()
+    state = agg.lift(pairs[0][0], pairs[0][1])
+    for capacity, node in pairs[1:]:
+        state = agg.merge(state, agg.lift(capacity, node))
+    assert agg.result(state) == min(c for c, _ in pairs)

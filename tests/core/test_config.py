@@ -1,0 +1,72 @@
+"""Tests for AdaptiveConfig validation and derived values."""
+
+import math
+
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.gossip.config import SystemConfig
+
+
+def test_defaults_valid():
+    cfg = AdaptiveConfig()
+    low, high = cfg.resolved_marks()
+    assert low < cfg.age_critical < high
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"age_critical": 0},
+        {"alpha": 1.0},
+        {"alpha": -0.1},
+        {"window": 0},
+        {"dec": 0.0},
+        {"dec": 1.0},
+        {"inc": 0.0},
+        {"rho": 0.0},
+        {"rho": 1.5},
+        {"max_tokens": 0},
+        {"initial_rate": 0},
+        {"min_rate": 0},
+        {"min_rate": 5.0, "max_rate": 1.0},
+        {"initial_rate": 0.01, "min_rate": 0.1},
+        {"sample_period": 0},
+        {"low_mark": 6.0, "high_mark": 5.0},
+        {"mark_offset": -1.0},
+        {"tokens_low_frac": 0.9, "tokens_high_frac": 0.1},
+        {"tokens_low_frac": -0.1},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        AdaptiveConfig(**kwargs)
+
+
+def test_resolved_marks_default_offset():
+    cfg = AdaptiveConfig(age_critical=5.0, mark_offset=0.75)
+    assert cfg.resolved_marks() == (4.25, 5.75)
+
+
+def test_resolved_marks_explicit():
+    cfg = AdaptiveConfig(age_critical=5.0, low_mark=3.0, high_mark=8.0)
+    assert cfg.resolved_marks() == (3.0, 8.0)
+
+
+def test_resolved_sample_period_derived():
+    cfg = AdaptiveConfig(age_critical=5.3)
+    system = SystemConfig(gossip_period=2.0)
+    assert cfg.resolved_sample_period(system) == math.ceil(5.3) * 2.0
+
+
+def test_resolved_sample_period_explicit():
+    cfg = AdaptiveConfig(sample_period=7.5)
+    assert cfg.resolved_sample_period(SystemConfig()) == 7.5
+
+
+def test_with_age_critical():
+    cfg = AdaptiveConfig(age_critical=5.0)
+    other = cfg.with_age_critical(4.0)
+    assert other.age_critical == 4.0
+    assert cfg.age_critical == 5.0
+    assert other.resolved_marks() == (3.5, 4.5)

@@ -1,0 +1,115 @@
+"""Tests for the local congestion estimator (Figure 5(b))."""
+
+import pytest
+
+from repro.core.congestion import CongestionEstimator
+from repro.gossip.buffer import EventBuffer
+from repro.gossip.events import EventId
+
+
+def eid(n):
+    return EventId("n", n)
+
+
+def fill(buf, ages):
+    for i, age in enumerate(ages):
+        buf.stage(eid(i), age=age)
+
+
+def test_no_excess_no_samples():
+    buf = EventBuffer(10)
+    fill(buf, [1, 2, 3])
+    est = CongestionEstimator(alpha=0.9)
+    assert est.update(buf, min_buff=5) == 0
+    assert est.avg_age is None
+
+
+def test_min_buff_validated():
+    est = CongestionEstimator(alpha=0.9)
+    with pytest.raises(ValueError):
+        est.update(EventBuffer(5), min_buff=0)
+
+
+def test_accounts_oldest_excess_events():
+    buf = EventBuffer(10)
+    fill(buf, [1, 5, 3, 7])  # oldest: id3(7), id1(5)
+    est = CongestionEstimator(alpha=0.0)  # track last sample exactly
+    n = est.update(buf, min_buff=2)
+    assert n == 2
+    # alpha=0: avg equals the last accounted age; both 7 and 5 were seen
+    assert est.avg_age == 5.0
+    assert est.accounted_live == 2
+
+
+def test_each_event_accounted_once():
+    buf = EventBuffer(10)
+    fill(buf, [1, 5, 3, 7])
+    est = CongestionEstimator(alpha=0.5)
+    est.update(buf, min_buff=2)
+    assert est.update(buf, min_buff=2) == 0  # same state, nothing new
+    assert est.events_accounted == 2
+
+
+def test_new_arrivals_extend_accounting():
+    buf = EventBuffer(10)
+    fill(buf, [4, 6])
+    est = CongestionEstimator(alpha=0.5)
+    est.update(buf, min_buff=1)  # accounts the age-6 event
+    buf.stage(eid(10), age=9)
+    n = est.update(buf, min_buff=1)  # the age-9 arrival is now excess
+    assert n == 1
+    assert est.events_accounted == 2
+
+
+def test_accounted_pruned_when_events_leave_buffer():
+    buf = EventBuffer(2)
+    fill(buf, [4, 6])
+    est = CongestionEstimator(alpha=0.5)
+    est.update(buf, min_buff=1)
+    buf.evict_overflow()  # nothing over capacity yet
+    buf.add(eid(5), age=0)  # evicts the oldest accounted event
+    est.update(buf, min_buff=1)
+    assert est.accounted_live <= 2
+
+
+def test_average_follows_ewma_rule():
+    buf = EventBuffer(10)
+    fill(buf, [8])
+    est = CongestionEstimator(alpha=0.9, initial_age=4.0)
+    est.update(buf, min_buff=1)  # buffer len 1, min_buff 1: no excess
+    assert est.avg_age == 4.0
+    buf.stage(eid(20), age=6)
+    est.update(buf, min_buff=1)
+    # one event accounted (the age-8 one is oldest): 0.9*4 + 0.1*8 = 4.4
+    assert est.avg_age == pytest.approx(4.4)
+
+
+def test_initial_age_used():
+    est = CongestionEstimator(alpha=0.9, initial_age=5.3)
+    assert est.avg_age == 5.3
+
+
+def test_reset():
+    buf = EventBuffer(10)
+    fill(buf, [4, 6])
+    est = CongestionEstimator(alpha=0.5)
+    est.update(buf, min_buff=1)
+    est.reset(2.0)
+    assert est.avg_age == 2.0
+    assert est.accounted_live == 0
+
+
+def test_congestion_signal_lower_under_pressure():
+    """The headline §2.3 behaviour: more load -> younger would-be drops."""
+    est_light = CongestionEstimator(alpha=0.5)
+    est_heavy = CongestionEstimator(alpha=0.5)
+    light = EventBuffer(100)
+    heavy = EventBuffer(100)
+    # light: few events live long before exceeding minBuff
+    fill(light, [9, 8, 7, 1])
+    est_light.update(light, min_buff=3)
+    # heavy: many young events flood past minBuff
+    for i, age in enumerate([2, 2, 3, 1, 2, 3, 2, 1]):
+        heavy.stage(EventId("h", i), age=age)
+    est_heavy.update(heavy, min_buff=3)
+    assert est_heavy.avg_age < est_light.avg_age

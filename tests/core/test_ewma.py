@@ -1,0 +1,79 @@
+"""Tests for the exponentially weighted moving average."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ewma import Ewma
+
+
+def test_alpha_validated():
+    with pytest.raises(ValueError):
+        Ewma(1.0)
+    with pytest.raises(ValueError):
+        Ewma(-0.1)
+
+
+def test_starts_empty_without_initial():
+    e = Ewma(0.9)
+    assert e.value is None
+    assert e.samples == 0
+
+
+def test_initial_value():
+    e = Ewma(0.9, initial=5.0)
+    assert e.value == 5.0
+
+
+def test_first_sample_without_initial_becomes_value():
+    e = Ewma(0.9)
+    assert e.update(4.0) == 4.0
+
+
+def test_update_rule_matches_paper():
+    e = Ewma(0.9, initial=10.0)
+    assert e.update(0.0) == pytest.approx(9.0)  # 0.9*10 + 0.1*0
+    assert e.update(0.0) == pytest.approx(8.1)
+
+
+def test_alpha_zero_tracks_last_sample():
+    e = Ewma(0.0, initial=100.0)
+    e.update(3.0)
+    assert e.value == 3.0
+
+
+def test_reset():
+    e = Ewma(0.5, initial=1.0)
+    e.update(2.0)
+    e.reset()
+    assert e.value is None
+    assert e.samples == 0
+    e.reset(7.0)
+    assert e.value == 7.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    alpha=st.floats(0.0, 0.99),
+    initial=st.floats(-100, 100),
+    samples=st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+)
+def test_value_bounded_by_inputs(alpha, initial, samples):
+    """The average always stays within [min, max] of everything seen."""
+    e = Ewma(alpha, initial=initial)
+    seen = [initial]
+    for s in samples:
+        e.update(s)
+        seen.append(s)
+        assert min(seen) - 1e-9 <= e.value <= max(seen) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples=st.lists(st.floats(0, 50), min_size=2, max_size=30))
+def test_converges_to_constant_input(samples):
+    e = Ewma(0.5)
+    for s in samples:
+        e.update(s)
+    for _ in range(200):
+        e.update(7.0)
+    assert e.value == pytest.approx(7.0, abs=1e-6)

@@ -1,0 +1,112 @@
+"""Tests for the reusable AdaptiveMachinery component."""
+
+import random
+
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.core.machinery import AdaptiveMachinery
+from repro.core.rate_controller import RateDecision
+from repro.gossip.buffer import EventBuffer
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId
+from repro.gossip.protocol import AdaptiveHeader
+
+
+def make(buffer_capacity=20, **adaptive_kw):
+    system = SystemConfig(buffer_capacity=buffer_capacity, dedup_capacity=100)
+    acfg = AdaptiveConfig(
+        age_critical=5.0, initial_rate=10.0, max_tokens=4, **adaptive_kw
+    )
+    return AdaptiveMachinery(
+        "node", system, acfg, random.Random(1), now=0.0
+    )
+
+
+def test_initial_state():
+    m = make()
+    assert m.allowed_rate == 10.0
+    assert m.min_buff_estimate == 20
+    assert m.avg_age is None
+    assert m.last_decision is None
+
+
+def test_round_tick_returns_decision_and_updates_bucket():
+    m = make()
+    decision = m.round_tick(now=1.0)
+    assert isinstance(decision, RateDecision)
+    assert m.last_decision is decision
+    assert m.bucket.rate == m.controller.rate
+
+
+def test_header_roundtrip_between_instances():
+    a = make(buffer_capacity=50)
+    system = SystemConfig(buffer_capacity=20, dedup_capacity=100)
+    b = AdaptiveMachinery(
+        "small", system, AdaptiveConfig(age_critical=5.0), random.Random(2), now=0.0
+    )
+    a.on_header(b.header(0.5), now=0.5)
+    assert a.min_buff_estimate == 20
+
+
+def test_observe_buffer_accounts_excess():
+    m = make(buffer_capacity=4)
+    buf = EventBuffer(100)
+    for i in range(8):
+        buf.stage(EventId("x", i), age=i)
+    accounted = m.observe_buffer(buf, now=0.5)
+    assert accounted == 4  # 8 staged vs minBuff 4
+    assert m.avg_age is not None
+
+
+def test_admission_follows_bucket():
+    m = make()
+    admitted = 0
+    while m.try_admit(now=0.0):
+        admitted += 1
+    assert admitted == 4  # max_tokens
+    assert m.time_until_admission(0.0) == pytest.approx(0.1)  # 1/rate
+
+
+def test_capacity_change_reaches_estimator():
+    m = make(buffer_capacity=40)
+    m.on_capacity_change(10, now=1.0)
+    assert m.min_buff_estimate == 10
+
+
+def test_stale_congestion_evidence_expires():
+    """After evidence_ttl_rounds without new would-be drops, a frozen
+    mid-band avgAge no longer blocks the increase rule."""
+    m = make(buffer_capacity=4, rho=1.0, evidence_ttl_rounds=5)
+    buf = EventBuffer(100)
+    for i in range(8):
+        buf.stage(EventId("x", i), age=5)  # exactly mid-band (tau = 5)
+    m.observe_buffer(buf, now=0.1)
+    assert m.avg_age == pytest.approx(5.0)
+    # drain tokens so the grant reads as fully used; the avgTokens EWMA
+    # needs ~7 rounds to register that, so run well past the TTL
+    decisions = []
+    for r in range(30):
+        while m.try_admit(now=float(r)):
+            pass
+        decisions.append(m.round_tick(now=float(r) + 1e-3))
+    # while the mid-band evidence was fresh nothing increased; once it
+    # expired (and the grant read as used) increases kicked in
+    from repro.core.rate_controller import RateDecision
+
+    assert RateDecision.INCREASE not in decisions[:5]
+    assert RateDecision.INCREASE in decisions[5:]
+    assert m.allowed_rate > 10.0
+
+
+def test_fresh_evidence_not_expired():
+    m = make(buffer_capacity=4, evidence_ttl_rounds=3)
+    buf = EventBuffer(100)
+    for i in range(8):
+        buf.stage(EventId("x", i), age=1)  # congested
+    m.observe_buffer(buf, now=0.1)
+    for r in range(2):
+        m.round_tick(now=float(r) + 0.2)
+    assert m.evidence_fresh
+    # congested evidence still drives decreases while fresh
+    assert m.allowed_rate < 10.0

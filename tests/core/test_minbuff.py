@@ -1,0 +1,126 @@
+"""Tests for the distributed minimum-buffer estimator (Figure 5(a))."""
+
+import pytest
+
+from repro.core.aggregation import KSmallestAggregate
+from repro.core.minbuff import MinBuffEstimator
+from repro.gossip.protocol import AdaptiveHeader
+
+
+def make(capacity=90, period=5.0, window=4, now=0.0, **kw):
+    return MinBuffEstimator(
+        node_id="me",
+        local_capacity=capacity,
+        sample_period=period,
+        window=window,
+        now=now,
+        **kw,
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make(capacity=0)
+    with pytest.raises(ValueError):
+        make(period=0)
+    with pytest.raises(ValueError):
+        make(window=0)
+
+
+def test_initial_estimate_is_local_capacity():
+    est = make(capacity=90)
+    assert est.min_buff() == 90
+    assert est.current_period == 0
+
+
+def test_header_carries_current_period_sample():
+    est = make(capacity=90, period=5.0)
+    header = est.header(now=12.0)
+    assert header.period == 2
+    assert header.min_buff == 90
+
+
+def test_on_header_lowers_estimate():
+    est = make(capacity=90)
+    est.on_header(AdaptiveHeader(period=0, min_buff=45), now=1.0)
+    assert est.min_buff() == 45
+
+
+def test_higher_remote_values_ignored():
+    est = make(capacity=45)
+    est.on_header(AdaptiveHeader(period=0, min_buff=90), now=1.0)
+    assert est.min_buff() == 45
+
+
+def test_windowed_minimum_spans_recent_periods():
+    est = make(capacity=90, period=5.0, window=4)
+    est.on_header(AdaptiveHeader(period=0, min_buff=45), now=1.0)
+    # two periods later the old 45 still rules the window
+    est.advance(now=11.0)
+    assert est.min_buff() == 45
+    # after the window passes without hearing 45 again, it is forgotten
+    est.advance(now=21.0)  # period 4: horizon excludes period 0
+    assert est.min_buff() == 90
+
+
+def test_future_header_fast_forwards_clock():
+    est = make(capacity=90, period=5.0)
+    est.on_header(AdaptiveHeader(period=7, min_buff=60), now=1.0)
+    assert est.current_period == 7
+    assert est.min_buff() == 60
+
+
+def test_too_old_headers_ignored():
+    est = make(capacity=90, period=5.0, window=2)
+    est.advance(now=20.0)  # period 4
+    est.on_header(AdaptiveHeader(period=1, min_buff=10), now=20.0)
+    assert est.min_buff() == 90
+
+
+def test_capacity_decrease_takes_effect_immediately():
+    est = make(capacity=90)
+    est.set_local_capacity(30, now=1.0)
+    assert est.min_buff() == 30
+    assert est.header(now=1.5).min_buff == 30
+
+
+def test_capacity_increase_is_delayed_by_window():
+    est = make(capacity=30, period=5.0, window=2)
+    est.set_local_capacity(90, now=1.0)
+    # current period sample still carries the old 30 (merged minimum)
+    assert est.min_buff() == 30
+    est.advance(now=6.0)  # period 1: fresh sample at 90, window holds 30
+    assert est.min_buff() == 30
+    est.advance(now=11.0)  # period 2: the 30 has aged out of the window
+    assert est.min_buff() == 90
+
+
+def test_in_window_past_period_header_merges():
+    est = make(capacity=90, period=5.0, window=4)
+    est.advance(now=12.0)  # period 2
+    est.on_header(AdaptiveHeader(period=1, min_buff=50), now=12.0)
+    assert est.min_buff() == 50
+
+
+def test_with_k_smallest_aggregate():
+    agg = KSmallestAggregate(2)
+    est = MinBuffEstimator(
+        node_id="me",
+        local_capacity=90,
+        sample_period=5.0,
+        window=2,
+        aggregate=agg,
+        now=0.0,
+    )
+    est.on_header(AdaptiveHeader(period=0, min_buff=agg.lift(10, "straggler")), now=1.0)
+    # two nodes known (me@90, straggler@10): 2nd smallest is 90
+    assert est.min_buff() == 90
+    est.on_header(AdaptiveHeader(period=0, min_buff=agg.lift(40, "other")), now=2.0)
+    assert est.min_buff() == 40
+
+
+def test_monotone_advance_never_goes_back():
+    est = make(period=5.0)
+    est.on_header(AdaptiveHeader(period=9, min_buff=70), now=1.0)
+    est.advance(now=2.0)  # wall period 0 < jumped period 9
+    assert est.current_period == 9

@@ -1,0 +1,113 @@
+"""Model-based property test for the minBuff estimator (Figure 5(a)).
+
+A hypothesis adversary drives one estimator with an arbitrary interleaving
+of clock advances, local capacity changes and received headers, and
+checks it against a brute-force reference model that literally keeps
+"the minimum of everything relevant per period" and combines the last W
+periods. Invariants checked at every step:
+
+* the estimate equals the reference model's windowed minimum;
+* the estimate never exceeds the node's own current capacity... unless
+  the capacity was recently lowered from an even lower value — precisely:
+  the estimate is always ≤ the max capacity the node had in the window;
+* period bookkeeping is monotone.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minbuff import MinBuffEstimator
+from repro.gossip.protocol import AdaptiveHeader
+
+PERIOD = 5.0
+WINDOW = 3
+
+
+class ModelMinBuff:
+    """Brute force: remember every contribution per period."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.contributions = {0: [capacity]}  # period -> values
+        self.current = 0
+
+    def _enter(self, period):
+        if period > self.current:
+            self.current = period
+        self.contributions.setdefault(self.current, []).append(self.capacity)
+
+    def advance_to(self, period):
+        self._enter(max(period, self.current))
+
+    def set_capacity(self, capacity):
+        self.capacity = capacity
+        self.contributions.setdefault(self.current, []).append(capacity)
+
+    def on_header(self, period, value):
+        if period > self.current:
+            self._enter(period)
+        if period <= self.current - WINDOW:
+            return
+        # a period we lived through contributes our capacity too
+        self.contributions.setdefault(period, []).append(self.capacity)
+        self.contributions[period].append(value)
+
+    def min_buff(self):
+        horizon = self.current - WINDOW
+        values = []
+        for period, contribution in self.contributions.items():
+            if period > horizon:
+                values.extend(contribution)
+        # the current period always has at least our capacity
+        return min(values) if values else self.capacity
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("tick"), st.floats(0.1, 12.0)),
+        st.tuples(st.just("capacity"), st.integers(1, 100)),
+        st.tuples(
+            st.just("header"),
+            st.tuples(st.integers(-2, 10), st.integers(1, 100)),
+        ),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=ops, initial=st.integers(1, 100))
+def test_minbuff_matches_model(ops, initial):
+    est = MinBuffEstimator(
+        node_id="me",
+        local_capacity=initial,
+        sample_period=PERIOD,
+        window=WINDOW,
+        now=0.0,
+    )
+    model = ModelMinBuff(initial)
+    now = 0.0
+    for op, arg in ops:
+        if op == "tick":
+            now += arg
+            est.advance(now)
+            model.advance_to(int(math.floor(now / PERIOD)))
+        elif op == "capacity":
+            est.set_local_capacity(arg, now)
+            model.advance_to(int(math.floor(now / PERIOD)))
+            model.set_capacity(arg)
+        else:
+            period_offset, value = arg
+            period = model.current + period_offset
+            if period < 0:
+                continue
+            est.on_header(AdaptiveHeader(period, value), now)
+            model.on_header(period, value)
+        assert est.current_period == model.current
+        assert est.min_buff() == model.min_buff()
+        # the estimate can never exceed anything we contributed
+        assert est.min_buff() <= max(
+            v for vs in model.contributions.values() for v in vs
+        )

@@ -1,0 +1,123 @@
+"""Tests for the Figure 5(c) rate controller."""
+
+import random
+
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.core.rate_controller import RateController, RateDecision
+
+
+def make(rho=1.0, **kw):
+    cfg = AdaptiveConfig(
+        age_critical=5.0,
+        mark_offset=0.5,
+        rho=rho,
+        dec=0.1,
+        inc=0.1,
+        initial_rate=10.0,
+        min_rate=1.0,
+        max_rate=100.0,
+        max_tokens=4,
+        **kw,
+    )
+    return RateController(cfg, random.Random(1))
+
+
+def test_initial_rate():
+    ctl = make()
+    assert ctl.rate == 10.0
+
+
+def test_decrease_on_congestion():
+    ctl = make()
+    decision = ctl.step(avg_age=4.0, avg_tokens=0.0)  # below L=4.5
+    assert decision is RateDecision.DECREASE
+    assert ctl.rate == pytest.approx(9.0)
+
+
+def test_decrease_on_unused_grant():
+    ctl = make()
+    # age says roomy, but the grant is unused (avgTokens above max/2)
+    decision = ctl.step(avg_age=9.0, avg_tokens=3.5)
+    assert decision is RateDecision.DECREASE
+
+
+def test_increase_needs_age_and_usage():
+    ctl = make()
+    decision = ctl.step(avg_age=6.0, avg_tokens=0.5)  # above H=5.5, used
+    assert decision is RateDecision.INCREASE
+    assert ctl.rate == pytest.approx(11.0)
+
+
+def test_hold_inside_hysteresis_band():
+    ctl = make()
+    decision = ctl.step(avg_age=5.0, avg_tokens=0.5)  # between L and H
+    assert decision is RateDecision.HOLD
+    assert ctl.rate == 10.0
+
+
+def test_hold_when_roomy_but_grant_idle_at_threshold():
+    ctl = make()
+    # tokens exactly at max/2: neither unused (>2) nor used (<2)
+    decision = ctl.step(avg_age=6.0, avg_tokens=2.0)
+    assert decision is RateDecision.HOLD
+
+
+def test_none_age_counts_as_roomy():
+    ctl = make()
+    decision = ctl.step(avg_age=None, avg_tokens=0.0)
+    assert decision is RateDecision.INCREASE
+
+
+def test_none_age_never_decreases_via_age_rule():
+    ctl = make()
+    decision = ctl.step(avg_age=None, avg_tokens=3.9)  # unused grant only
+    assert decision is RateDecision.DECREASE
+
+
+def test_rho_randomizes_increase():
+    cfg_rho = 0.3
+    ctl = make(rho=cfg_rho)
+    outcomes = [ctl.step(avg_age=6.0, avg_tokens=0.0) for _ in range(500)]
+    increases = sum(1 for o in outcomes if o is RateDecision.INCREASE)
+    skipped = sum(1 for o in outcomes if o is RateDecision.SKIPPED_INCREASE)
+    assert increases + skipped == 500
+    assert 0.2 < increases / 500 < 0.4  # ≈ rho
+
+
+def test_rate_floor():
+    ctl = make()
+    for _ in range(200):
+        ctl.step(avg_age=0.0, avg_tokens=4.0)
+    assert ctl.rate == 1.0  # min_rate
+
+
+def test_rate_ceiling():
+    ctl = make()
+    for _ in range(200):
+        ctl.step(avg_age=9.0, avg_tokens=0.0)
+    assert ctl.rate == 100.0  # max_rate
+
+
+def test_set_rate_clamps():
+    ctl = make()
+    ctl.set_rate(0.01)
+    assert ctl.rate == 1.0
+    ctl.set_rate(1e9)
+    assert ctl.rate == 100.0
+
+
+def test_decision_counters():
+    ctl = make()
+    ctl.step(avg_age=4.0, avg_tokens=0.0)
+    ctl.step(avg_age=5.0, avg_tokens=0.5)
+    assert ctl.decisions[RateDecision.DECREASE] == 1
+    assert ctl.decisions[RateDecision.HOLD] == 1
+
+
+def test_explicit_marks_override_offset():
+    cfg = AdaptiveConfig(age_critical=5.0, low_mark=2.0, high_mark=9.0)
+    ctl = RateController(cfg, random.Random(1))
+    assert ctl.low_mark == 2.0
+    assert ctl.high_mark == 9.0

@@ -1,0 +1,60 @@
+"""Tests for the calibration machinery (coarse, small scale)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.calibrate import (
+    CalibrationPoint,
+    CalibrationResult,
+    max_sustainable_rate,
+)
+from repro.experiments.profiles import QUICK
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    """A very small profile so bisection stays cheap in unit tests."""
+    return dataclasses.replace(
+        QUICK,
+        n_nodes=16,
+        n_senders=4,
+        duration=60.0,
+        warmup=25.0,
+        drain=10.0,
+    )
+
+
+def test_interpolation_between_points():
+    result = CalibrationResult(
+        points=(
+            CalibrationPoint(30, 30.0, 4.5, 0.95),
+            CalibrationPoint(60, 60.0, 4.5, 0.95),
+        ),
+        tau=4.5,
+    )
+    assert result.max_rate_for(45) == pytest.approx(45.0)
+    assert result.max_rate_for(30) == 30.0
+    # below the sweep: extrapolate through the origin
+    assert result.max_rate_for(15) == pytest.approx(15.0)
+    # above the sweep: clamp to the last point
+    assert result.max_rate_for(600) == 60.0
+
+
+def test_empty_calibration_rejected():
+    with pytest.raises(ValueError):
+        CalibrationResult(points=(), tau=4.5).max_rate_for(30)
+
+
+def test_max_sustainable_rate_brackets(tiny_profile):
+    point = max_sustainable_rate(tiny_profile, 30, iterations=3)
+    assert point.buffer_capacity == 30
+    assert point.max_rate > 2.0
+    assert point.reliability_at_max >= 0.95
+    assert point.drop_age_at_max > 0
+
+
+def test_larger_buffer_sustains_more(tiny_profile):
+    small = max_sustainable_rate(tiny_profile, 20, iterations=3)
+    large = max_sustainable_rate(tiny_profile, 60, iterations=3)
+    assert large.max_rate > small.max_rate

@@ -1,0 +1,96 @@
+"""Tests for the experiment CLI (run against a tiny profile via env)."""
+
+import dataclasses
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.experiments import profiles
+
+
+@pytest.fixture
+def tiny_profile(monkeypatch):
+    """Shrink the quick profile so CLI tests stay fast."""
+    tiny = dataclasses.replace(
+        profiles.QUICK,
+        name="tiny",
+        n_nodes=12,
+        n_senders=3,
+        duration=40.0,
+        warmup=15.0,
+        drain=10.0,
+        buffer_sizes=(20, 40),
+        input_rates=(5.0, 40.0),
+        offered_load=30.0,
+        fig9_duration=60.0,
+        fig9_t1=20.0,
+        fig9_t2=40.0,
+    )
+    monkeypatch.setitem(profiles._PROFILES, "tiny", tiny)
+    cli._SWEEP_CACHE.clear()
+    return tiny
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        cli.build_parser().parse_args(["figure99"])
+
+
+def test_figure2_output(tiny_profile, capsys):
+    out = run_cli(capsys, "figure2", "--profile", "tiny")
+    assert "Figure 2" in out
+    assert "drop age" in out
+    # one data row per swept rate
+    data_lines = [l for l in out.splitlines() if l and l[0].isspace() or l[:1].isdigit()]
+    assert len(out.splitlines()) >= 2 + len(tiny_profile.input_rates)
+
+
+def test_figures_6_7_8_share_sweep(tiny_profile, capsys, monkeypatch):
+    calls = []
+    original = cli.figures.buffer_sweep_comparison
+
+    def counting(profile, *a, **kw):
+        calls.append(profile.name)
+        return original(profile, *a, **kw)
+
+    monkeypatch.setattr(cli.figures, "buffer_sweep_comparison", counting)
+    out6 = run_cli(capsys, "figure6", "--profile", "tiny")
+    out7 = run_cli(capsys, "figure7", "--profile", "tiny")
+    assert "Figure 6" in out6
+    assert "Figure 7" in out7
+    assert calls == ["tiny"]  # second figure reused the cache
+
+
+def test_calibrate_command(tiny_profile, capsys):
+    out = run_cli(
+        capsys, "calibrate", "--profile", "tiny", "--buffers", "25",
+        "--iterations", "2",
+    )
+    assert "tau =" in out
+    assert "buffer=25" in out
+
+
+def test_output_file(tiny_profile, capsys, tmp_path):
+    target = tmp_path / "fig2.txt"
+    run_cli(capsys, "figure2", "--profile", "tiny", "-o", str(target))
+    assert "Figure 2" in target.read_text()
+
+
+def test_all_command_runs_every_figure(tiny_profile, capsys, monkeypatch):
+    # stub the slow calibration-based figure to keep the test quick
+    monkeypatch.setattr(
+        cli, "_run_figure4", lambda profile, args: "Figure 4 (stubbed)"
+    )
+    monkeypatch.setattr(
+        cli, "_run_calibrate", lambda profile, args: "tau = stubbed"
+    )
+    out = run_cli(capsys, "all", "--profile", "tiny")
+    for marker in ("Figure 2", "Figure 4", "Figure 6", "Figure 7",
+                   "Figure 8", "Figure 9", "tau ="):
+        assert marker in out

@@ -1,0 +1,109 @@
+"""Function-level tests of the figure experiments on a tiny profile."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.calibrate import CalibrationPoint, CalibrationResult
+from repro.experiments.profiles import QUICK
+from repro.experiments.scalability import scale_sweep
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return dataclasses.replace(
+        QUICK,
+        name="tiny-fig",
+        n_nodes=12,
+        n_senders=3,
+        duration=50.0,
+        warmup=20.0,
+        drain=10.0,
+        buffer_sizes=(15, 45),
+        input_rates=(5.0, 60.0),
+        fig2_buffer=15,
+        offered_load=40.0,
+        fig9_duration=90.0,
+        fig9_t1=30.0,
+        fig9_t2=60.0,
+        fig9_base_buffer=60,
+        fig9_low_buffer=20,
+        fig9_mid_buffer=30,
+        fig9_offered=40.0,
+        max_rate_hints={15: 22.0, 20: 29.0, 30: 43.0, 45: 64.0, 60: 85.0},
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(tiny):
+    return figures.buffer_sweep_comparison(tiny)
+
+
+def test_figure2_shape(tiny):
+    result = figures.figure2(tiny)
+    assert result.buffer_capacity == 15
+    assert len(result.rows) == 2
+    low, high = result.rows
+    assert low.atomicity_pct > high.atomicity_pct
+    assert low.input_rate == 5.0
+
+
+def test_sweep_pairs_protocols(sweep, tiny):
+    assert [p.buffer_capacity for p in sweep] == list(tiny.buffer_sizes)
+    for pair in sweep:
+        assert pair.lpbcast.spec.protocol == "lpbcast"
+        assert pair.adaptive.spec.protocol == "adaptive"
+        assert pair.lpbcast.spec.system.buffer_capacity == pair.buffer_capacity
+
+
+def test_figure6_views_sweep(sweep, tiny):
+    result = figures.figure6(tiny, sweep)
+    assert len(result.rows) == len(sweep)
+    for row in result.rows:
+        assert row.offered == pytest.approx(40.0, rel=0.2)
+        assert not math.isnan(row.maximum)  # hints cover the sweep
+
+
+def test_figure6_with_calibration_object(sweep, tiny):
+    calib = CalibrationResult(
+        points=(
+            CalibrationPoint(15, 21.0, 4.4, 0.95),
+            CalibrationPoint(45, 63.0, 4.4, 0.95),
+        ),
+        tau=4.4,
+    )
+    result = figures.figure6(tiny, sweep, calibration=calib)
+    assert result.rows[0].maximum == 21.0
+    assert result.rows[1].maximum == 63.0
+
+
+def test_figure7_and_8_consistent_with_sweep(sweep, tiny):
+    f7 = figures.figure7(tiny, sweep)
+    f8 = figures.figure8(tiny, sweep)
+    assert len(f7.rows) == len(f8.rows) == len(sweep)
+    smallest7, smallest8 = f7.rows[0], f8.rows[0]
+    # baseline pushes the whole offered load even at the small buffer
+    assert smallest7.input_lpbcast == pytest.approx(40.0, rel=0.15)
+    # adaptive throttles there
+    assert smallest7.input_adaptive < 35.0
+    # figure8's reliability ordering matches figure7's loss ordering
+    assert smallest8.atomicity_pct_adaptive > smallest8.atomicity_pct_lpbcast
+
+
+def test_figure9_structure(tiny):
+    result = figures.figure9(tiny)
+    assert result.t1 == 30.0 and result.t2 == 60.0
+    assert len(result.allowed_by_phase) == 3
+    assert len(result.atomicity_adaptive_by_phase) == 3
+    assert result.allowed_series[0][0] == 0.0
+    # the low phase grant sits below the base phase grant
+    assert result.allowed_by_phase[1] < result.allowed_by_phase[0]
+    # homogeneous control run produced a number
+    assert 0.0 <= result.atomicity_homogeneous_low <= 1.0
+
+
+def test_scale_sweep_validation():
+    with pytest.raises(ValueError):
+        scale_sweep([2])

@@ -1,0 +1,118 @@
+"""Tests for experiment profiles and report rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.profiles import PAPER, QUICK, get_profile
+from repro.experiments.report import fmt, render_series, render_table
+
+
+def test_get_profile_default(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    assert get_profile().name == "quick"
+
+
+def test_get_profile_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "paper")
+    assert get_profile().name == "paper"
+
+
+def test_get_profile_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "paper")
+    assert get_profile("quick").name == "quick"
+
+
+def test_get_profile_unknown():
+    with pytest.raises(ValueError):
+        get_profile("gigantic")
+
+
+def test_paper_profile_matches_paper_setting():
+    assert PAPER.n_nodes == 60
+    assert PAPER.fanout == 4
+    assert PAPER.buffer_sizes == (30, 60, 90, 120, 150, 180)
+
+
+def test_profile_system_config():
+    cfg = QUICK.system()
+    assert cfg.fanout == QUICK.fanout
+    assert cfg.buffer_capacity == QUICK.fig2_buffer
+    assert QUICK.system(77).buffer_capacity == 77
+
+
+def test_measure_window():
+    w0, w1 = QUICK.measure_window
+    assert 0 < w0 < w1 < QUICK.duration
+
+
+def test_sender_ids_distinct_and_in_range():
+    ids = QUICK.sender_ids()
+    assert len(ids) == QUICK.n_senders
+    assert len(set(ids)) == len(ids)
+    assert all(0 <= i < QUICK.n_nodes for i in ids)
+
+
+def test_fmt():
+    assert fmt(1.234, 1) == "1.2"
+    assert fmt(float("nan")) == "-"
+    assert fmt("x") == "x"
+    assert fmt(7) == "7"
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T", digits=2)
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+    # fixed-width: every row renders to the same total width
+    assert len({len(line) for line in lines[1:]}) == 1
+
+
+def test_render_series_subsampling():
+    series = [(float(i), float(i * 2)) for i in range(10)]
+    out = render_series(series, every=5)
+    data_lines = out.splitlines()[2:]
+    assert len(data_lines) == 2
+
+
+def test_render_table_handles_nan():
+    out = render_table(["x"], [[float("nan")]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_sparkline_basic():
+    from repro.experiments.report import render_sparkline
+
+    series = [(float(t), float(t)) for t in range(10)]
+    out = render_sparkline(series, title="ramp")
+    assert out.startswith("ramp\n")
+    assert "[0.0..9.0]" in out
+    assert "▁" in out and "█" in out
+
+
+def test_sparkline_flat_and_nan():
+    from repro.experiments.report import render_sparkline
+
+    flat = render_sparkline([(0.0, 5.0), (1.0, 5.0)])
+    assert "▁▁" in flat
+    gappy = render_sparkline([(0.0, 1.0), (1.0, float("nan")), (2.0, 2.0)])
+    assert " " in gappy.split("] ")[1]
+
+
+def test_sparkline_empty():
+    from repro.experiments.report import render_sparkline
+
+    assert "(no samples)" in render_sparkline([])
+    assert "(no samples)" in render_sparkline([(0.0, float("nan"))])
+
+
+def test_sparkline_subsamples_to_width():
+    from repro.experiments.report import render_sparkline
+
+    series = [(float(t), float(t % 7)) for t in range(500)]
+    out = render_sparkline(series, width=40)
+    bar = out.split("] ")[1].split(" (")[0]
+    assert len(bar) == 40

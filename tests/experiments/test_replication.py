@@ -1,0 +1,79 @@
+"""Tests for seed replication and confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import RunSpec
+from repro.experiments.replication import (
+    replicate,
+    summarize_metric,
+    t_interval,
+)
+from repro.gossip.config import SystemConfig
+
+
+def tiny_spec():
+    return RunSpec(
+        protocol="lpbcast",
+        system=SystemConfig(buffer_capacity=30, dedup_capacity=300),
+        n_nodes=10,
+        sender_ids=(0, 5),
+        offered_load=6.0,
+        duration=30.0,
+        warmup=10.0,
+        drain=8.0,
+    )
+
+
+def test_t_interval_contains_mean():
+    values = [10.0, 11.0, 9.0, 10.5, 9.5]
+    lo, hi = t_interval(values)
+    assert lo < 10.0 < hi
+
+
+def test_t_interval_narrows_with_n():
+    wide = t_interval([9.0, 11.0])
+    narrow = t_interval([9.0, 11.0] * 10)
+    assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+
+def test_t_interval_validation():
+    with pytest.raises(ValueError):
+        t_interval([1.0])
+    with pytest.raises(ValueError):
+        t_interval([1.0, 2.0], confidence=1.0)
+
+
+def test_t_interval_zero_variance():
+    lo, hi = t_interval([5.0, 5.0, 5.0])
+    assert lo == hi == 5.0
+
+
+def test_replicate_varies_only_seed():
+    runs = replicate(tiny_spec(), seeds=[1, 2, 3])
+    assert len(runs) == 3
+    assert {r.spec.seed for r in runs} == {1, 2, 3}
+    assert len({r.spec.protocol for r in runs}) == 1
+    # seeds genuinely vary the runs
+    latencies = {round(r.delivery.mean_latency, 9) for r in runs}
+    assert len(latencies) > 1
+
+
+def test_replicate_empty_rejected():
+    with pytest.raises(ValueError):
+        replicate(tiny_spec(), seeds=[])
+
+
+def test_summarize_metric():
+    runs = replicate(tiny_spec(), seeds=range(4))
+    summary = summarize_metric(runs, lambda r: r.delivery.avg_receiver_fraction)
+    assert summary.n == 4
+    assert 0.9 <= summary.mean <= 1.0
+    assert summary.ci_low <= summary.mean <= summary.ci_high
+
+
+def test_summarize_metric_rejects_all_nan():
+    runs = replicate(tiny_spec(), seeds=[1, 2])
+    with pytest.raises(ValueError):
+        summarize_metric(runs, lambda r: float("nan"))

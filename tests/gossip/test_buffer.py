@@ -1,0 +1,295 @@
+"""Tests for the age-ordered bounded event buffer.
+
+Includes a hypothesis model test checking the anchor/heap implementation
+against a brute-force reference that follows the paper's Figure 1
+semantics literally.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gossip.buffer import EventBuffer
+from repro.gossip.events import EventId
+
+
+def eid(n):
+    return EventId("n", n)
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        EventBuffer(0)
+
+
+def test_add_and_lookup():
+    buf = EventBuffer(4)
+    buf.add(eid(1), age=2, payload="p")
+    assert eid(1) in buf
+    assert buf.age_of(eid(1)) == 2
+    assert buf.payload_of(eid(1)) == "p"
+    assert len(buf) == 1
+
+
+def test_duplicate_add_rejected():
+    buf = EventBuffer(4)
+    buf.add(eid(1))
+    with pytest.raises(ValueError):
+        buf.add(eid(1))
+
+
+def test_negative_age_rejected():
+    buf = EventBuffer(4)
+    with pytest.raises(ValueError):
+        buf.add(eid(1), age=-1)
+
+
+def test_advance_round_ages_everything():
+    buf = EventBuffer(4)
+    buf.add(eid(1), age=0)
+    buf.add(eid(2), age=3)
+    buf.advance_round()
+    assert buf.age_of(eid(1)) == 1
+    assert buf.age_of(eid(2)) == 4
+
+
+def test_overflow_evicts_oldest_age_first():
+    buf = EventBuffer(2)
+    buf.add(eid(1), age=5)
+    buf.add(eid(2), age=1)
+    dropped = buf.add(eid(3), age=3)
+    assert [d.id for d in dropped] == [eid(1)]
+    assert dropped[0].age == 5
+    assert dropped[0].reason == "overflow"
+    assert set(buf.ids()) == {eid(2), eid(3)}
+
+
+def test_overflow_tie_broken_by_arrival_order():
+    buf = EventBuffer(2)
+    buf.add(eid(1), age=2)
+    buf.add(eid(2), age=2)
+    dropped = buf.add(eid(3), age=0)
+    assert [d.id for d in dropped] == [eid(1)]
+
+
+def test_new_event_can_be_evicted_immediately():
+    buf = EventBuffer(2)
+    buf.add(eid(1), age=1)
+    buf.add(eid(2), age=1)
+    dropped = buf.add(eid(3), age=9)  # oldest on arrival
+    assert [d.id for d in dropped] == [eid(3)]
+
+
+def test_sync_age_raises_only():
+    buf = EventBuffer(4)
+    buf.add(eid(1), age=3)
+    assert buf.sync_age(eid(1), 5)
+    assert buf.age_of(eid(1)) == 5
+    assert not buf.sync_age(eid(1), 2)  # lower ages are ignored
+    assert buf.age_of(eid(1)) == 5
+    assert not buf.sync_age(eid(9), 4)  # unknown id ignored
+
+
+def test_sync_age_affects_eviction_order():
+    buf = EventBuffer(2)
+    buf.add(eid(1), age=0)
+    buf.add(eid(2), age=0)
+    buf.sync_age(eid(1), 7)
+    dropped = buf.add(eid(3), age=1)
+    assert [d.id for d in dropped] == [eid(1)]
+
+
+def test_drop_aged_out():
+    buf = EventBuffer(10)
+    buf.add(eid(1), age=0)
+    buf.add(eid(2), age=4)
+    for _ in range(3):
+        buf.advance_round()
+    dropped = buf.drop_aged_out(max_age=5)
+    assert [d.id for d in dropped] == [eid(2)]  # age 7 > 5
+    assert dropped[0].reason == "age_out"
+    assert eid(1) in buf  # age 3 <= 5
+
+
+def test_drop_aged_out_boundary_inclusive():
+    buf = EventBuffer(10)
+    buf.add(eid(1), age=5)
+    assert buf.drop_aged_out(max_age=5) == []  # equal is kept
+    buf.advance_round()
+    assert [d.id for d in buf.drop_aged_out(max_age=5)] == [eid(1)]
+
+
+def test_resize_shrink_evicts_oldest():
+    buf = EventBuffer(4)
+    for i, age in enumerate([1, 4, 2, 3]):
+        buf.add(eid(i), age=age)
+    dropped = buf.resize(2)
+    assert {d.id for d in dropped} == {eid(1), eid(3)}
+    assert all(d.reason == "resize" for d in dropped)
+    assert buf.capacity == 2
+
+
+def test_resize_grow_keeps_everything():
+    buf = EventBuffer(2)
+    buf.add(eid(1))
+    buf.add(eid(2))
+    assert buf.resize(5) == []
+    buf.add(eid(3))
+    assert len(buf) == 3
+
+
+def test_stage_then_evict_overflow():
+    buf = EventBuffer(2)
+    for i in range(5):
+        buf.stage(eid(i), age=i)
+    assert len(buf) == 5  # staging does not evict
+    dropped = buf.evict_overflow()
+    assert len(buf) == 2
+    assert {d.id for d in dropped} == {eid(2), eid(3), eid(4)}
+    assert set(buf.ids()) == {eid(0), eid(1)}
+
+
+def test_snapshot_reflects_current_ages():
+    buf = EventBuffer(4)
+    buf.add(eid(1), age=1, payload="a")
+    buf.advance_round()
+    snap = buf.snapshot()
+    assert len(snap) == 1
+    assert snap[0].id == eid(1)
+    assert snap[0].age == 2
+    assert snap[0].payload == "a"
+
+
+def test_oldest_excluding():
+    buf = EventBuffer(10)
+    for i, age in enumerate([5, 1, 3, 7]):
+        buf.add(eid(i), age=age)
+    oldest = buf.oldest_excluding(2)
+    assert [x[0] for x in oldest] == [eid(3), eid(0)]
+    assert [x[1] for x in oldest] == [7, 5]
+    oldest = buf.oldest_excluding(2, exclude={eid(3)})
+    assert [x[0] for x in oldest] == [eid(0), eid(2)]
+    assert buf.oldest_excluding(0) == []
+
+
+def test_compact_preserves_behaviour():
+    buf = EventBuffer(3)
+    for i in range(3):
+        buf.add(eid(i), age=i)
+    buf.sync_age(eid(0), 9)
+    buf.compact()
+    dropped = buf.add(eid(9), age=0)
+    assert [d.id for d in dropped] == [eid(0)]
+
+
+# ----------------------------------------------------------------------
+# model-based property test
+# ----------------------------------------------------------------------
+class ModelBuffer:
+    """Literal Figure 1 semantics: explicit ages, linear scans."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.items = {}  # id -> [age, arrival]
+        self.arrival = 0
+
+    def add(self, event_id, age):
+        self.items[event_id] = [age, self.arrival]
+        self.arrival += 1
+        dropped = []
+        while len(self.items) > self.capacity:
+            victim = max(self.items, key=lambda k: (self.items[k][0], -self.items[k][1]))
+            dropped.append((victim, self.items.pop(victim)[0]))
+        return dropped
+
+    def advance(self):
+        for v in self.items.values():
+            v[0] += 1
+
+    def sync(self, event_id, age):
+        if event_id in self.items:
+            self.items[event_id][0] = max(self.items[event_id][0], age)
+
+    def age_out(self, k):
+        victims = sorted(
+            (kv for kv in self.items.items() if kv[1][0] > k),
+            key=lambda kv: (-kv[1][0], kv[1][1]),
+        )
+        out = []
+        for key, (age, _arr) in victims:
+            del self.items[key]
+            out.append((key, age))
+        return out
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 30), st.integers(0, 8)),
+        st.tuples(st.just("advance"), st.just(0), st.just(0)),
+        st.tuples(st.just("sync"), st.integers(0, 30), st.integers(0, 12)),
+        st.tuples(st.just("age_out"), st.just(0), st.integers(2, 10)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=ops, capacity=st.integers(1, 6))
+def test_buffer_matches_model(ops, capacity):
+    real = EventBuffer(capacity)
+    model = ModelBuffer(capacity)
+    for op, a, b in ops:
+        if op == "add":
+            if eid(a) in real:
+                continue
+            got = {(d.id, d.age) for d in real.add(eid(a), age=b)}
+            want = set(model.add(eid(a), b))
+            assert got == want
+        elif op == "advance":
+            real.advance_round()
+            model.advance()
+        elif op == "sync":
+            real.sync_age(eid(a), b)
+            model.sync(eid(a), b)
+        else:  # age_out
+            got = {(d.id, d.age) for d in real.drop_aged_out(b)}
+            want = set(model.age_out(b))
+            assert got == want
+        assert set(real.ids()) == set(model.items)
+        for key, (age, _arr) in model.items.items():
+            assert real.age_of(key) == age
+        assert len(real) <= capacity
+
+
+def test_remove_specific_event():
+    buf = EventBuffer(4)
+    buf.add(eid(1), age=3, payload="p")
+    removed = buf.remove(eid(1))
+    assert removed.id == eid(1)
+    assert removed.age == 3
+    assert removed.payload == "p"
+    assert removed.reason == "obsolete"
+    assert eid(1) not in buf
+
+
+def test_remove_missing_returns_none():
+    buf = EventBuffer(4)
+    assert buf.remove(eid(9)) is None
+
+
+def test_remove_keeps_heap_consistent():
+    buf = EventBuffer(3)
+    buf.add(eid(1), age=9)
+    buf.add(eid(2), age=1)
+    buf.add(eid(3), age=5)
+    buf.remove(eid(1))  # the oldest leaves a stale heap entry
+    dropped = buf.add(eid(4), age=0)
+    assert dropped == []  # capacity not exceeded
+    dropped = buf.add(eid(5), age=0)
+    assert [d.id for d in dropped] == [eid(3)]  # next-oldest, not the ghost
+
+
+def test_remove_custom_reason():
+    buf = EventBuffer(2)
+    buf.add(eid(1))
+    assert buf.remove(eid(1), reason="because").reason == "because"

@@ -1,0 +1,91 @@
+"""Tests for the FIFO-bounded duplicate-detection store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gossip.dedup import DedupStore
+from repro.gossip.events import EventId
+
+
+def eid(n):
+    return EventId("n", n)
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        DedupStore(0)
+
+
+def test_add_returns_true_for_new():
+    store = DedupStore(4)
+    assert store.add(eid(1))
+    assert not store.add(eid(1))
+    assert eid(1) in store
+    assert len(store) == 1
+
+
+def test_fifo_eviction():
+    store = DedupStore(3)
+    for i in range(5):
+        store.add(eid(i))
+    assert len(store) == 3
+    assert eid(0) not in store
+    assert eid(1) not in store
+    assert all(eid(i) in store for i in (2, 3, 4))
+    assert store.evictions == 2
+
+
+def test_readding_refreshes_nothing():
+    # Re-adding an id already present must not change its FIFO position.
+    store = DedupStore(2)
+    store.add(eid(1))
+    store.add(eid(2))
+    store.add(eid(1))  # no-op
+    store.add(eid(3))  # evicts 1 (still oldest)
+    assert eid(1) not in store
+    assert eid(2) in store
+
+
+def test_evicted_id_can_return():
+    store = DedupStore(1)
+    store.add(eid(1))
+    store.add(eid(2))  # evicts 1
+    assert store.add(eid(1))  # admitted again (the lpbcast artefact)
+
+
+def test_resize_shrink_evicts_oldest():
+    store = DedupStore(5)
+    for i in range(5):
+        store.add(eid(i))
+    store.resize(2)
+    assert set(store) == {eid(3), eid(4)}
+    assert store.capacity == 2
+    with pytest.raises(ValueError):
+        store.resize(0)
+
+
+def test_iteration_in_insertion_order():
+    store = DedupStore(10)
+    for i in (3, 1, 2):
+        store.add(eid(i))
+    assert list(store) == [eid(3), eid(1), eid(2)]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ids=st.lists(st.integers(0, 20), max_size=80),
+    capacity=st.integers(1, 8),
+)
+def test_dedup_matches_fifo_model(ids, capacity):
+    store = DedupStore(capacity)
+    model = []  # insertion-ordered unique ids, newest last
+    for n in ids:
+        added = store.add(eid(n))
+        assert added == (eid(n) not in model)
+        if added:
+            model.append(eid(n))
+            if len(model) > capacity:
+                model.pop(0)
+        assert list(store) == model
+        assert len(store) <= capacity

@@ -1,0 +1,64 @@
+"""Tests for event identities and the gossip SystemConfig."""
+
+import pytest
+
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId, EventSummary, make_event_id
+
+
+def test_event_id_identity():
+    assert EventId("a", 1) == EventId("a", 1)
+    assert EventId("a", 1) != EventId("a", 2)
+    assert EventId("a", 1) != EventId("b", 1)
+    assert make_event_id("a", 1) == EventId("a", 1)
+
+
+def test_event_id_hashable():
+    s = {EventId("a", 1), EventId("a", 1), EventId("b", 2)}
+    assert len(s) == 2
+
+
+def test_event_summary_fields():
+    summary = EventSummary(EventId("a", 1), 3, "payload")
+    ident, age, payload = summary
+    assert ident == EventId("a", 1)
+    assert age == 3
+    assert payload == "payload"
+
+
+def test_system_config_defaults_valid():
+    cfg = SystemConfig()
+    assert cfg.fanout == 4
+    assert cfg.buffer_capacity == 90
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"fanout": 0},
+        {"gossip_period": 0},
+        {"gossip_period": -1.0},
+        {"buffer_capacity": 0},
+        {"dedup_capacity": 10, "buffer_capacity": 20},
+        {"max_age": 0},
+        {"round_jitter": 0.5},
+        {"round_jitter": -0.1},
+    ],
+)
+def test_system_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        SystemConfig(**kwargs)
+
+
+def test_with_buffer_copies():
+    cfg = SystemConfig(buffer_capacity=90)
+    other = cfg.with_buffer(30)
+    assert other.buffer_capacity == 30
+    assert cfg.buffer_capacity == 90
+    assert other.fanout == cfg.fanout
+
+
+def test_config_is_frozen():
+    cfg = SystemConfig()
+    with pytest.raises(AttributeError):
+        cfg.fanout = 10

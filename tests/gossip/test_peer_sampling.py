@@ -1,0 +1,48 @@
+"""Tests for gossip target selection strategies."""
+
+import random
+
+from repro.gossip.peer_sampling import AvoidRepeatSampler, UniformSampler
+from repro.membership.full import Directory, FullMembershipView
+
+
+def make_view(n=20, owner=0):
+    return FullMembershipView(Directory(range(n)), owner)
+
+
+def test_uniform_sampler_respects_fanout():
+    view = make_view()
+    sampler = UniformSampler()
+    picked = sampler.select(view, 4, random.Random(1))
+    assert len(picked) == 4
+    assert len(set(picked)) == 4
+    assert 0 not in picked
+
+
+def test_uniform_sampler_covers_peers_over_time():
+    view = make_view(n=10)
+    sampler = UniformSampler()
+    rng = random.Random(2)
+    seen = set()
+    for _ in range(100):
+        seen.update(sampler.select(view, 3, rng))
+    assert seen == set(range(1, 10))
+
+
+def test_avoid_repeat_sampler_skips_last_round():
+    view = make_view(n=30)
+    sampler = AvoidRepeatSampler()
+    rng = random.Random(3)
+    first = set(sampler.select(view, 4, rng))
+    second = set(sampler.select(view, 4, rng))
+    assert not first & second
+
+
+def test_avoid_repeat_degrades_on_small_views():
+    view = make_view(n=4)  # 3 peers
+    sampler = AvoidRepeatSampler()
+    rng = random.Random(4)
+    first = sampler.select(view, 3, rng)
+    second = sampler.select(view, 3, rng)
+    assert len(first) == 3
+    assert len(second) == 3  # still full fanout despite overlap

@@ -1,0 +1,174 @@
+"""Tests for the [10]-style bufferer recovery scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId, EventSummary
+from repro.gossip.protocol import GossipMessage
+from repro.gossip.recovery import (
+    BuffererBimodalProtocol,
+    LongTermStore,
+    rendezvous_bufferers,
+)
+from repro.membership.full import Directory, FullMembershipView
+
+MEMBERS = list(range(10))
+
+
+# ----------------------------------------------------------------------
+# rendezvous hashing
+# ----------------------------------------------------------------------
+def test_bufferers_deterministic():
+    a = rendezvous_bufferers(EventId(1, 7), MEMBERS, 3)
+    b = rendezvous_bufferers(EventId(1, 7), list(reversed(MEMBERS)), 3)
+    assert a == b
+    assert len(a) == 3
+
+
+def test_bufferers_validation():
+    with pytest.raises(ValueError):
+        rendezvous_bufferers(EventId(1, 1), MEMBERS, 0)
+
+
+def test_bufferers_vary_by_event():
+    sets = {tuple(rendezvous_bufferers(EventId(0, i), MEMBERS, 2)) for i in range(50)}
+    assert len(sets) > 10  # different events land on different bufferers
+
+
+def test_bufferers_balanced():
+    counts = {m: 0 for m in MEMBERS}
+    for i in range(600):
+        for m in rendezvous_bufferers(EventId("x", i), MEMBERS, 3):
+            counts[m] += 1
+    expected = 600 * 3 / len(MEMBERS)
+    assert all(0.5 * expected < c < 1.6 * expected for c in counts.values())
+
+
+@settings(max_examples=100, deadline=None)
+@given(seq=st.integers(0, 10_000), leaver=st.sampled_from(MEMBERS))
+def test_bufferers_minimal_disruption(seq, leaver):
+    """Removing one member only re-homes events it was a bufferer of."""
+    event = EventId("e", seq)
+    before = rendezvous_bufferers(event, MEMBERS, 3)
+    after = rendezvous_bufferers(event, [m for m in MEMBERS if m != leaver], 3)
+    if leaver not in before:
+        assert after == before
+    else:
+        assert set(before) - {leaver} <= set(after)
+
+
+# ----------------------------------------------------------------------
+# long-term store
+# ----------------------------------------------------------------------
+def test_long_term_store_fifo_bound():
+    store = LongTermStore(2)
+    for i in range(4):
+        store.pin(EventId("a", i), age=i, payload=f"p{i}")
+    assert len(store) == 2
+    assert store.evictions == 2
+    assert EventId("a", 3) in store
+    assert store.get(EventId("a", 0)) is None
+
+
+def test_long_term_store_repin_keeps_max_age():
+    store = LongTermStore(4)
+    store.pin(EventId("a", 1), age=2, payload="p")
+    store.pin(EventId("a", 1), age=7, payload="ignored")
+    assert store.get(EventId("a", 1)) == (7, "p")
+
+
+def test_long_term_store_validation():
+    with pytest.raises(ValueError):
+        LongTermStore(0)
+
+
+# ----------------------------------------------------------------------
+# protocol behaviour
+# ----------------------------------------------------------------------
+def make_node(node_id, n=6, replicas=2):
+    directory = Directory(range(n))
+    return BuffererBimodalProtocol(
+        node_id,
+        SystemConfig(buffer_capacity=8, dedup_capacity=64),
+        FullMembershipView(directory, node_id),
+        random.Random(node_id + 1),
+        replicas=replicas,
+        long_term_capacity=50,
+    )
+
+
+def bufferer_of(event_id, n=6, replicas=2):
+    return rendezvous_bufferers(event_id, list(range(n)), replicas)
+
+
+def test_bufferer_pins_on_fold():
+    event = EventId(5, 0)
+    target = bufferer_of(event)[0]
+    node = make_node(target)
+    node.on_receive(
+        GossipMessage(sender=5, events=(EventSummary(event, 1, "data"),),
+                      kind="multicast"),
+        now=0.1,
+    )
+    assert event in node.long_term
+
+
+def test_non_bufferer_does_not_pin():
+    event = EventId(5, 0)
+    outsiders = [m for m in range(6) if m not in bufferer_of(event)]
+    node = make_node(outsiders[0])
+    node.on_receive(
+        GossipMessage(sender=5, events=(EventSummary(event, 1, "data"),),
+                      kind="multicast"),
+        now=0.1,
+    )
+    assert event not in node.long_term
+
+
+def test_requests_routed_to_bufferers():
+    node = make_node(0)
+    event = EventId(5, 3)
+    digest = GossipMessage(
+        sender=4, events=(EventSummary(event, 2, None),), kind="digest"
+    )
+    emissions = node.on_receive(digest, now=0.1)
+    expected = bufferer_of(event)[0]
+    if expected == 0:
+        expected = bufferer_of(event)[-1]
+    assert len(emissions) == 1
+    assert emissions[0].dest == expected
+    assert emissions[0].message.kind == "request"
+
+
+def test_request_served_from_long_term_after_buffer_eviction():
+    event = EventId(5, 0)
+    target = bufferer_of(event)[0]
+    node = make_node(target)
+    node.on_receive(
+        GossipMessage(sender=5, events=(EventSummary(event, 1, "precious"),),
+                      kind="multicast"),
+        now=0.1,
+    )
+    # flood the short-term buffer so the event is evicted from it
+    flood = tuple(EventSummary(EventId(4, i), 0, None) for i in range(10))
+    node.on_receive(GossipMessage(sender=4, events=flood, kind="multicast"), now=0.2)
+    assert event not in node.buffer
+    replies = node.on_receive(
+        GossipMessage(sender=2, events=(EventSummary(event, 0, None),),
+                      kind="request"),
+        now=0.3,
+    )
+    assert len(replies) == 1
+    assert replies[0].message.events[0].payload == "precious"
+    assert node.recoveries_served == 1
+
+
+def test_own_broadcast_pinned_if_bufferer():
+    for node_id in range(6):
+        node = make_node(node_id)
+        event = node.broadcast("mine", now=0.0)
+        assert (event in node.long_term) == node.is_bufferer_for(event)

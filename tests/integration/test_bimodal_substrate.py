@@ -1,0 +1,106 @@
+"""Integration: the bimodal substrate, plain and adapted (§5).
+
+The claim under test: the adaptation mechanism is substrate-agnostic.
+The same assertions that hold for adaptive-lpbcast must hold for
+adaptive-bimodal, with the plain bimodal substrate showing the same
+overload pathology as plain lpbcast.
+"""
+
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.gossip.config import SystemConfig
+from repro.metrics.delivery import analyze_delivery
+from repro.sim.network import BernoulliLoss
+from repro.workload.cluster import SimCluster
+
+SENDERS = [0, 5, 10, 15]
+
+
+def bimodal_cluster(protocol, buffer=60, offered=16.0, n=20, seed=4, loss=None,
+                    duration=120.0):
+    cluster = SimCluster(
+        n_nodes=n,
+        system=SystemConfig(buffer_capacity=buffer, dedup_capacity=2000),
+        protocol=protocol,
+        adaptive=AdaptiveConfig(age_critical=4.46, initial_rate=8.0),
+        seed=seed,
+        loss=loss,
+    )
+    cluster.add_senders(SENDERS, rate_each=offered / len(SENDERS))
+    cluster.run(until=duration)
+    return cluster
+
+
+def test_bimodal_disseminates_at_light_load():
+    cluster = bimodal_cluster("bimodal")
+    stats = analyze_delivery(cluster.metrics.messages_in_window(40, 100), 20)
+    assert stats.avg_receiver_fraction > 0.99
+
+
+def test_antientropy_repairs_multicast_loss():
+    """With 20% datagram loss the optimistic push misses nodes; the
+    digest/pull phase repairs them — pbcast's defining behaviour."""
+    cluster = bimodal_cluster("bimodal", loss=BernoulliLoss(p=0.2))
+    stats = analyze_delivery(cluster.metrics.messages_in_window(40, 100), 20)
+    assert stats.avg_receiver_fraction > 0.97
+    repaired = sum(
+        node.protocol.stats.events_repaired for node in cluster.nodes.values()
+    )
+    assert repaired > 0
+
+
+def test_push_alone_survives_overload_on_lossless_network():
+    """On a loss-free network the optimistic push already reaches every
+    node, so buffering (and hence overload) cannot hurt delivery — the
+    substrate's buffer exists for *repair*. This pins that behaviour
+    down so the lossy tests below are read correctly."""
+    cluster = bimodal_cluster("bimodal", buffer=20, offered=60.0)
+    stats = analyze_delivery(cluster.metrics.messages_in_window(60, 110), 20)
+    assert stats.avg_receiver_fraction > 0.99
+
+
+def test_plain_bimodal_degrades_under_overload_with_loss():
+    """With datagram loss, repair needs the buffers; overload evicts
+    events before they can be pulled, and atomicity collapses."""
+    cluster = bimodal_cluster(
+        "bimodal", buffer=20, offered=60.0, loss=BernoulliLoss(p=0.25),
+        duration=160.0,
+    )
+    stats = analyze_delivery(cluster.metrics.messages_in_window(80, 150), 20)
+    assert stats.atomicity < 0.3
+    assert cluster.metrics.mean_drop_age(80, 150) < 3.0
+
+
+def test_adaptive_bimodal_throttles_and_protects():
+    kwargs = dict(buffer=20, offered=60.0, duration=160.0)
+    plain = bimodal_cluster("bimodal", loss=BernoulliLoss(p=0.25), **kwargs)
+    adapted = bimodal_cluster(
+        "adaptive-bimodal", loss=BernoulliLoss(p=0.25), **kwargs
+    )
+    atom_plain = analyze_delivery(
+        plain.metrics.messages_in_window(80, 150), 20
+    ).atomicity
+    stats_adapted = analyze_delivery(
+        adapted.metrics.messages_in_window(80, 150), 20
+    )
+    input_adapted = adapted.metrics.admitted.rate(80, 150)
+    assert input_adapted < 40.0  # throttled well below the offered 60
+    assert stats_adapted.atomicity > atom_plain + 0.3
+    assert stats_adapted.avg_receiver_fraction > 0.93
+    # and the drop-age signal is held near tau, exactly as with lpbcast
+    assert adapted.metrics.mean_drop_age(80, 150) > 4.0
+
+
+def test_adaptive_bimodal_minbuff_converges():
+    cluster = bimodal_cluster("adaptive-bimodal", duration=80.0)
+    cluster.set_capacity(19, 12)
+    cluster.run(until=160.0)
+    assert cluster.protocol_of(0).min_buff_estimate == 12
+
+
+def test_adaptive_bimodal_rate_interface():
+    cluster = bimodal_cluster("adaptive-bimodal", duration=30.0)
+    proto = cluster.protocol_of(SENDERS[0])
+    assert proto.allowed_rate > 0
+    assert proto.time_until_admission(cluster.sim.now) >= 0.0

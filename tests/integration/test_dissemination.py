@@ -1,0 +1,91 @@
+"""Integration: dissemination properties of the full simulated stack."""
+
+import pytest
+
+from repro.gossip.config import SystemConfig
+from repro.metrics.delivery import analyze_delivery
+from repro.workload.cluster import SimCluster
+
+
+def run_cluster(n=20, protocol="lpbcast", buffer=60, rate=4.0, seed=1, until=60.0,
+                **cluster_kw):
+    cluster = SimCluster(
+        n_nodes=n,
+        system=SystemConfig(buffer_capacity=buffer, dedup_capacity=1000),
+        protocol=protocol,
+        seed=seed,
+        **cluster_kw,
+    )
+    cluster.add_senders([0, n // 2], rate_each=rate / 2)
+    cluster.run(until=until)
+    return cluster
+
+
+def test_low_load_full_delivery():
+    cluster = run_cluster()
+    stats = analyze_delivery(cluster.metrics.messages_in_window(15, 45), 20)
+    assert stats.avg_receiver_fraction > 0.99
+    assert stats.atomicity > 0.98
+
+
+def test_no_duplicate_deliveries_with_ample_dedup():
+    cluster = run_cluster()
+    assert cluster.metrics.duplicate_deliveries == 0
+
+
+def test_all_messages_eventually_stop_circulating():
+    """Age-out (k) bounds every event's lifetime."""
+    cluster = run_cluster(until=40.0)
+    # stop sending, let the system drain
+    for sender in cluster.senders.values():
+        sender.stop()
+    cluster.run(until=80.0)
+    for node in cluster.nodes.values():
+        assert len(node.protocol.buffer) == 0
+
+
+def test_latency_grows_with_group_size():
+    lat_small = analyze_delivery(
+        run_cluster(n=10).metrics.messages_in_window(15, 45), 10
+    ).mean_latency
+    lat_large = analyze_delivery(
+        run_cluster(n=50).metrics.messages_in_window(15, 45), 50
+    ).mean_latency
+    assert lat_large > lat_small
+
+
+def test_loss_tolerance_of_gossip():
+    """Gossip redundancy shrugs off 5% iid message loss."""
+    from repro.sim.network import BernoulliLoss
+
+    cluster = run_cluster(loss=BernoulliLoss(p=0.05))
+    stats = analyze_delivery(cluster.metrics.messages_in_window(15, 45), 20)
+    assert stats.avg_receiver_fraction > 0.98
+
+
+def test_crash_tolerance():
+    """A crashed minority does not stop dissemination to the rest."""
+    cluster = run_cluster(n=20, until=20.0)
+    for node_id in (3, 7, 11):
+        cluster.crash_node(node_id)
+    cluster.run(until=60.0)
+    alive = cluster.group_size
+    assert alive == 17
+    stats = analyze_delivery(cluster.metrics.messages_in_window(30, 50), alive)
+    assert stats.avg_receiver_fraction > 0.95
+
+
+def test_overload_degrades_baseline_reliability():
+    cluster = run_cluster(buffer=20, rate=60.0)
+    stats = analyze_delivery(cluster.metrics.messages_in_window(15, 45), 20)
+    assert stats.atomicity < 0.8
+    assert cluster.metrics.mean_drop_age(15, 45) < 5.0
+
+
+def test_drop_age_falls_with_load():
+    """The §2.3 signal: drop age is monotone in congestion."""
+    ages = []
+    for rate in (20.0, 40.0, 80.0):
+        cluster = run_cluster(buffer=30, rate=rate, until=80.0)
+        ages.append(cluster.metrics.mean_drop_age(30, 70))
+    assert ages[0] > ages[1] > ages[2]

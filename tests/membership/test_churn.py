@@ -1,0 +1,34 @@
+"""Tests for churn scripts."""
+
+import pytest
+
+from repro.membership.churn import ChurnEvent, ChurnScript
+
+
+def test_builder_api():
+    script = ChurnScript().join(1.0, "a").leave(2.0, "b").crash(3.0, "c")
+    assert len(script) == 3
+    actions = [(e.time, e.action, e.node) for e in script.sorted_events()]
+    assert actions == [(1.0, "join", "a"), (2.0, "leave", "b"), (3.0, "crash", "c")]
+
+
+def test_sorted_events_orders_by_time():
+    script = ChurnScript().leave(5.0, "x").join(1.0, "y")
+    assert [e.node for e in script.sorted_events()] == ["y", "x"]
+
+
+def test_sorted_is_stable_for_equal_times():
+    script = ChurnScript().join(1.0, "a").join(1.0, "b")
+    assert [e.node for e in script.sorted_events()] == ["a", "b"]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ChurnEvent(-1.0, "join", "a")
+    with pytest.raises(ValueError):
+        ChurnEvent(1.0, "explode", "a")
+
+
+def test_extend():
+    script = ChurnScript().extend([ChurnEvent(1.0, "join", "a")])
+    assert len(script) == 1

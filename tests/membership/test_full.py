@@ -1,0 +1,63 @@
+"""Tests for the full-membership directory and views."""
+
+import random
+
+from repro.membership.full import Directory, FullMembershipView
+
+
+def test_directory_join_leave():
+    d = Directory()
+    d.join("a")
+    d.join("b")
+    assert len(d) == 2
+    assert d.is_alive("a")
+    d.leave("a")
+    assert not d.is_alive("a")
+    assert d.alive() == ["b"]
+
+
+def test_directory_version_bumps_on_change_only():
+    d = Directory(["a"])
+    v = d.version
+    d.join("a")  # no-op
+    assert d.version == v
+    d.join("b")
+    assert d.version == v + 1
+    d.leave("missing")  # no-op
+    assert d.version == v + 1
+
+
+def test_view_excludes_owner():
+    d = Directory(range(5))
+    view = FullMembershipView(d, 2)
+    assert view.size() == 4
+    assert not view.contains(2)
+    assert view.contains(3)
+    picked = view.sample_targets(10, random.Random(1))
+    assert 2 not in picked
+    assert len(picked) == 4
+
+
+def test_view_tracks_directory_changes():
+    d = Directory(range(3))
+    view = FullMembershipView(d, 0)
+    assert view.size() == 2
+    d.join(99)
+    assert view.size() == 3
+    d.leave(1)
+    assert view.size() == 2
+    assert not view.contains(1)
+
+
+def test_sample_without_replacement():
+    d = Directory(range(10))
+    view = FullMembershipView(d, 0)
+    picked = view.sample_targets(5, random.Random(2))
+    assert len(picked) == len(set(picked)) == 5
+
+
+def test_gossip_hooks_are_noops():
+    d = Directory(range(3))
+    view = FullMembershipView(d, 0)
+    assert view.on_gossip_emit(random.Random(1)) is None
+    view.on_gossip_receive(None, 1, random.Random(1))  # must not raise

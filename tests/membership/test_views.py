@@ -1,0 +1,103 @@
+"""Tests for lpbcast-style partial membership views."""
+
+import random
+
+import pytest
+
+from repro.gossip.protocol import MembershipHeader
+from repro.membership.views import PartialViewMembership, ViewConfig
+
+
+def test_view_config_validation():
+    with pytest.raises(ValueError):
+        ViewConfig(view_size=0)
+    with pytest.raises(ValueError):
+        ViewConfig(subs_size=0)
+    with pytest.raises(ValueError):
+        ViewConfig(subs_per_gossip=-1)
+
+
+def test_initial_view_excludes_owner():
+    m = PartialViewMembership("me", initial_view=["me", "a", "b"])
+    assert set(m.view()) == {"a", "b"}
+
+
+def test_view_bounded():
+    cfg = ViewConfig(view_size=3)
+    m = PartialViewMembership("me", cfg, initial_view=["a", "b", "c"])
+    rng = random.Random(1)
+    m.on_gossip_receive(MembershipHeader(subs=("d", "e"), unsubs=()), "x", rng)
+    assert m.size() <= 3
+    # evicted members become subs so knowledge keeps circulating
+    header = m.on_gossip_emit(rng)
+    assert header.subs  # at least ourselves
+
+
+def test_sender_joins_view_on_receive():
+    m = PartialViewMembership("me", initial_view=["a"])
+    m.on_gossip_receive(None, "sender", random.Random(1))
+    assert m.contains("sender")
+
+
+def test_unsubs_remove_from_view():
+    m = PartialViewMembership("me", initial_view=["a", "b"])
+    m.on_gossip_receive(
+        MembershipHeader(subs=(), unsubs=("a",)), "b", random.Random(1)
+    )
+    assert not m.contains("a")
+    # and the unsub keeps circulating
+    header = m.on_gossip_emit(random.Random(2))
+    assert "a" in header.unsubs
+
+
+def test_unsubscribed_nodes_not_readded():
+    m = PartialViewMembership("me", initial_view=["b"])
+    rng = random.Random(1)
+    m.on_gossip_receive(MembershipHeader(subs=(), unsubs=("a",)), "b", rng)
+    m.on_gossip_receive(MembershipHeader(subs=("a",), unsubs=()), "b", rng)
+    assert not m.contains("a")
+
+
+def test_own_unsubscription_gossiped():
+    m = PartialViewMembership("me", initial_view=["a"])
+    m.unsubscribe()
+    header = m.on_gossip_emit(random.Random(1))
+    assert "me" in header.unsubs
+    assert "me" not in header.subs
+
+
+def test_self_subscription_gossiped_by_default():
+    m = PartialViewMembership("me", initial_view=["a"])
+    header = m.on_gossip_emit(random.Random(1))
+    assert "me" in header.subs
+
+
+def test_sample_targets_within_view():
+    m = PartialViewMembership("me", initial_view=list("abcdef"))
+    picked = m.sample_targets(3, random.Random(1))
+    assert len(picked) == 3
+    assert set(picked) <= set("abcdef")
+    everything = m.sample_targets(100, random.Random(1))
+    assert set(everything) == set("abcdef")
+
+
+def test_own_unsub_ignores_self_removal():
+    m = PartialViewMembership("me", initial_view=["a"])
+    m.on_gossip_receive(
+        MembershipHeader(subs=(), unsubs=("me",)), "a", random.Random(1)
+    )
+    # hearing our own unsub (e.g. stale) must not corrupt the view
+    assert m.contains("a")
+
+
+def test_subs_buffers_bounded():
+    cfg = ViewConfig(view_size=2, subs_size=3, unsubs_size=2)
+    m = PartialViewMembership("me", cfg)
+    rng = random.Random(5)
+    for i in range(20):
+        m.on_gossip_receive(
+            MembershipHeader(subs=(f"s{i}",), unsubs=(f"u{i}",)), f"peer{i}", rng
+        )
+    assert m.size() <= 2
+    assert len(m._subs) <= 3
+    assert len(m._unsubs) <= 2

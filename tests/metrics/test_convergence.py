@@ -1,0 +1,95 @@
+"""Tests for step-response analysis."""
+
+import math
+
+import pytest
+
+from repro.metrics.convergence import settling_time, step_response
+
+
+def ramp_then_flat(change=10.0, end=50.0, flat=20.0):
+    series = []
+    for t in range(0, int(end) + 1):
+        if t < change:
+            v = 40.0
+        elif t < change + 10:
+            v = 40.0 - 2.0 * (t - change)  # ramp down to 20
+        else:
+            v = flat
+        series.append((float(t), v))
+    return series
+
+
+def test_settling_time_basic():
+    series = ramp_then_flat()
+    t = settling_time(series, target=20.0, band=1.0, after=10.0)
+    assert t == pytest.approx(20.0)
+
+
+def test_settling_time_never_settles():
+    series = [(float(t), 100.0) for t in range(10)]
+    assert settling_time(series, target=0.0, band=1.0) is None
+
+
+def test_settling_time_reentry_resets():
+    series = [(0.0, 0.0), (1.0, 0.0), (2.0, 10.0), (3.0, 0.0), (4.0, 0.0)]
+    assert settling_time(series, target=0.0, band=1.0) == 3.0
+
+
+def test_settling_time_validation():
+    with pytest.raises(ValueError):
+        settling_time([(0.0, 1.0)], target=1.0, band=0.0)
+
+
+def test_settling_time_ignores_nan():
+    series = [(0.0, float("nan")), (1.0, 5.0), (2.0, 5.0)]
+    assert settling_time(series, target=5.0, band=0.5) == 1.0
+
+
+def test_settling_time_empty_range():
+    assert settling_time([], target=1.0, band=1.0) is None
+
+
+def test_step_response_characterises_transient():
+    series = ramp_then_flat(change=10.0, end=50.0, flat=20.0)
+    resp = step_response(series, change_time=10.0, window_end=50.0)
+    assert resp.steady_value == pytest.approx(20.0)
+    assert resp.settled
+    assert resp.settle_delay == pytest.approx(10.0, abs=1.5)
+    assert resp.peak_deviation == pytest.approx(20.0)  # starts at 40
+
+
+def test_step_response_validation():
+    series = ramp_then_flat()
+    with pytest.raises(ValueError):
+        step_response(series, change_time=50.0, window_end=10.0)
+    with pytest.raises(ValueError):
+        step_response(series, change_time=10.0, window_end=50.0, band_frac=0.0)
+    with pytest.raises(ValueError):
+        step_response([(0.0, 1.0)], change_time=10.0, window_end=50.0)
+
+
+def test_step_response_on_fig9_like_run():
+    """End to end: the adaptive grant settles after a capacity step."""
+    from repro.core.config import AdaptiveConfig
+    from repro.gossip.config import SystemConfig
+    from repro.workload.cluster import SimCluster
+
+    senders = [0, 4, 8]
+    cluster = SimCluster(
+        n_nodes=16,
+        system=SystemConfig(buffer_capacity=60, dedup_capacity=1500),
+        protocol="adaptive",
+        adaptive=AdaptiveConfig(age_critical=4.46, initial_rate=15.0),
+        seed=6,
+    )
+    cluster.add_senders(senders, rate_each=20.0)  # offered 60
+    cluster.at(60.0, lambda: [cluster.set_capacity(n, 20) for n in (14, 15)])
+    cluster.run(until=180.0)
+    series = []
+    for t in range(0, 180, 5):
+        v = cluster.metrics.gauge_mean_over("allowed_rate", senders, t, t + 5)
+        series.append((float(t), v * len(senders)))
+    resp = step_response(series, change_time=60.0, window_end=180.0)
+    assert resp.settled
+    assert resp.steady_value < 45.0  # throttled after the step

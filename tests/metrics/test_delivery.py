@@ -1,0 +1,93 @@
+"""Tests for reliability/atomicity analysis."""
+
+import math
+
+import pytest
+
+from repro.gossip.events import EventId
+from repro.metrics.collector import MessageRecord, MetricsCollector
+from repro.metrics.delivery import analyze_delivery, atomicity_series
+
+
+def record(origin, t, receivers, last=None):
+    rec = MessageRecord(origin=origin, broadcast_time=t)
+    for i, node in enumerate(receivers):
+        rec.note_delivery(node, t + 0.1 * (i + 1))
+    if last is not None:
+        rec.last_delivery = last
+    return rec
+
+
+def test_group_size_validated():
+    with pytest.raises(ValueError):
+        analyze_delivery([], 0)
+
+
+def test_empty_records_give_nan():
+    stats = analyze_delivery([], 10)
+    assert stats.messages == 0
+    assert math.isnan(stats.atomicity)
+
+
+def test_full_delivery():
+    recs = [record("s", 0.0, [f"n{i}" for i in range(10)])]
+    stats = analyze_delivery(recs, 10)
+    assert stats.avg_receiver_fraction == 1.0
+    assert stats.atomicity == 1.0
+    assert stats.complete_fraction == 1.0
+    assert stats.avg_receiver_pct == 100.0
+
+
+def test_atomicity_threshold_is_strict():
+    # exactly 95% of 20 = 19 receivers: NOT > 0.95
+    recs = [record("s", 0.0, [f"n{i}" for i in range(19)])]
+    stats = analyze_delivery(recs, 20)
+    assert stats.atomicity == 0.0
+    recs = [record("s", 0.0, [f"n{i}" for i in range(20)])]
+    stats = analyze_delivery(recs, 20)
+    assert stats.atomicity == 1.0
+
+
+def test_mixed_messages():
+    recs = [
+        record("s", 0.0, [f"n{i}" for i in range(10)]),
+        record("s", 1.0, ["n0"]),
+    ]
+    stats = analyze_delivery(recs, 10)
+    assert stats.avg_receiver_fraction == pytest.approx(0.55)
+    assert stats.atomicity == 0.5
+    assert stats.messages == 2
+
+
+def test_latency_mean():
+    recs = [record("s", 0.0, ["a", "b"])]  # last delivery at 0.2
+    stats = analyze_delivery(recs, 2)
+    assert stats.mean_latency == pytest.approx(0.2)
+
+
+def test_custom_threshold():
+    recs = [record("s", 0.0, ["a", "b", "c"])]
+    assert analyze_delivery(recs, 6, threshold=0.4).atomicity == 1.0
+    assert analyze_delivery(recs, 6, threshold=0.6).atomicity == 0.0
+
+
+def test_atomicity_series_buckets_by_broadcast_time():
+    m = MetricsCollector()
+    e1, e2, e3 = EventId("s", 1), EventId("s", 2), EventId("s", 3)
+    m.on_admitted("s", e1, 0.5)
+    m.on_admitted("s", e2, 1.5)
+    m.on_admitted("s", e3, 1.6)
+    for node in range(10):
+        m.on_deliver(f"n{node}", e1, 0.7)
+    m.on_deliver("n0", e2, 1.7)
+    for node in range(10):
+        m.on_deliver(f"n{node}", e3, 1.8)
+    series = atomicity_series(m, 10, 1.0, 0.0, 3.0)
+    assert series[0] == (0.0, 1.0)
+    assert series[1] == (1.0, 0.5)
+    assert math.isnan(series[2][1])
+
+
+def test_atomicity_series_validation():
+    with pytest.raises(ValueError):
+        atomicity_series(MetricsCollector(), 10, 0.0, 0.0, 1.0)

@@ -1,0 +1,92 @@
+"""Tests for bucketed time series."""
+
+import math
+
+import pytest
+
+from repro.metrics.rates import BucketSeries, GaugeSeries
+
+
+def test_bucket_width_validated():
+    with pytest.raises(ValueError):
+        BucketSeries(0)
+    with pytest.raises(ValueError):
+        GaugeSeries(-1)
+
+
+def test_bucket_counts():
+    s = BucketSeries(1.0)
+    s.add(0.2)
+    s.add(0.9)
+    s.add(1.1)
+    assert s.total == 3
+    assert s.count(0, 1) == 2
+    assert s.count(1, 2) == 1
+    assert s.count() == 3
+
+
+def test_bucket_weights():
+    s = BucketSeries(1.0)
+    s.add(0.5, weight=2.5)
+    assert s.total == 2.5
+    assert s.count(0, 1) == 2.5
+
+
+def test_rate():
+    s = BucketSeries(1.0)
+    for t in (0.1, 0.5, 1.5, 2.5):
+        s.add(t)
+    assert s.rate(0, 4) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        s.rate(2, 2)
+
+
+def test_series_includes_empty_buckets():
+    s = BucketSeries(1.0)
+    s.add(0.5)
+    s.add(2.5)
+    series = list(s.series(0, 3))
+    assert series == [(0.0, 1.0), (1.0, 0.0), (2.0, 1.0)]
+
+
+def test_series_rate_scaled_by_width():
+    s = BucketSeries(0.5)
+    s.add(0.1)
+    s.add(0.2)
+    series = dict(s.series(0, 0.5))
+    assert series[0.0] == pytest.approx(4.0)  # 2 events in 0.5s
+
+
+def test_empty_series_iteration():
+    s = BucketSeries(1.0)
+    assert list(s.series()) == []
+
+
+def test_gauge_mean_per_bucket():
+    g = GaugeSeries(1.0)
+    g.sample(0.1, 10.0)
+    g.sample(0.9, 20.0)
+    g.sample(1.5, 30.0)
+    series = dict(g.series(0, 2))
+    assert series[0.0] == pytest.approx(15.0)
+    assert series[1.0] == pytest.approx(30.0)
+
+
+def test_gauge_mean_window():
+    g = GaugeSeries(1.0)
+    g.sample(0.5, 10.0)
+    g.sample(5.5, 50.0)
+    assert g.mean(0, 1) == pytest.approx(10.0)
+    assert g.mean() == pytest.approx(30.0)
+    assert math.isnan(g.mean(2, 3))
+
+
+def test_gauge_empty_bucket_is_nan():
+    g = GaugeSeries(1.0)
+    g.sample(0.5, 1.0)
+    series = dict(g.series(0, 2))
+    assert math.isnan(series[1.0])
+
+
+def test_gauge_empty_series():
+    assert list(GaugeSeries(1.0).series()) == []

@@ -1,0 +1,77 @@
+"""Tests for numeric helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import mean, percentile, stdev, summarize
+
+
+def test_mean_basic():
+    assert mean([1, 2, 3]) == 2.0
+    assert mean(iter([4.0])) == 4.0
+
+
+def test_mean_empty_is_nan():
+    assert math.isnan(mean([]))
+
+
+def test_stdev():
+    assert stdev([2, 2, 2]) == 0.0
+    assert stdev([0, 2]) == pytest.approx(1.0)
+    assert math.isnan(stdev([]))
+
+
+def test_percentile_bounds():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 90) == 7.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    assert math.isnan(percentile([], 50))
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.count == 3
+    assert s.mean == 2.0
+    assert s.min == 1.0
+    assert s.max == 3.0
+    assert s.p50 == 2.0
+
+
+def test_summarize_empty():
+    s = summarize([])
+    assert s.count == 0
+    assert math.isnan(s.mean)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+def test_percentile_within_range(values):
+    for q in (0, 25, 50, 75, 100):
+        p = percentile(values, q)
+        assert min(values) <= p <= max(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+def test_percentile_monotone_in_q(values):
+    ps = [percentile(values, q) for q in (0, 10, 50, 90, 100)]
+    # monotone up to interpolation round-off (one ulp-ish tolerance)
+    for lo, hi in zip(ps, ps[1:]):
+        assert lo <= hi + 1e-6 * max(1.0, abs(lo))

@@ -1,0 +1,71 @@
+"""Tests for the standalone node CLI and process launcher."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.standalone import _parse_peers, build_parser
+
+
+def test_parse_peers():
+    book = _parse_peers(["1=127.0.0.1:9001", "2=10.0.0.5:80"])
+    assert book == {1: ("127.0.0.1", 9001), 2: ("10.0.0.5", 80)}
+
+
+def test_parse_peers_rejects_garbage():
+    with pytest.raises(SystemExit):
+        _parse_peers(["nonsense"])
+    with pytest.raises(SystemExit):
+        _parse_peers(["1=nohost"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.protocol == "lpbcast"
+    assert args.duration == 10.0
+    assert args.launch is None
+
+
+def test_parser_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--protocol", "smoke-signals"])
+
+
+def test_single_node_process_runs_and_reports():
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro.runtime.standalone",
+            "--node-id", "7", "--port", "0", "--duration", "1.0",
+            "--offered-rate", "5",
+        ],
+        capture_output=True, text=True, timeout=60, check=True,
+    )
+    report = json.loads(out.stdout.strip().splitlines()[-1])
+    assert report["node_id"] == 7
+    assert report["broadcasts"] >= 3
+    # alone in the group: its own deliveries only, nothing received
+    assert report["events_delivered"] == report["broadcasts"]
+    assert report["messages_received"] == 0
+
+
+def test_launched_group_disseminates():
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro.runtime.standalone",
+            "--launch", "3", "--base-port", "9760",
+            "--protocol", "lpbcast", "--duration", "2.5",
+            "--offered-rate", "10", "--senders", "1", "--period", "0.05",
+        ],
+        capture_output=True, text=True, timeout=90, check=True,
+    )
+    reports = [json.loads(line) for line in out.stdout.strip().splitlines()]
+    assert len(reports) == 3
+    by_id = {r["node_id"]: r for r in reports}
+    sent = by_id[0]["broadcasts"]
+    assert sent >= 10
+    # non-senders received most of the sender's events over real UDP
+    for node_id in (1, 2):
+        assert by_id[node_id]["events_delivered"] >= 0.6 * sent
+        assert by_id[node_id]["decode_errors"] == 0

@@ -1,0 +1,113 @@
+"""Tests for runtime transports."""
+
+import threading
+
+import pytest
+
+from repro.runtime.transport import InMemoryHub, UdpTransport
+
+
+def test_inmemory_send_recv():
+    hub = InMemoryHub()
+    a = hub.create("a")
+    b = hub.create("b")
+    assert a.send("b", b"hello")
+    assert b.recv(1.0) == (b"hello", "a")
+
+
+def test_inmemory_recv_timeout():
+    hub = InMemoryHub()
+    a = hub.create("a")
+    assert a.recv(0.01) is None
+
+
+def test_inmemory_unknown_destination():
+    hub = InMemoryHub()
+    a = hub.create("a")
+    assert not a.send("ghost", b"x")
+    assert hub.dropped == 1
+
+
+def test_inmemory_duplicate_address():
+    hub = InMemoryHub()
+    hub.create("a")
+    with pytest.raises(ValueError):
+        hub.create("a")
+
+
+def test_inmemory_queue_overrun_drops():
+    hub = InMemoryHub()
+    a = hub.create("a")
+    b = hub.create("b", max_queue=2)
+    assert a.send("b", b"1")
+    assert a.send("b", b"2")
+    assert not a.send("b", b"3")  # queue full: best-effort drop
+    assert b.recv(0.1) == (b"1", "a")
+
+
+def test_inmemory_close_unregisters():
+    hub = InMemoryHub()
+    a = hub.create("a")
+    b = hub.create("b")
+    b.close()
+    assert not a.send("b", b"x")
+    with pytest.raises(RuntimeError):
+        b.send("a", b"x")
+    assert hub.addresses() == ["a"]
+
+
+def test_inmemory_cross_thread():
+    hub = InMemoryHub()
+    a = hub.create("a")
+    b = hub.create("b")
+    received = []
+
+    def receiver():
+        packet = b.recv(2.0)
+        if packet:
+            received.append(packet)
+
+    t = threading.Thread(target=receiver)
+    t.start()
+    a.send("b", b"threaded")
+    t.join()
+    assert received == [(b"threaded", "a")]
+
+
+def test_udp_send_recv_localhost():
+    a = UdpTransport()
+    b = UdpTransport()
+    try:
+        assert a.send(b.address, b"ping")
+        packet = b.recv(2.0)
+        assert packet is not None
+        data, src = packet
+        assert data == b"ping"
+        assert src == a.address
+    finally:
+        a.close()
+        b.close()
+
+
+def test_udp_recv_timeout():
+    a = UdpTransport()
+    try:
+        assert a.recv(0.02) is None
+    finally:
+        a.close()
+
+
+def test_udp_oversized_datagram_rejected():
+    a = UdpTransport()
+    try:
+        with pytest.raises(ValueError):
+            a.send(("127.0.0.1", 9), b"x" * 70000)
+    finally:
+        a.close()
+
+
+def test_udp_send_after_close():
+    a = UdpTransport()
+    a.close()
+    with pytest.raises(RuntimeError):
+        a.send(("127.0.0.1", 9), b"x")

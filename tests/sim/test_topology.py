@@ -1,0 +1,86 @@
+"""Tests for latency topologies."""
+
+import random
+
+import pytest
+
+from repro.sim.topology import ClusteredTopology, GraphTopology, UniformTopology
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+def test_uniform_validation():
+    with pytest.raises(ValueError):
+        UniformTopology(base=-1)
+    with pytest.raises(ValueError):
+        UniformTopology(jitter=1.0)
+
+
+def test_uniform_no_jitter_is_constant(rng):
+    topo = UniformTopology(base=0.02, jitter=0.0)
+    assert topo.sample("a", "b", rng) == 0.02
+
+
+def test_uniform_jitter_bounds(rng):
+    topo = UniformTopology(base=0.02, jitter=0.5)
+    for _ in range(200):
+        assert 0.01 <= topo.sample("a", "b", rng) <= 0.03
+
+
+def test_clustered_intra_vs_inter(rng):
+    topo = ClusteredTopology(
+        {"a": 0, "b": 0, "c": 1}, intra=0.001, inter=0.1, jitter=0.0
+    )
+    assert topo.sample("a", "b", rng) == 0.001
+    assert topo.sample("a", "c", rng) == 0.1
+
+
+def test_clustered_unknown_nodes_are_singletons(rng):
+    topo = ClusteredTopology({"a": 0}, intra=0.001, inter=0.1, jitter=0.0)
+    # two unknown nodes are *different* singleton clusters
+    assert topo.sample("x", "y", rng) == 0.1
+    # a node is in its own cluster
+    assert topo.sample("x", "x", rng) == 0.001
+
+
+def test_graph_topology_hop_distances(rng):
+    # path graph a-b-c-d as adjacency dict
+    graph = {"a": ["b"], "b": ["a", "c"], "c": ["b", "d"], "d": ["c"]}
+    topo = GraphTopology(graph, per_hop=0.01, jitter=0.0)
+    assert topo.hops("a", "b") == 1
+    assert topo.hops("a", "d") == 3
+    assert topo.hops("a", "a") == 0
+    assert topo.sample("a", "d", rng) == pytest.approx(0.03)
+
+
+def test_graph_topology_disconnected_default(rng):
+    graph = {"a": ["b"], "b": ["a"], "z": []}
+    topo = GraphTopology(graph, per_hop=0.01, default=0.5, jitter=0.0)
+    assert topo.hops("a", "z") is None
+    assert topo.sample("a", "z", rng) == 0.5
+
+
+def test_graph_topology_with_networkx(rng):
+    networkx = pytest.importorskip("networkx")
+    g = networkx.cycle_graph(6)
+    topo = GraphTopology(g, per_hop=0.01, jitter=0.0)
+    assert topo.hops(0, 3) == 3
+    assert topo.sample(0, 1, rng) == pytest.approx(0.01)
+
+
+def test_graph_topology_drives_network():
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+
+    graph = {"a": ["b"], "b": ["a", "c"], "c": ["b"]}
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=GraphTopology(graph, per_hop=0.1, jitter=0.0))
+    arrivals = []
+    net.attach("a", lambda m, s, t: None)
+    net.attach("c", lambda m, s, t: arrivals.append(t))
+    net.send("a", "c", "x")
+    sim.run()
+    assert arrivals == [pytest.approx(0.2)]

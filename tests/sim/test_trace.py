@@ -1,0 +1,88 @@
+"""Tests for the structured trace log."""
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog(enabled=False)
+    log.record(1.0, "cat", "node", a=1)
+    assert log.records == []
+
+
+def test_enabled_log_records():
+    log = TraceLog(enabled=True)
+    log.record(1.0, "cat", "n1", value=3)
+    assert len(log.records) == 1
+    rec = log.records[0]
+    assert rec.time == 1.0
+    assert rec.category == "cat"
+    assert rec.get("value") == 3
+    assert rec.get("missing", "d") == "d"
+
+
+def test_category_filter():
+    log = TraceLog(enabled=True, categories=frozenset({"keep"}))
+    log.record(1.0, "keep", "n")
+    log.record(2.0, "drop", "n")
+    assert [r.category for r in log.records] == ["keep"]
+
+
+def test_capacity_bound_evicts_oldest():
+    log = TraceLog(enabled=True, capacity=3)
+    for i in range(5):
+        log.record(float(i), "c", "n", i=i)
+    assert len(log.records) == 3
+    assert [r.get("i") for r in log.records] == [2, 3, 4]
+    assert log.dropped == 2
+
+
+def test_select_filters():
+    log = TraceLog(enabled=True)
+    log.record(1.0, "a", "n1", v=1)
+    log.record(2.0, "b", "n1", v=2)
+    log.record(3.0, "a", "n2", v=3)
+    assert [r.get("v") for r in log.select(category="a")] == [1, 3]
+    assert [r.get("v") for r in log.select(node="n1")] == [1, 2]
+    assert [r.get("v") for r in log.select(since=2.0)] == [2, 3]
+    assert [r.get("v") for r in log.select(until=2.0)] == [1, 2]
+    assert [r.get("v") for r in log.select(where=lambda r: r.get("v") > 2)] == [3]
+
+
+def test_count():
+    log = TraceLog(enabled=True)
+    log.record(1.0, "a", "n")
+    log.record(2.0, "a", "n")
+    assert log.count("a") == 2
+    assert log.count("b") == 0
+
+
+def test_fingerprint_stable_and_sensitive():
+    log1 = TraceLog(enabled=True)
+    log2 = TraceLog(enabled=True)
+    for log in (log1, log2):
+        log.record(1.0, "a", "n", v=1)
+    assert log1.fingerprint() == log2.fingerprint()
+    log2.record(2.0, "a", "n", v=2)
+    assert log1.fingerprint() != log2.fingerprint()
+
+
+def test_merge_sorts_by_time():
+    a = TraceLog(enabled=True)
+    b = TraceLog(enabled=True)
+    a.record(2.0, "x", "n")
+    b.record(1.0, "y", "n")
+    merged = TraceLog.merge([a, b])
+    assert [r.category for r in merged.records] == ["y", "x"]
+
+
+def test_record_as_dict():
+    rec = TraceRecord(1.0, "c", "n", (("k", "v"),))
+    assert rec.as_dict() == {"time": 1.0, "category": "c", "node": "n", "k": "v"}
+
+
+def test_clear():
+    log = TraceLog(enabled=True)
+    log.record(1.0, "a", "n")
+    log.clear()
+    assert log.records == []
+    assert log.dropped == 0

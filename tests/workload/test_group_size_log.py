@@ -1,0 +1,37 @@
+"""Tests for group-size tracking under churn."""
+
+from repro.gossip.config import SystemConfig
+from repro.workload.cluster import SimCluster
+
+
+def small_cluster():
+    return SimCluster(
+        n_nodes=6,
+        system=SystemConfig(buffer_capacity=30, dedup_capacity=300),
+        seed=1,
+    )
+
+
+def test_initial_size_logged():
+    cluster = small_cluster()
+    assert cluster.group_size_at(0.0) == 6
+    assert cluster.group_size_at(100.0) == 6
+
+
+def test_size_changes_tracked():
+    cluster = small_cluster()
+    cluster.at(5.0, lambda: cluster.leave_node(5))
+    cluster.at(10.0, lambda: cluster.join_node(77))
+    cluster.at(10.0, lambda: cluster.join_node(78))
+    cluster.run(until=20.0)
+    assert cluster.group_size_at(1.0) == 6
+    assert cluster.group_size_at(7.0) == 5
+    assert cluster.group_size_at(15.0) == 7
+    assert cluster.group_size == 7
+
+
+def test_size_at_change_instant_uses_new_value():
+    cluster = small_cluster()
+    cluster.at(5.0, lambda: cluster.crash_node(0))
+    cluster.run(until=6.0)
+    assert cluster.group_size_at(5.0) == 5

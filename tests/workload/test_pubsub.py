@@ -1,0 +1,108 @@
+"""Tests for the publish-subscribe application layer."""
+
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.gossip.config import SystemConfig
+from repro.metrics.delivery import analyze_delivery
+from repro.workload.pubsub import PubSubSystem
+
+
+def make_system(**kw):
+    return PubSubSystem(
+        system=SystemConfig(buffer_capacity=60, dedup_capacity=600),
+        adaptive=AdaptiveConfig(age_critical=4.5),
+        min_buffer_per_topic=8,
+        seed=5,
+        **kw,
+    )
+
+
+def test_host_budget_validated():
+    system = make_system()
+    with pytest.raises(ValueError):
+        system.add_host("tiny", buffer_budget=4)
+
+
+def test_duplicate_host_rejected():
+    system = make_system()
+    system.add_host("h", 100)
+    with pytest.raises(ValueError):
+        system.add_host("h", 100)
+
+
+def test_subscribe_splits_budget():
+    system = make_system()
+    host = system.add_host("h", buffer_budget=90)
+    host.subscribe("a")
+    assert host.per_topic_capacity() == 90
+    host.subscribe("b")
+    host.subscribe("c")
+    assert host.per_topic_capacity() == 30
+    for topic in ("a", "b", "c"):
+        assert host.nodes[topic].protocol.buffer_capacity == 30
+
+
+def test_unsubscribe_restores_budget():
+    system = make_system()
+    host = system.add_host("h", buffer_budget=80)
+    host.subscribe("a")
+    host.subscribe("b")
+    host.unsubscribe("b")
+    assert host.topics == ["a"]
+    assert host.nodes["a"].protocol.buffer_capacity == 80
+    assert system.group_size("b") == 0
+
+
+def test_min_per_topic_floor():
+    system = make_system()
+    host = system.add_host("h", buffer_budget=20)
+    for t in ("a", "b", "c", "d"):
+        host.subscribe(t)
+    assert host.per_topic_capacity() == 8  # floored, not 5
+
+
+def test_publish_requires_subscription():
+    system = make_system()
+    host = system.add_host("h", 60)
+    with pytest.raises(ValueError):
+        host.publish_at("ghost", rate=1.0)
+    host.subscribe("t")
+    host.publish_at("t", rate=1.0)
+    with pytest.raises(ValueError):
+        host.publish_at("t", rate=1.0)  # one publisher per (host, topic)
+
+
+def test_topic_isolation_and_delivery():
+    system = make_system()
+    hosts = [system.add_host(f"h{i}", 120) for i in range(8)]
+    for h in hosts:
+        h.subscribe("news")
+    for h in hosts[:4]:
+        h.subscribe("logs")
+    hosts[0].publish_at("news", rate=2.0)
+    system.run(until=30.0)
+    news = system.collector_for("news")
+    stats = analyze_delivery(news.messages_in_window(5, 20), system.group_size("news"))
+    assert stats.avg_receiver_fraction > 0.95
+    # nothing leaked into the other topic
+    assert system.collector_for("logs").deliveries.total == 0
+
+
+def test_subscription_change_tightens_min_buff_estimate():
+    """The §1 motivating scenario: a host joining many topics shrinks its
+    per-topic buffers, and the *other* members of its groups find out
+    through the minBuff gossip."""
+    system = make_system()
+    hosts = [system.add_host(f"h{i}", 96) for i in range(6)]
+    for h in hosts:
+        h.subscribe("main")
+    system.run(until=10.0)
+    observer = hosts[0].nodes["main"].protocol
+    assert observer.min_buff_estimate == 96
+    # h5 subscribes to three more topics: its "main" share drops to 24
+    for t in ("x", "y", "z"):
+        hosts[5].subscribe(t)
+    assert hosts[5].nodes["main"].protocol.buffer_capacity == 24
+    system.run(until=40.0)
+    assert observer.min_buff_estimate == 24
