@@ -1,0 +1,200 @@
+"""Execution-core benchmark: batched vs per-node-timer round dispatch.
+
+Runs a large lpbcast dissemination (1000+ nodes, 60 virtual seconds by
+default) under both dispatch modes of :class:`SimCluster`, checks the
+runs are byte-identical, and writes machine-readable results — node-count
+scaling plus hot-path micro-timings — to ``BENCH_core.json`` at the repo
+root so the performance trajectory is comparable across PRs.
+
+The scenario is the regime large-scale gossip analyses use: a
+round-synchronous schedule (fixed phase, no jitter), fanout ~log2(n), a
+constant-latency lossless LAN and a light broadcast stream. The batched
+path fires each cluster round from one heap pop and multicasts each
+node's fanout in one network call; the per-node path is the seed's
+timer-per-node, send-per-emission implementation, kept as the reference.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core.py            # full (writes BENCH_core.json)
+    PYTHONPATH=src python benchmarks/bench_core.py --quick    # small sizes, no file
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import platform
+import sys
+import time
+import timeit
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.gossip.config import SystemConfig  # noqa: E402
+from repro.sim.network import ConstantLatency  # noqa: E402
+from repro.workload.cluster import SimCluster  # noqa: E402
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def build(n_nodes: int, dispatch: str) -> SimCluster:
+    fanout = max(4, round(math.log2(n_nodes)))
+    system = SystemConfig(
+        fanout=fanout,
+        gossip_period=1.0,
+        buffer_capacity=30,
+        dedup_capacity=max(4000, 8 * n_nodes),
+        max_age=8,
+        round_jitter=0.0,
+        round_phase=0.0,
+    )
+    cluster = SimCluster(
+        n_nodes=n_nodes,
+        system=system,
+        protocol="lpbcast",
+        seed=2003,
+        latency=ConstantLatency(0.01),
+        dispatch=dispatch,
+        sample_gauges=False,
+    )
+    cluster.add_senders([0, n_nodes // 2], rate_each=0.5)
+    return cluster
+
+
+def fingerprint(cluster: SimCluster) -> tuple:
+    m = cluster.metrics
+    return (
+        m.admitted.total,
+        m.deliveries.total,
+        m.drops_overflow.total,
+        m.duplicate_deliveries,
+        cluster.network.stats.sent,
+        cluster.network.stats.delivered,
+    )
+
+
+def run_one(n_nodes: int, dispatch: str, duration: float, repeats: int = 2) -> dict:
+    """Best-of-``repeats`` wall time (identical runs; min rejects noise)."""
+    wall = math.inf
+    for _ in range(repeats):
+        cluster = build(n_nodes, dispatch)
+        t0 = time.perf_counter()
+        cluster.run(until=duration)
+        wall = min(wall, time.perf_counter() - t0)
+    return {
+        "n_nodes": n_nodes,
+        "dispatch": dispatch,
+        "virtual_seconds": duration,
+        "wall_seconds": round(wall, 4),
+        "heap_events": cluster.sim.events_dispatched,
+        "deliveries": cluster.metrics.deliveries.total,
+        "_fingerprint": fingerprint(cluster),
+    }
+
+
+def micro_timings() -> dict:
+    """Hot-path micro timings (µs/op, best of 5 runs)."""
+    setup = """
+import random
+from repro.gossip.buffer import EventBuffer
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId, EventSummary
+from repro.gossip.lpbcast import LpbcastProtocol
+from repro.gossip.protocol import GossipMessage
+from repro.membership.full import Directory, FullMembershipView
+
+buf = EventBuffer(180)
+for i in range(180):
+    buf.add(EventId(i % 60, i), age=i % 10)
+counter = iter(range(10**9))
+
+config = SystemConfig(buffer_capacity=180, dedup_capacity=400_000)
+directory = Directory(range(60))
+proto = LpbcastProtocol(0, config, FullMembershipView(directory, 0), random.Random(1))
+for i in range(180):
+    proto.broadcast(None, now=0.0)
+clock = iter(x * 1.0 for x in range(1, 10**9))
+receiver = LpbcastProtocol(1, config, FullMembershipView(directory, 1), random.Random(2))
+message = GossipMessage(
+    sender=0,
+    events=tuple(EventSummary(EventId("s", i), i % 10, None) for i in range(180)),
+)
+receiver.on_receive(message, now=0.5)  # prime: all duplicates afterwards
+"""
+    cases = {
+        "buffer_add_evict": "buf.add(EventId('b', next(counter)), age=0)",
+        "buffer_snapshot": "buf.snapshot()",
+        "buffer_sync_age_raise": "buf.sync_age(EventId(0, 0), buf.age_of(EventId(0, 0)) + 1)",
+        "round_batch_180ev": "proto.on_round_batch(next(clock))",
+        "receive_180_duplicates": "receiver.on_receive(message, now=1.0)",
+    }
+    out = {}
+    for name, stmt in cases.items():
+        timer = timeit.Timer(stmt, setup=setup)
+        number = 2000
+        best = min(timer.repeat(repeat=5, number=number)) / number
+        out[f"{name}_us"] = round(best * 1e6, 3)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="*", default=[250, 500, 1000])
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--out", default=str(ROOT / "BENCH_core.json"))
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny sizes, print only, no file"
+    )
+    args = parser.parse_args(argv)
+    sizes = [60, 120] if args.quick else args.sizes
+    duration = 20.0 if args.quick else args.duration
+
+    scaling = []
+    speedups = {}
+    for n in sizes:
+        timers = run_one(n, "timers", duration)
+        batched = run_one(n, "batched", duration)
+        if timers.pop("_fingerprint") != batched.pop("_fingerprint"):
+            raise SystemExit(f"dispatch modes diverged at n={n}: benchmark invalid")
+        speedup = timers["wall_seconds"] / batched["wall_seconds"]
+        speedups[str(n)] = round(speedup, 3)
+        scaling.extend([timers, batched])
+        print(
+            f"n={n:5d}  timers {timers['wall_seconds']:7.2f}s "
+            f"({timers['heap_events']} events)  batched "
+            f"{batched['wall_seconds']:7.2f}s ({batched['heap_events']} events)  "
+            f"speedup {speedup:.2f}x"
+        )
+
+    micro = micro_timings()
+    for name, value in micro.items():
+        print(f"micro {name:28s} {value:9.3f} us")
+
+    doc = {
+        "benchmark": "core-dispatch",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenario": {
+            "protocol": "lpbcast",
+            "round_synchronous": True,
+            "latency": "constant 10ms",
+            "buffer_capacity": 30,
+            "senders": 2,
+            "offered_load_msgs_per_s": 1.0,
+            "fanout": "max(4, log2(n))",
+        },
+        "scaling": scaling,
+        "speedup_batched_vs_timers": speedups,
+        "micro_hot_paths": micro,
+    }
+    if not args.quick:
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

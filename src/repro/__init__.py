@@ -28,6 +28,7 @@ from repro.core.aggregation import (
     ThresholdedKSmallestAggregate,
 )
 from repro.core.config import AdaptiveConfig
+from repro.driver import Driver
 from repro.gossip.config import SystemConfig
 from repro.gossip.lpbcast import LpbcastProtocol
 from repro.metrics.collector import MetricsCollector
@@ -38,7 +39,7 @@ from repro.workload.dynamics import ResourceScript
 from repro.workload.pubsub import PubSubSystem
 from repro.workload.senders import OnOffArrivals, PeriodicArrivals, PoissonArrivals
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -53,6 +54,7 @@ __all__ = [
     "KSmallestAggregate",
     "ThresholdedKSmallestAggregate",
     "Simulator",
+    "Driver",
     "SimCluster",
     "make_protocol_factory",
     "ResourceScript",

@@ -20,6 +20,12 @@ The same machinery also drives the anti-entropy substrate in
 :mod:`repro.gossip.bimodal` — the paper's §5 claim that the mechanism is
 substrate-agnostic.
 
+Because both variants hook into the baseline rather than reimplement its
+round/receive loops, they inherit the batched hot path too: one
+``on_round_batch`` call produces the round's ``(targets, message)`` pair
+with the adaptive header attached, and drivers multicast it without
+per-destination tuples.
+
 Admission interface
 -------------------
 ``try_broadcast(payload, now)`` returns the new :class:`EventId` or

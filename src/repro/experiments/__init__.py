@@ -7,6 +7,8 @@
   size, find the maximum input rate keeping average delivery ≥95% and
   record the drop age at that edge (Figure 4, and the source of ``τ``).
 * :mod:`repro.experiments.figures` — one function per paper figure.
+* :mod:`repro.experiments.sweep` — sharded parallel spec execution
+  (``--jobs`` on the CLI); bit-identical to serial runs.
 * :mod:`repro.experiments.report` — ASCII tables for benchmark output.
 """
 
@@ -30,6 +32,7 @@ from repro.experiments.replication import (
 )
 from repro.experiments.report import render_series, render_sparkline, render_table
 from repro.experiments.scalability import ScalePoint, scale_sweep
+from repro.experiments.sweep import merged_metrics, run_specs
 
 __all__ = [
     "Profile",
@@ -39,6 +42,8 @@ __all__ = [
     "RunSpec",
     "RunResult",
     "run_once",
+    "run_specs",
+    "merged_metrics",
     "calibrate",
     "CalibrationPoint",
     "CalibrationResult",

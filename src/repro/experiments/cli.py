@@ -5,8 +5,15 @@ Regenerate any of the paper's figures without writing code::
     python -m repro.experiments figure2
     python -m repro.experiments figure4 --iterations 5
     python -m repro.experiments figure7 --profile paper
+    python -m repro.experiments figure8 --jobs 4
     python -m repro.experiments figure9 -o fig9.txt
+    python -m repro.experiments all --jobs 8 --json results.json
     python -m repro.experiments calibrate --buffers 30 60 90
+
+``--jobs N`` shards sweep-based figures across N worker processes; the
+numbers are identical to a serial run (every simulation is seed-isolated),
+only the wall clock changes. ``--json FILE`` additionally writes the raw
+result objects as machine-readable JSON.
 
 Figures 6/7/8 share a buffer sweep; invoking several of them in one
 process reuses it.
@@ -15,27 +22,29 @@ process reuses it.
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Optional, Sequence
 
 from repro.experiments import figures
 from repro.experiments.calibrate import calibrate as run_calibration
 from repro.experiments.profiles import get_profile
 from repro.experiments.report import render_series, render_table
+from repro.experiments.sweep import to_jsonable
 
 __all__ = ["main", "build_parser"]
 
 _SWEEP_CACHE: dict[str, tuple] = {}
 
 
-def _sweep(profile):
+def _sweep(profile, jobs: int = 1):
     if profile.name not in _SWEEP_CACHE:
-        _SWEEP_CACHE[profile.name] = figures.buffer_sweep_comparison(profile)
+        _SWEEP_CACHE[profile.name] = figures.buffer_sweep_comparison(profile, jobs=jobs)
     return _SWEEP_CACHE[profile.name]
 
 
-def _run_figure2(profile, args) -> str:
-    result = figures.figure2(profile)
-    return render_table(
+def _run_figure2(profile, args):
+    result = figures.figure2(profile, jobs=args.jobs)
+    text = render_table(
         ["input rate", "msgs to >95% (%)", "avg receivers (%)", "drop age"],
         [
             (r.input_rate, r.atomicity_pct, r.avg_receiver_pct, r.drop_age)
@@ -43,11 +52,12 @@ def _run_figure2(profile, args) -> str:
         ],
         title=f"Figure 2 (buffer={result.buffer_capacity}, {profile.name})",
     )
+    return text, result
 
 
-def _run_figure4(profile, args) -> str:
+def _run_figure4(profile, args):
     result = run_calibration(profile, iterations=args.iterations)
-    return render_table(
+    text = render_table(
         ["buffer", "max rate", "drop age @max", "reliability @max"],
         [
             (p.buffer_capacity, p.max_rate, p.drop_age_at_max, p.reliability_at_max)
@@ -56,20 +66,22 @@ def _run_figure4(profile, args) -> str:
         title=f"Figure 4 ({profile.name}); tau = {result.tau:.2f}",
         digits=2,
     )
+    return text, result
 
 
-def _run_figure6(profile, args) -> str:
-    result = figures.figure6(profile, _sweep(profile))
-    return render_table(
+def _run_figure6(profile, args):
+    result = figures.figure6(profile, _sweep(profile, args.jobs))
+    text = render_table(
         ["buffer", "offered", "allowed", "maximum"],
         [(r.buffer_capacity, r.offered, r.allowed, r.maximum) for r in result.rows],
         title=f"Figure 6 ({profile.name})",
     )
+    return text, result
 
 
-def _run_figure7(profile, args) -> str:
-    result = figures.figure7(profile, _sweep(profile))
-    return render_table(
+def _run_figure7(profile, args):
+    result = figures.figure7(profile, _sweep(profile, args.jobs))
+    text = render_table(
         ["buffer", "in lpb", "in adpt", "out lpb", "out adpt", "da lpb", "da adpt"],
         [
             (
@@ -85,11 +97,12 @@ def _run_figure7(profile, args) -> str:
         ],
         title=f"Figure 7 ({profile.name})",
     )
+    return text, result
 
 
-def _run_figure8(profile, args) -> str:
-    result = figures.figure8(profile, _sweep(profile))
-    return render_table(
+def _run_figure8(profile, args):
+    result = figures.figure8(profile, _sweep(profile, args.jobs))
+    text = render_table(
         ["buffer", "recv lpb (%)", "recv adpt (%)", "atom lpb (%)", "atom adpt (%)"],
         [
             (
@@ -103,9 +116,10 @@ def _run_figure8(profile, args) -> str:
         ],
         title=f"Figure 8 ({profile.name})",
     )
+    return text, result
 
 
-def _run_figure9(profile, args) -> str:
+def _run_figure9(profile, args):
     result = figures.figure9(profile)
     phases = ("base", "low", "mid")
     head = render_table(
@@ -128,10 +142,10 @@ def _run_figure9(profile, args) -> str:
         v_label="allowed (msg/s)",
         every=2,
     )
-    return head + "\n\n" + tail
+    return head + "\n\n" + tail, result
 
 
-def _run_calibrate(profile, args) -> str:
+def _run_calibrate(profile, args):
     buffers = tuple(args.buffers) if args.buffers else None
     result = run_calibration(
         profile, buffer_sizes=buffers, iterations=args.iterations
@@ -142,7 +156,7 @@ def _run_calibrate(profile, args) -> str:
         for p in result.points
     ]
     lines.append(f"tau = {result.tau:.3f}")
-    return "\n".join(lines)
+    return "\n".join(lines), result
 
 
 _COMMANDS = {
@@ -172,6 +186,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale profile: quick (default) or paper; also via REPRO_PROFILE",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-based figures (results are "
+        "identical to --jobs 1; only the wall clock changes)",
+    )
+    parser.add_argument(
         "--iterations",
         type=int,
         default=5,
@@ -188,7 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         "--output",
         default=None,
-        help="also write the result to this file",
+        help="also write the rendered tables to this file",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        help="also write the raw results as machine-readable JSON",
     )
     return parser
 
@@ -197,10 +223,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     profile = get_profile(args.profile)
     names = sorted(_COMMANDS) if args.command == "all" else [args.command]
-    chunks = [_COMMANDS[name](profile, args) for name in names]
+    chunks = []
+    payloads = {}
+    for name in names:
+        text, payload = _COMMANDS[name](profile, args)
+        chunks.append(text)
+        payloads[name] = payload
     text = "\n\n".join(chunks)
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
+    if args.json:
+        doc = {
+            "profile": profile.name,
+            "jobs": args.jobs,
+            "results": {name: to_jsonable(payload) for name, payload in payloads.items()},
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 0

@@ -19,6 +19,7 @@ from typing import Optional
 from repro.core.config import AdaptiveConfig
 from repro.experiments.calibrate import CalibrationResult, calibrate
 from repro.experiments.harness import RunResult, run_once, spec_for_profile
+from repro.experiments.sweep import run_specs
 from repro.experiments.profiles import Profile
 from repro.metrics.delivery import analyze_delivery, atomicity_series
 from repro.workload.cluster import SimCluster
@@ -62,26 +63,33 @@ class Figure2Result:
     rows: tuple[Figure2Row, ...]
 
 
-def figure2(profile: Profile, buffer_capacity: Optional[int] = None) -> Figure2Result:
+def figure2(
+    profile: Profile, buffer_capacity: Optional[int] = None, jobs: int = 1
+) -> Figure2Result:
     """Reproduce Figure 2 (plus §2.1's drop-age narrative).
 
     The baseline protocol with a fixed buffer is driven at increasing
     offered loads; reliability collapses and the drop age falls with it.
     """
     capacity = buffer_capacity if buffer_capacity is not None else profile.fig2_buffer
-    rows = []
-    for rate in profile.input_rates:
-        result = run_once(
-            spec_for_profile(profile, "lpbcast", buffer_capacity=capacity, offered_load=rate)
-        )
-        rows.append(
-            Figure2Row(
-                input_rate=rate,
-                atomicity_pct=result.delivery.atomicity_pct,
-                avg_receiver_pct=result.delivery.avg_receiver_pct,
-                drop_age=result.drop_age_mean,
+    results = run_specs(
+        [
+            spec_for_profile(
+                profile, "lpbcast", buffer_capacity=capacity, offered_load=rate
             )
+            for rate in profile.input_rates
+        ],
+        jobs=jobs,
+    )
+    rows = [
+        Figure2Row(
+            input_rate=rate,
+            atomicity_pct=result.delivery.atomicity_pct,
+            avg_receiver_pct=result.delivery.avg_receiver_pct,
+            drop_age=result.drop_age_mean,
         )
+        for rate, result in zip(profile.input_rates, results)
+    ]
     return Figure2Result(buffer_capacity=capacity, rows=tuple(rows))
 
 
@@ -107,21 +115,29 @@ def buffer_sweep_comparison(
     profile: Profile,
     adaptive: Optional[AdaptiveConfig] = None,
     buffer_sizes: Optional[tuple[int, ...]] = None,
+    jobs: int = 1,
 ) -> tuple[SweepPair, ...]:
-    """Run baseline and adaptive at constant offered load over the sweep."""
+    """Run baseline and adaptive at constant offered load over the sweep.
+
+    ``jobs`` shards the runs across processes; results are identical to
+    a serial sweep (each run is seed-isolated).
+    """
     if adaptive is None:
         adaptive = AdaptiveConfig(age_critical=profile.tau_hint)
     sizes = buffer_sizes if buffer_sizes is not None else profile.buffer_sizes
-    pairs = []
+    specs = []
     for capacity in sizes:
-        base = run_once(spec_for_profile(profile, "lpbcast", buffer_capacity=capacity))
-        adpt = run_once(
+        specs.append(spec_for_profile(profile, "lpbcast", buffer_capacity=capacity))
+        specs.append(
             spec_for_profile(
                 profile, "adaptive", buffer_capacity=capacity, adaptive=adaptive
             )
         )
-        pairs.append(SweepPair(capacity, base, adpt))
-    return tuple(pairs)
+    results = run_specs(specs, jobs=jobs)
+    return tuple(
+        SweepPair(capacity, results[2 * i], results[2 * i + 1])
+        for i, capacity in enumerate(sizes)
+    )
 
 
 # ----------------------------------------------------------------------

@@ -3,8 +3,15 @@
 A :class:`RunSpec` fully describes one simulation run (protocol variant,
 buffer size, offered load, horizon); :func:`run_once` executes it and
 distils a :class:`RunResult` with every quantity the paper's figures
-plot. Sweeps are then just comprehensions over specs, and benchmarks
-print rows straight from results.
+plot. Sweeps are then just comprehensions over specs — serial, or fanned
+across cores by :func:`repro.experiments.sweep.run_specs` — and
+benchmarks print rows straight from results.
+
+Specs and results are plain picklable dataclasses: that is what lets the
+sweep runner ship them across process boundaries, and
+:attr:`RunSpec.dispatch` selects the driver's round-dispatch mode
+(``"batched"`` by default; ``"timers"`` is the reference path — results
+are byte-identical either way).
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ class RunSpec:
     script: Optional[ResourceScript] = None
     membership: str = "full"
     bucket_width: float = 1.0
+    dispatch: str = "batched"  # "batched" | "timers" round dispatch
 
     def __post_init__(self) -> None:
         if not self.sender_ids:
@@ -128,6 +136,7 @@ def build_cluster(spec: RunSpec) -> SimCluster:
         seed=spec.seed,
         membership=spec.membership,
         bucket_width=spec.bucket_width,
+        dispatch=spec.dispatch,
     )
     cluster.add_senders(list(spec.sender_ids), rate_each=spec.rate_per_sender)
     if spec.script is not None:

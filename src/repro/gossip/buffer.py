@@ -18,7 +18,10 @@ store, per event, the *anchor* ``round - age``: ageing everything is then a
 single increment of the buffer's round counter, and "oldest first" is a
 min-heap on ``(anchor, arrival_seq)``. Raising an age just lowers the
 anchor and lazily re-pushes a heap entry; stale heap entries are discarded
-on pop by validating against the live anchor. The observable behaviour is
+on pop by validating against the live anchor, and the heap is rebuilt
+automatically when stale strands outnumber live entries ~4:1 (heavy
+duplicate age-raising would otherwise grow it without bound). The
+observable behaviour is
 identical to Figure 1 (the unit tests check this against a brute-force
 model).
 """
@@ -146,6 +149,10 @@ class EventBuffer:
 
         Returns True if the age changed. Unknown ids are ignored (the
         duplicate may have already been purged locally) and return False.
+        Each raise lazily re-pushes a heap entry and strands the old one;
+        under heavy duplicate traffic the strands are bounded by an
+        automatic :meth:`compact` once the heap outgrows the live set
+        (see the module's performance note).
         """
         entry = self._entries.get(event_id)
         if entry is None:
@@ -153,7 +160,10 @@ class EventBuffer:
         anchor = self._round - age
         if anchor < entry.anchor:
             entry.anchor = anchor
-            heapq.heappush(self._heap, (anchor, entry.arrival, event_id))
+            heap = self._heap
+            heapq.heappush(heap, (anchor, entry.arrival, event_id))
+            if len(heap) > 64 and len(heap) > 4 * len(self._entries):
+                self.compact()
             return True
         return False
 

@@ -10,6 +10,7 @@ age-out limit ``k``. The adaptive mechanism's own parameters live in
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 __all__ = ["SystemConfig"]
 
@@ -38,6 +39,13 @@ class SystemConfig:
     round_jitter:
         Fractional jitter applied to each node's gossip period by the
         drivers, desynchronising rounds as on a real network.
+    round_phase:
+        First-round offset in seconds. ``None`` (the default) draws a
+        random phase per node in ``[0, T)`` — the desynchronised regime
+        of a real deployment. A fixed value (with ``round_jitter=0``)
+        makes execution *round-synchronous* in the style of deterministic
+        gossip analyses: every node fires in the same instant, which the
+        batched dispatcher turns into one heap event per cluster round.
     """
 
     fanout: int = 4
@@ -46,6 +54,7 @@ class SystemConfig:
     dedup_capacity: int = 4000
     max_age: int = 10
     round_jitter: float = 0.05
+    round_phase: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
@@ -60,6 +69,8 @@ class SystemConfig:
             raise ValueError("max_age must be >= 1")
         if not 0 <= self.round_jitter < 0.5:
             raise ValueError("round_jitter must be in [0, 0.5)")
+        if self.round_phase is not None and not 0 <= self.round_phase < self.gossip_period:
+            raise ValueError("round_phase must be in [0, gossip_period)")
 
     def with_buffer(self, capacity: int) -> "SystemConfig":
         """Copy with a different buffer capacity (sweep helper)."""

@@ -152,7 +152,8 @@ class LpbcastProtocol(GossipProtocol):
     # ------------------------------------------------------------------
     # rounds
     # ------------------------------------------------------------------
-    def on_round(self, now: float) -> list[Emission]:
+    def _round_batch(self, now: float) -> tuple[tuple, Optional[GossipMessage]]:
+        """One round's work: returns ``(targets, message)``; message may be None."""
         self.stats.rounds += 1
         self.buffer.advance_round()
         self._note_drops(self.buffer.drop_aged_out(self.config.max_age), now)
@@ -160,7 +161,7 @@ class LpbcastProtocol(GossipProtocol):
 
         targets = self._sampler.select(self.membership, self.config.fanout, self.rng)
         if not targets:
-            return []
+            return (), None
         events = tuple(self.buffer.snapshot())  # shared across the f copies
         membership_header = self.membership.on_gossip_emit(self.rng)
         adaptive_header = self._emission_headers(now)
@@ -171,13 +172,26 @@ class LpbcastProtocol(GossipProtocol):
             membership=membership_header,
         )
         self.stats.messages_sent += len(targets)
+        return tuple(targets), message
+
+    def on_round(self, now: float) -> list[Emission]:
+        targets, message = self._round_batch(now)
+        if message is None:
+            return []
         return [Emission(t, message) for t in targets]
+
+    def on_round_batch(self, now: float):
+        targets, message = self._round_batch(now)
+        if message is None:
+            return []
+        return [(targets, message)]
 
     # ------------------------------------------------------------------
     # receive path
     # ------------------------------------------------------------------
     def on_receive(self, message: GossipMessage, now: float) -> list[Emission]:
-        self.stats.messages_received += 1
+        stats = self.stats
+        stats.messages_received += 1
         self.membership.on_gossip_receive(message.membership, message.sender, self.rng)
         if message.adaptive is not None:
             self._on_adaptive_header(message.adaptive, now)
@@ -185,19 +199,27 @@ class LpbcastProtocol(GossipProtocol):
         # Figure 1 ordering: fold every event in first, garbage collect
         # after. The _after_receive hook runs in between, against the
         # un-trimmed buffer — that is where Figure 5(b) measures what a
-        # minBuff-sized buffer would have dropped.
+        # minBuff-sized buffer would have dropped. In steady state most
+        # summaries are duplicates, so the loop binds the per-event
+        # callables once and batches the duplicate count.
         buffer = self.buffer
-        dedup = self.dedup
+        dedup_add = self.dedup.add
+        sync_age = buffer.sync_age
+        stage = buffer.stage
+        duplicates = 0
         for event_id, age, payload in message.events:
-            if not dedup.add(event_id):
-                self.stats.duplicates_seen += 1
-                buffer.sync_age(event_id, age)
-                continue
-            self._deliver(event_id, payload, now)
-            buffer.stage(event_id, age=age, payload=payload)
+            if dedup_add(event_id):
+                self._deliver(event_id, payload, now)
+                stage(event_id, age=age, payload=payload)
+            else:
+                duplicates += 1
+                sync_age(event_id, age)
+        if duplicates:
+            stats.duplicates_seen += duplicates
 
         self._after_receive(message, now)
-        self._note_drops(buffer.evict_overflow(), now)
+        if len(buffer) > buffer.capacity:
+            self._note_drops(buffer.evict_overflow(), now)
         return []
 
     # ------------------------------------------------------------------

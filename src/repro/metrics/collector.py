@@ -48,6 +48,17 @@ class MessageRecord:
         self.last_delivery = time
         return True
 
+    def merge(self, other: "MessageRecord") -> None:
+        """Fold another shard's view of the same message into this one."""
+        self.receivers |= other.receivers
+        self.duplicate_deliveries += other.duplicate_deliveries
+        if other.first_delivery is not None:
+            if self.first_delivery is None or other.first_delivery < self.first_delivery:
+                self.first_delivery = other.first_delivery
+        if other.last_delivery is not None:
+            if self.last_delivery is None or other.last_delivery > self.last_delivery:
+                self.last_delivery = other.last_delivery
+
 
 class MetricsCollector:
     """Records everything the experiments measure."""
@@ -181,6 +192,77 @@ class MetricsCollector:
                 total += m
                 count += 1
         return total / count if count else float("nan")
+
+    # ------------------------------------------------------------------
+    # sharded collection
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold another collector into this one.
+
+        Collectors are plain data (picklable), so shards of one logical
+        experiment — parallel seeds, or node subsets observed by separate
+        workers — can each record locally and be reduced afterwards.
+        Message records with the same :class:`EventId` are merged
+        (receiver-set union, min/max delivery times); series and counters
+        add. Event ids must be consistent across shards: shards of one
+        observed run always are, and independent runs are only mergeable
+        when their ids cannot collide (disjoint sender nodes). A
+        detectable collision — an :class:`EventId` naming *different*
+        broadcasts in the two shards (same (origin, seq), different
+        origin or broadcast time) — raises ``ValueError`` rather than
+        silently unioning unrelated messages; collisions whose broadcast
+        schedules coincide exactly cannot be detected, which is why
+        sender-disjointness is the caller's contract.
+        """
+        if other.bucket_width != self.bucket_width:
+            raise ValueError("cannot merge collectors with different bucket widths")
+        for event_id, record in other.messages.items():
+            mine = self.messages.get(event_id)
+            if mine is not None and (
+                mine.origin != record.origin
+                or mine.broadcast_time != record.broadcast_time
+            ):
+                raise ValueError(
+                    f"event id {event_id!r} names different broadcasts in the "
+                    "two collectors (colliding shards — e.g. independent seeds "
+                    "with the same senders); refusing to merge them"
+                )
+            if mine is None:
+                self.messages[event_id] = MessageRecord(
+                    origin=record.origin,
+                    broadcast_time=record.broadcast_time,
+                    receivers=set(record.receivers),
+                    duplicate_deliveries=record.duplicate_deliveries,
+                    first_delivery=record.first_delivery,
+                    last_delivery=record.last_delivery,
+                )
+            else:
+                mine.merge(record)
+        self.offered.merge(other.offered)
+        self.admitted.merge(other.admitted)
+        self.rejected.merge(other.rejected)
+        self.deliveries.merge(other.deliveries)
+        self.drops_overflow.merge(other.drops_overflow)
+        self.drops_age_out.merge(other.drops_age_out)
+        self.drops_obsolete.merge(other.drops_obsolete)
+        self.drop_age_gauge.merge(other.drop_age_gauge)
+        self.drop_ages.extend(other.drop_ages)
+        for key, series in other._gauges.items():
+            mine_series = self._gauges.get(key)
+            if mine_series is None:
+                mine_series = GaugeSeries(self.bucket_width)
+                self._gauges[key] = mine_series
+            mine_series.merge(series)
+        self.duplicate_deliveries += other.duplicate_deliveries
+        for event_id, early in other._early.items():
+            self._early.setdefault(event_id, []).extend(early)
+        # A shard that only observed receivers parks every delivery in
+        # _early (admission lives in the origin's shard). Now that both
+        # shards' records are present, replay anything that matched up —
+        # the same reconciliation on_admitted performs within one shard.
+        for event_id in [eid for eid in self._early if eid in self.messages]:
+            for node, time in self._early.pop(event_id):
+                self.on_deliver(node, event_id, time)
 
     # ------------------------------------------------------------------
     # convenience

@@ -35,6 +35,15 @@ class BucketSeries:
         self._counts[b] = self._counts.get(b, 0.0) + weight
         self.total += weight
 
+    def merge(self, other: "BucketSeries") -> None:
+        """Fold another series' counts into this one (sharded collection)."""
+        if other.bucket_width != self.bucket_width:
+            raise ValueError("cannot merge series with different bucket widths")
+        counts = self._counts
+        for b, c in other._counts.items():
+            counts[b] = counts.get(b, 0.0) + c
+        self.total += other.total
+
     def count(self, since: float = float("-inf"), until: float = float("inf")) -> float:
         """Total weight of events with bucket start in [since, until)."""
         return sum(
@@ -78,6 +87,16 @@ class GaugeSeries:
         b = int(math.floor(time / self.bucket_width))
         self._sums[b] = self._sums.get(b, 0.0) + value
         self._counts[b] = self._counts.get(b, 0) + 1
+
+    def merge(self, other: "GaugeSeries") -> None:
+        """Fold another series' samples into this one (sharded collection)."""
+        if other.bucket_width != self.bucket_width:
+            raise ValueError("cannot merge series with different bucket widths")
+        sums, counts = self._sums, self._counts
+        for b, s in other._sums.items():
+            sums[b] = sums.get(b, 0.0) + s
+        for b, n in other._counts.items():
+            counts[b] = counts.get(b, 0) + n
 
     def mean(self, since: float = float("-inf"), until: float = float("inf")) -> float:
         """Mean of all samples whose bucket start is in [since, until)."""

@@ -7,8 +7,10 @@ and runs the group for a wall-clock duration — the in-process equivalent
 of the paper's 60-workstation deployment.
 
 Because this half of the methodology exists to *validate the simulator*,
-it reuses the exact protocol classes and metrics pipeline; only the
-driver differs.
+it reuses the exact protocol classes and metrics pipeline; the shared
+wiring lives in the common :class:`~repro.driver.Driver` base class, so
+only the execution substrate differs between this cluster and the
+discrete-event :class:`~repro.workload.cluster.SimCluster`.
 """
 
 from __future__ import annotations
@@ -17,20 +19,20 @@ import threading
 import time
 from typing import Any, Optional
 
+from repro.core.aggregation import Aggregate
 from repro.core.config import AdaptiveConfig
+from repro.driver import Driver
 from repro.gossip.config import SystemConfig
-from repro.membership.full import Directory, FullMembershipView
-from repro.metrics.collector import MetricsCollector
+from repro.membership.full import FullMembershipView
 from repro.runtime.codec import BinaryCodec
 from repro.runtime.node import RuntimeNode
 from repro.runtime.transport import InMemoryHub, UdpTransport
 from repro.sim.rng import RngRegistry
-from repro.workload.cluster import make_protocol_factory
 
 __all__ = ["ThreadedCluster"]
 
 
-class ThreadedCluster:
+class ThreadedCluster(Driver):
     """A gossip group running on real threads and a real transport.
 
     Parameters
@@ -41,7 +43,7 @@ class ThreadedCluster:
         Gossip parameters. Real runs usually want a short
         ``gossip_period`` (e.g. 0.05–0.2 s) so experiments finish fast.
     protocol:
-        ``"lpbcast"``, ``"static"`` or ``"adaptive"``.
+        ``"lpbcast"``, ``"static"`` or ``"adaptive"`` (or a factory).
     transport:
         ``"memory"`` (default) or ``"udp"`` (localhost sockets).
     """
@@ -50,22 +52,26 @@ class ThreadedCluster:
         self,
         n_nodes: int,
         system: Optional[SystemConfig] = None,
-        protocol: str = "lpbcast",
+        protocol: Any = "lpbcast",
         adaptive: Optional[AdaptiveConfig] = None,
         rate_limit: Optional[float] = None,
+        aggregate: Optional[Aggregate] = None,
         transport: str = "memory",
         seed: int = 0,
         codec: Optional[Any] = None,
     ) -> None:
-        if n_nodes < 2:
-            raise ValueError("need at least 2 nodes")
-        self.system = system if system is not None else SystemConfig(gossip_period=0.1)
+        super().__init__(
+            n_nodes,
+            system=system,
+            protocol=protocol,
+            adaptive=adaptive,
+            rate_limit=rate_limit,
+            aggregate=aggregate,
+        )
         self.codec = codec if codec is not None else BinaryCodec()
-        self.metrics = MetricsCollector(bucket_width=max(0.1, self.system.gossip_period))
         self._metrics_lock = threading.Lock()
+        self._stopped = False
         self._rngs = RngRegistry(seed)
-        self.directory = Directory(range(n_nodes))
-        factory = make_protocol_factory(protocol, adaptive=adaptive, rate_limit=rate_limit)
 
         self._hub = InMemoryHub() if transport == "memory" else None
         self._addr_of: dict[Any, Any] = {}
@@ -85,14 +91,10 @@ class ThreadedCluster:
             transports[node_id] = endpoint
 
         for node_id in range(n_nodes):
-            membership = FullMembershipView(self.directory, node_id)
-            proto = factory(
+            proto = self._build_protocol(
                 node_id,
-                self.system,
-                membership,
+                FullMembershipView(self.directory, node_id),
                 self._rngs.stream("protocol", node_id),
-                self._deliver_fn(node_id),
-                self._drop_fn(node_id),
                 0.0,
             )
             self.nodes[node_id] = RuntimeNode(
@@ -102,7 +104,19 @@ class ThreadedCluster:
                 self._addr_of.get,
                 gossip_period=self.system.gossip_period,
                 clock=self._clock,
+                jitter=self.system.round_jitter,
+                phase=self.system.round_phase,
             )
+
+    # ------------------------------------------------------------------
+    # Driver hooks
+    # ------------------------------------------------------------------
+    def _default_system(self) -> SystemConfig:
+        # real runs want short rounds so experiments finish fast
+        return SystemConfig(gossip_period=0.1)
+
+    def _default_bucket_width(self) -> float:
+        return max(0.1, self.system.gossip_period)
 
     # ------------------------------------------------------------------
     # clocks & metrics plumbing
@@ -111,19 +125,27 @@ class ThreadedCluster:
         """Cluster-relative wall clock (metrics buckets start at 0)."""
         return time.monotonic() - self._t0
 
-    def _deliver_fn(self, node_id: Any):
-        def deliver(event_id, payload, now):
-            with self._metrics_lock:
-                self.metrics.on_deliver(node_id, event_id, now)
+    def _bind_deliver(self, node_id: Any):
+        """Like the base binding, but serialised behind the metrics lock."""
+        collector = self.metrics
+        lock = self._metrics_lock
 
-        return deliver
+        def deliver_fn(event_id, payload, now):
+            with lock:
+                collector.on_deliver(node_id, event_id, now)
 
-    def _drop_fn(self, node_id: Any):
-        def drop(event_id, age, reason, now):
-            with self._metrics_lock:
-                self.metrics.on_drop(node_id, event_id, age, reason, now)
+        return deliver_fn
 
-        return drop
+    def _bind_drop(self, node_id: Any):
+        """Like the base binding, but serialised behind the metrics lock."""
+        collector = self.metrics
+        lock = self._metrics_lock
+
+        def drop_fn(event_id, age, reason, now):
+            with lock:
+                collector.on_drop(node_id, event_id, age, reason, now)
+
+        return drop_fn
 
     # ------------------------------------------------------------------
     # running
@@ -142,22 +164,27 @@ class ThreadedCluster:
             self.metrics.on_admitted(node_id, event_id, when if when is not None else self._clock())
 
     def run_for(self, duration: float) -> None:
-        """Start (if needed), run for ``duration`` wall seconds, stop."""
+        """Start (if needed), run for ``duration`` wall seconds, stop.
+
+        One-shot, unlike the simulator's repeatable
+        :meth:`~repro.workload.cluster.SimCluster.run_for`: real threads
+        cannot be restarted once joined, so the teardown is final. For
+        incremental wall-clock phases call :meth:`start`, sleep between
+        observations, then :meth:`stop` once.
+        """
+        if self._stopped:
+            raise RuntimeError(
+                "this cluster has been stopped; its threads and transports "
+                "cannot be reused — build a fresh ThreadedCluster"
+            )
         if not any(n.is_alive() for n in self.nodes.values()):
             self.start()
         time.sleep(duration)
         self.stop()
 
     def stop(self) -> None:
+        # consumes the cluster whether or not it ever started: shutdown
+        # closes the transports, so the nodes can never run afterwards
+        self._stopped = True
         for node in self.nodes.values():
             node.shutdown()
-
-    # ------------------------------------------------------------------
-    # inspection
-    # ------------------------------------------------------------------
-    @property
-    def group_size(self) -> int:
-        return len(self.nodes)
-
-    def protocol_of(self, node_id: Any):
-        return self.nodes[node_id].protocol

@@ -39,12 +39,17 @@ class RuntimeNode(threading.Thread):
         Wall seconds between rounds.
     clock:
         Time source (``time.monotonic`` by default; injectable for tests).
+    jitter / phase:
+        Per-tick period jitter (fraction) and first-round offset in
+        seconds; ``phase=None`` draws a random offset in ``[0, period)``
+        like a real deployment drifting apart.
     on_error:
         Callback for decode errors (malformed datagrams are counted and
         dropped — a real deployment cannot crash on bad input).
     """
 
     POLL_CAP = 0.05  # max blocking wait, keeps shutdown responsive
+    RECV_BATCH = 16  # max packets folded per wakeup (one on_receive_batch)
 
     def __init__(
         self,
@@ -55,6 +60,7 @@ class RuntimeNode(threading.Thread):
         gossip_period: float,
         clock: Callable[[], float] = time.monotonic,
         jitter: float = 0.05,
+        phase: Optional[float] = None,
         on_error: Optional[Callable[[Exception], None]] = None,
     ) -> None:
         if gossip_period <= 0:
@@ -68,6 +74,7 @@ class RuntimeNode(threading.Thread):
         self.gossip_period = gossip_period
         self.clock = clock
         self.jitter = jitter
+        self.phase = phase
         self.on_error = on_error
         self._offers: "queue.Queue[Any]" = queue.Queue()
         self._stop_event = threading.Event()
@@ -85,9 +92,10 @@ class RuntimeNode(threading.Thread):
         self._offers.put(payload)
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop the loop and join the thread."""
+        """Stop the loop and join the thread (safe if never started)."""
         self._stop_event.set()
-        self.join(timeout=timeout)
+        if self.ident is not None:  # join() raises on a never-started thread
+            self.join(timeout=timeout)
         self.transport.close()
 
     # ------------------------------------------------------------------
@@ -95,7 +103,10 @@ class RuntimeNode(threading.Thread):
     # ------------------------------------------------------------------
     def run(self) -> None:
         rng = self.protocol.rng
-        next_round = self.clock() + rng.uniform(0, self.gossip_period)
+        phase = self.phase
+        if phase is None:
+            phase = rng.uniform(0, self.gossip_period)
+        next_round = self.clock() + phase
         while not self._stop_event.is_set():
             now = self.clock()
             if now >= next_round:
@@ -109,22 +120,40 @@ class RuntimeNode(threading.Thread):
             wait = min(next_round - self.clock(), self.POLL_CAP)
             packet = self.transport.recv(wait)
             if packet is not None:
-                self._handle_packet(packet)
+                self._handle_packets(packet)
 
     def _fire_round(self, now: float) -> None:
-        for dest, message in self.protocol.on_round(now):
-            self._transmit(dest, message)
+        for dests, message in self.protocol.on_round_batch(now):
+            for dest in dests:
+                self._transmit(dest, message)
 
-    def _handle_packet(self, packet: tuple[bytes, Any]) -> None:
-        data, _src = packet
-        try:
-            message = self.codec.decode(data)
-        except Exception as exc:  # malformed input must never kill the node
-            self.decode_errors += 1
-            if self.on_error is not None:
-                self.on_error(exc)
+    def _handle_packets(self, packet: tuple[bytes, Any]) -> None:
+        """Decode the packet plus anything else already queued, then fold
+        the whole batch through the protocol in one call.
+
+        The cap counts *packets drained*, not messages decoded — a flood
+        of malformed datagrams must not keep the loop away from round
+        firing any longer than a flood of valid ones would.
+        """
+        messages = []
+        drained = 0
+        while True:
+            data, _src = packet
+            try:
+                messages.append(self.codec.decode(data))
+            except Exception as exc:  # malformed input must never kill the node
+                self.decode_errors += 1
+                if self.on_error is not None:
+                    self.on_error(exc)
+            drained += 1
+            if drained >= self.RECV_BATCH:
+                break
+            packet = self.transport.recv(0.0)
+            if packet is None:
+                break
+        if not messages:
             return
-        for dest, reply in self.protocol.on_receive(message, self.clock()):
+        for dest, reply in self.protocol.on_receive_batch(messages, self.clock()):
             self._transmit(dest, reply)
 
     def _transmit(self, dest: Any, message: Any) -> None:

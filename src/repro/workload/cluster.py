@@ -2,30 +2,46 @@
 
 :class:`SimCluster` assembles a complete simulated system: a
 :class:`~repro.sim.engine.Simulator`, a :class:`~repro.sim.network.Network`,
-membership, one protocol instance per node, per-node round timers with
-phase jitter, senders, and a :class:`~repro.metrics.collector.MetricsCollector`.
+membership, one protocol instance per node, round dispatch, senders, and
+a :class:`~repro.metrics.collector.MetricsCollector`. The shared wiring
+(factory resolution, metrics binding, directory) lives in the
+:class:`~repro.driver.Driver` base class that the threaded runtime's
+cluster also builds on.
 
 It reproduces the paper's experimental setting with defaults of 60 nodes,
 fanout 4 and a uniform low-latency LAN, and exposes the runtime controls
 the evaluation needs: changing node buffer capacities mid-run (Figure 9),
 scripted churn, and partial-view membership.
+
+Round dispatch comes in two flavours selected by ``dispatch``:
+
+* ``"batched"`` (default) — rounds are driven by the simulator's
+  :class:`~repro.sim.engine.RoundDispatcher` and emissions go through
+  :meth:`~repro.gossip.protocol.GossipProtocol.on_round_batch` and
+  :meth:`~repro.sim.network.Network.multicast`. With a fixed
+  ``round_phase`` and zero ``round_jitter`` this fires *all* node rounds
+  from one heap pop per cluster round.
+* ``"timers"`` — the original per-node timer path (one
+  :meth:`~repro.sim.process.SimProcess.every` loop and one
+  :meth:`~repro.sim.network.Network.send` per emission per node). Kept as
+  the reference implementation; a run is byte-identical under either
+  dispatch mode (the determinism tests assert this).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.core.adaptive import AdaptiveLpbcastProtocol, StaticRateLpbcastProtocol
+from repro.driver import Driver, ProtocolFactory, make_protocol_factory
 from repro.core.aggregation import Aggregate
 from repro.core.config import AdaptiveConfig
 from repro.gossip.config import SystemConfig
-from repro.gossip.lpbcast import LpbcastProtocol
 from repro.gossip.protocol import GossipMessage, NodeId
 from repro.membership.churn import ChurnScript
-from repro.membership.full import Directory, FullMembershipView
+from repro.membership.full import FullMembershipView
 from repro.membership.views import PartialViewMembership, ViewConfig
 from repro.metrics.collector import MetricsCollector
-from repro.sim.engine import Simulator
+from repro.sim.engine import RoundDispatcher, Simulator
 from repro.sim.network import LatencyModel, LossModel, Network, UniformLatency
 from repro.sim.process import SimProcess
 from repro.sim.trace import TraceLog
@@ -33,106 +49,9 @@ from repro.workload.senders import PeriodicArrivals, Sender
 
 __all__ = ["ClusterNode", "SimCluster", "make_protocol_factory", "ProtocolFactory"]
 
-# factory(node_id, system, membership, rng, deliver_fn, drop_fn, now) -> protocol
-ProtocolFactory = Callable[..., Any]
-
-
-def make_protocol_factory(
-    kind: str = "lpbcast",
-    adaptive: Optional[AdaptiveConfig] = None,
-    rate_limit: Optional[float] = None,
-    aggregate: Optional[Aggregate] = None,
-) -> ProtocolFactory:
-    """Build a protocol factory for :class:`SimCluster`.
-
-    ``kind`` is one of:
-
-    * ``"lpbcast"`` — the Figure 1 baseline (no admission control);
-    * ``"static"`` — baseline + fixed-rate token bucket (Figure 3);
-      requires ``rate_limit``;
-    * ``"adaptive"`` — the paper's adaptive protocol (Figure 5); takes an
-      optional :class:`AdaptiveConfig` and aggregation strategy;
-    * ``"bimodal"`` / ``"adaptive-bimodal"`` — the pbcast-style substrate
-      of :mod:`repro.gossip.bimodal`, plain and adapted (§5 generality);
-    * ``"bufferer-bimodal"`` — bimodal + [10]-style recovery bufferers
-      (:mod:`repro.gossip.recovery`).
-    """
-    if kind == "lpbcast":
-
-        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
-            return LpbcastProtocol(node_id, system, membership, rng, deliver_fn, drop_fn)
-
-    elif kind == "bimodal":
-
-        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
-            from repro.gossip.bimodal import BimodalProtocol
-
-            return BimodalProtocol(node_id, system, membership, rng, deliver_fn, drop_fn)
-
-    elif kind == "bufferer-bimodal":
-
-        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
-            from repro.gossip.recovery import BuffererBimodalProtocol
-
-            return BuffererBimodalProtocol(
-                node_id, system, membership, rng, deliver_fn, drop_fn
-            )
-
-    elif kind == "adaptive-bimodal":
-
-        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
-            from repro.core.bimodal import AdaptiveBimodalProtocol
-
-            return AdaptiveBimodalProtocol(
-                node_id,
-                system,
-                membership,
-                rng,
-                adaptive=adaptive,
-                deliver_fn=deliver_fn,
-                drop_fn=drop_fn,
-                aggregate=aggregate,
-                now=now,
-            )
-
-    elif kind == "static":
-        if rate_limit is None:
-            raise ValueError("static protocol needs a rate_limit")
-
-        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
-            return StaticRateLpbcastProtocol(
-                node_id,
-                system,
-                membership,
-                rng,
-                rate_limit=rate_limit,
-                deliver_fn=deliver_fn,
-                drop_fn=drop_fn,
-                now=now,
-            )
-
-    elif kind == "adaptive":
-
-        def factory(node_id, system, membership, rng, deliver_fn, drop_fn, now):
-            return AdaptiveLpbcastProtocol(
-                node_id,
-                system,
-                membership,
-                rng,
-                adaptive=adaptive,
-                deliver_fn=deliver_fn,
-                drop_fn=drop_fn,
-                aggregate=aggregate,
-                now=now,
-            )
-
-    else:
-        raise ValueError(f"unknown protocol kind {kind!r}")
-    return factory
-
 
 class ClusterNode(SimProcess):
-    """One simulated node: a protocol instance plus its round timer."""
+    """One simulated node: a protocol instance plus its round dispatch."""
 
     GAUGES_EVERY_ROUND = ("allowed_rate", "avg_age", "min_buff", "buffer_len")
 
@@ -145,6 +64,7 @@ class ClusterNode(SimProcess):
         system: SystemConfig,
         collector: MetricsCollector,
         sample_gauges: bool = True,
+        rounds: Optional[RoundDispatcher] = None,
     ) -> None:
         super().__init__(sim, ("node", node_id))
         self.node_id = node_id
@@ -153,22 +73,50 @@ class ClusterNode(SimProcess):
         self.system = system
         self.collector = collector
         self.sample_gauges = sample_gauges
+        self._round_member = None
         network.attach(node_id, self._on_message)
-        self.every(system.gossip_period, self._on_round, jitter=system.round_jitter)
+        if rounds is not None:
+            self._round_member = rounds.add(
+                self._on_round_batched,
+                system.gossip_period,
+                phase=system.round_phase,
+                jitter=system.round_jitter,
+                rng=self.rng,
+            )
+        else:
+            self.every(
+                system.gossip_period,
+                self._on_round,
+                phase=system.round_phase,
+                jitter=system.round_jitter,
+            )
 
     # ------------------------------------------------------------------
     # driver plumbing
     # ------------------------------------------------------------------
     def _on_round(self) -> None:
+        """Per-node-timer round: one send per emission (reference path)."""
         now = self.sim.now
         for dest, message in self.protocol.on_round(now):
             self.network.send(self.node_id, dest, message, items=message.n_events)
         if self.sample_gauges:
             self._sample_gauges(now)
 
+    def _on_round_batched(self) -> None:
+        """Batched round: one multicast per (destinations, message) group."""
+        now = self.sim.now
+        node_id = self.node_id
+        multicast = self.network.multicast
+        for dests, message in self.protocol.on_round_batch(now):
+            multicast(node_id, dests, message, items=message.n_events)
+        if self.sample_gauges:
+            self._sample_gauges(now)
+
     def _on_message(self, message: GossipMessage, src: NodeId, now: float) -> None:
-        for dest, reply in self.protocol.on_receive(message, now):
-            self.network.send(self.node_id, dest, reply, items=reply.n_events)
+        replies = self.protocol.on_receive(message, now)
+        if replies:
+            for dest, reply in replies:
+                self.network.send(self.node_id, dest, reply, items=reply.n_events)
 
     def _sample_gauges(self, now: float) -> None:
         collector = self.collector
@@ -190,10 +138,12 @@ class ClusterNode(SimProcess):
     def shutdown(self) -> None:
         """Stop rounds and detach from the network (leave/crash)."""
         self.stop()
+        if self._round_member is not None:
+            self._round_member.cancel()
         self.network.detach(self.node_id)
 
 
-class SimCluster:
+class SimCluster(Driver):
     """A complete simulated gossip group.
 
     Parameters
@@ -203,11 +153,10 @@ class SimCluster:
     system:
         Gossip substrate parameters.
     protocol:
-        Either a kind string (see :func:`make_protocol_factory`) or a
-        ready factory.
+        Either a kind string (see :func:`repro.driver.make_protocol_factory`)
+        or a ready factory.
     adaptive / rate_limit / aggregate:
-        Forwarded to :func:`make_protocol_factory` when ``protocol`` is a
-        kind string.
+        Forwarded to the factory when ``protocol`` is a kind string.
     seed:
         Root seed — everything (phases, targets, latencies, workloads)
         derives from it; same seed, same run.
@@ -219,6 +168,8 @@ class SimCluster:
         Metrics time-bucket width in seconds.
     trace:
         Enable the structured trace log (slower; for debugging/tests).
+    dispatch:
+        ``"batched"`` (default) or ``"timers"`` — see the module docstring.
     """
 
     def __init__(
@@ -237,29 +188,32 @@ class SimCluster:
         bucket_width: float = 1.0,
         trace: bool = False,
         sample_gauges: bool = True,
+        dispatch: str = "batched",
     ) -> None:
-        if n_nodes < 2:
-            raise ValueError("need at least 2 nodes")
-        self.system = system if system is not None else SystemConfig()
+        super().__init__(
+            n_nodes,
+            system=system,
+            protocol=protocol,
+            adaptive=adaptive,
+            rate_limit=rate_limit,
+            aggregate=aggregate,
+            bucket_width=bucket_width,
+        )
+        if dispatch not in ("batched", "timers"):
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
+        self.dispatch = dispatch
         self.sim = Simulator(seed=seed, trace=TraceLog(enabled=trace))
         self.network = Network(
             self.sim,
             latency=latency if latency is not None else UniformLatency(0.005, 0.05),
             loss=loss,
         )
-        self.metrics = MetricsCollector(bucket_width=bucket_width)
-        self.directory = Directory(range(n_nodes))
+        self.rounds = RoundDispatcher(self.sim) if dispatch == "batched" else None
         self.membership_kind = membership
         self.view_config = view_config
         self.nodes: dict[NodeId, ClusterNode] = {}
         self.senders: dict[NodeId, Sender] = {}
         self._sample_gauges = sample_gauges
-        if callable(protocol):
-            self._factory = protocol
-        else:
-            self._factory = make_protocol_factory(
-                protocol, adaptive=adaptive, rate_limit=rate_limit, aggregate=aggregate
-            )
         # group size over time, for delivery analysis under churn
         self._size_log: list[tuple[float, int]] = []
         for node_id in range(n_nodes):
@@ -283,21 +237,10 @@ class SimCluster:
         if node_id in self.nodes:
             raise ValueError(f"node {node_id!r} already exists")
         self.directory.join(node_id)
-        collector = self.metrics
-
-        def deliver_fn(event_id, payload, now, _node=node_id):
-            collector.on_deliver(_node, event_id, now)
-
-        def drop_fn(event_id, age, reason, now, _node=node_id):
-            collector.on_drop(_node, event_id, age, reason, now)
-
-        protocol = self._factory(
+        protocol = self._build_protocol(
             node_id,
-            self.system,
             self._make_membership(node_id),
             self.sim.rngs.stream("protocol", node_id),
-            deliver_fn,
-            drop_fn,
             self.sim.now,
         )
         node = ClusterNode(
@@ -306,8 +249,9 @@ class SimCluster:
             node_id,
             protocol,
             self.system,
-            collector,
+            self.metrics,
             sample_gauges=self._sample_gauges,
+            rounds=self.rounds,
         )
         self.nodes[node_id] = node
         self._log_size()
@@ -409,10 +353,9 @@ class SimCluster:
         """Advance the simulation to absolute time ``until``."""
         self.sim.run(until=until)
 
-    @property
-    def group_size(self) -> int:
-        """Number of currently alive members."""
-        return len(self.directory)
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` virtual seconds."""
+        self.sim.run(until=self.sim.now + duration)
 
     def _log_size(self) -> None:
         self._size_log.append((self.sim.now, len(self.directory)))
@@ -429,7 +372,3 @@ class SimCluster:
                 break
             size = s
         return size
-
-    def protocol_of(self, node_id: NodeId):
-        """The protocol instance running on ``node_id``."""
-        return self.nodes[node_id].protocol

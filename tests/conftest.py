@@ -1,0 +1,23 @@
+"""Shared test setup.
+
+pytest's ``pythonpath`` config (pyproject.toml) puts ``src`` on the
+in-process ``sys.path``, but tests that spawn ``sys.executable -m
+repro...`` subprocesses (the standalone runtime) need the path in the
+environment too. Exporting it here makes a bare ``python -m pytest``
+work without installing the package or setting PYTHONPATH by hand.
+"""
+
+import os
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_existing = os.environ.get("PYTHONPATH")
+if not _existing:
+    os.environ["PYTHONPATH"] = _SRC
+elif _SRC not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = _SRC + os.pathsep + _existing

@@ -1,0 +1,130 @@
+"""The batched round dispatcher and the post() fast path."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import RoundDispatcher, SimulationError, Simulator
+
+
+def test_post_fires_like_schedule():
+    sim = Simulator()
+    order = []
+    sim.post(2.0, order.append, "b")
+    sim.post(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.events_dispatched == 3
+
+
+def test_post_rejects_past():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.post(-1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post_at(0.5, lambda: None)
+
+
+def test_post_and_schedule_share_fifo_order():
+    sim = Simulator()
+    order = []
+    sim.post(1.0, order.append, 0)
+    sim.schedule(1.0, order.append, 1)
+    sim.post(1.0, order.append, 2)
+    sim.run()
+    assert order == [0, 1, 2]
+
+
+def test_aligned_members_fire_from_one_bucket():
+    sim = Simulator()
+    rounds = RoundDispatcher(sim)
+    fired = []
+    for i in range(10):
+        rounds.add(lambda i=i: fired.append((sim.now, i)), period=1.0, phase=0.0)
+    sim.run(until=3.0)
+    # 4 rounds (t=0,1,2,3), members in registration order each round
+    assert [t for t, _ in fired] == [float(r) for r in range(4) for _ in range(10)]
+    assert [i for _, i in fired] == list(range(10)) * 4
+    # one heap event per round, not one per member
+    assert sim.events_dispatched == 4
+
+
+def test_distinct_phases_get_distinct_buckets():
+    sim = Simulator()
+    rounds = RoundDispatcher(sim)
+    fired = []
+    rounds.add(lambda: fired.append(("a", sim.now)), period=1.0, phase=0.25)
+    rounds.add(lambda: fired.append(("b", sim.now)), period=1.0, phase=0.75)
+    sim.run(until=2.0)
+    assert fired == [
+        ("a", 0.25), ("b", 0.75), ("a", 1.25), ("b", 1.75),
+    ]
+
+
+def test_random_phase_draws_from_rng():
+    sim = Simulator()
+    rounds = RoundDispatcher(sim)
+    rng = random.Random(5)
+    expected_phase = random.Random(5).uniform(0, 2.0)
+    fired = []
+    rounds.add(lambda: fired.append(sim.now), period=2.0, rng=rng)
+    sim.run(until=1.9 + expected_phase)
+    assert fired == [pytest.approx(expected_phase)]
+
+
+def test_jittered_member_matches_process_draw_pattern():
+    """Per-tick delays replicate SimProcess.every: period * U(1-j, 1+j)."""
+    sim = Simulator()
+    rounds = RoundDispatcher(sim)
+    rng = random.Random(9)
+    model = random.Random(9)
+    fired = []
+    rounds.add(lambda: fired.append(sim.now), period=1.0, jitter=0.2, rng=rng)
+    sim.run(until=5.0)
+    t = model.uniform(0, 1.0)
+    expected = []
+    while t <= 5.0:
+        expected.append(t)
+        t += 1.0 * model.uniform(0.8, 1.2)
+    assert fired == [pytest.approx(e) for e in expected]
+
+
+def test_cancelled_member_stops_firing():
+    sim = Simulator()
+    rounds = RoundDispatcher(sim)
+    fired = []
+    keep = rounds.add(lambda: fired.append("keep"), period=1.0, phase=0.0)
+    drop = rounds.add(lambda: fired.append("drop"), period=1.0, phase=0.0)
+    sim.run(until=0.5)
+    drop.cancel()
+    assert drop.cancelled and not keep.cancelled
+    sim.run(until=3.5)
+    assert fired == ["keep", "drop"] + ["keep"] * 3
+
+
+def test_bucket_dies_when_all_members_cancel_and_revives_on_add():
+    sim = Simulator()
+    rounds = RoundDispatcher(sim)
+    fired = []
+    member = rounds.add(lambda: fired.append("old"), period=1.0, phase=0.0)
+    sim.run(until=1.5)
+    member.cancel()
+    sim.run(until=4.0)
+    assert fired == ["old", "old"]
+    rounds.add(lambda: fired.append("new"), period=1.0, phase=0.0)
+    sim.run(until=6.0)  # new member fires at t=4, 5, 6
+    assert fired == ["old", "old", "new", "new", "new"]
+
+
+def test_add_validates_arguments():
+    sim = Simulator()
+    rounds = RoundDispatcher(sim)
+    with pytest.raises(ValueError):
+        rounds.add(lambda: None, period=0.0, phase=0.0)
+    with pytest.raises(ValueError):
+        rounds.add(lambda: None, period=1.0)  # random phase needs an rng
+    with pytest.raises(ValueError):
+        rounds.add(lambda: None, period=1.0, phase=0.0, jitter=0.1)  # jitter too
