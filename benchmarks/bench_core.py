@@ -16,12 +16,14 @@ timer-per-node, send-per-emission implementation, kept as the reference.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_core.py            # full (writes BENCH_core.json)
-    PYTHONPATH=src python benchmarks/bench_core.py --quick    # small sizes, no file
+    PYTHONPATH=src python benchmarks/bench_core.py --quick    # n=100 smoke, print only
+    PYTHONPATH=src python benchmarks/bench_core.py --quick --out q.json   # CI artifact
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import math
 import pathlib
@@ -75,11 +77,19 @@ def fingerprint(cluster: SimCluster) -> tuple:
     )
 
 
-def run_one(n_nodes: int, dispatch: str, duration: float, repeats: int = 2) -> dict:
-    """Best-of-``repeats`` wall time (identical runs; min rejects noise)."""
+def run_one(n_nodes: int, dispatch: str, duration: float, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall time (identical runs; min rejects noise).
+
+    Garbage from previous measurements is collected before each timed
+    run so a large earlier cluster can't tax this one's generational
+    sweeps — the timed region then only pays for its own allocation.
+    """
     wall = math.inf
+    cluster = None
     for _ in range(repeats):
+        del cluster
         cluster = build(n_nodes, dispatch)
+        gc.collect()
         t0 = time.perf_counter()
         cluster.run(until=duration)
         wall = min(wall, time.perf_counter() - t0)
@@ -95,40 +105,50 @@ def run_one(n_nodes: int, dispatch: str, duration: float, repeats: int = 2) -> d
 
 
 def micro_timings() -> dict:
-    """Hot-path micro timings (µs/op, best of 5 runs)."""
+    """Hot-path micro timings (µs/op, best of 5 runs).
+
+    ``buffer_snapshot`` measures the steady-state cache hit;
+    ``buffer_snapshot_rebuild`` the forced full rebuild it replaced.
+    ``receive_180_duplicates`` measures the batched columnar fold;
+    ``..._reference`` the seed's per-event loop on the same message.
+    """
     setup = """
 import random
 from repro.gossip.buffer import EventBuffer
 from repro.gossip.config import SystemConfig
-from repro.gossip.events import EventId, EventSummary
+from repro.gossip.events import EventId
 from repro.gossip.lpbcast import LpbcastProtocol
-from repro.gossip.protocol import GossipMessage
 from repro.membership.full import Directory, FullMembershipView
 
 buf = EventBuffer(180)
 for i in range(180):
     buf.add(EventId(i % 60, i), age=i % 10)
+buf.snapshot_columns()  # prime the cache
 counter = iter(range(10**9))
 
-config = SystemConfig(buffer_capacity=180, dedup_capacity=400_000)
+# max_age high enough that the timed rounds never age the buffer out
+config = SystemConfig(buffer_capacity=180, dedup_capacity=400_000, max_age=10**9)
 directory = Directory(range(60))
 proto = LpbcastProtocol(0, config, FullMembershipView(directory, 0), random.Random(1))
 for i in range(180):
     proto.broadcast(None, now=0.0)
 clock = iter(x * 1.0 for x in range(1, 10**9))
+message = proto.on_round(1.0)[0].message  # columnar, 180 events
 receiver = LpbcastProtocol(1, config, FullMembershipView(directory, 1), random.Random(2))
-message = GossipMessage(
-    sender=0,
-    events=tuple(EventSummary(EventId("s", i), i % 10, None) for i in range(180)),
-)
 receiver.on_receive(message, now=0.5)  # prime: all duplicates afterwards
+reference = LpbcastProtocol(2, config, FullMembershipView(directory, 2), random.Random(3))
+reference.on_receive_reference(message, now=0.5)
 """
     cases = {
         "buffer_add_evict": "buf.add(EventId('b', next(counter)), age=0)",
-        "buffer_snapshot": "buf.snapshot()",
+        "buffer_snapshot": "buf.snapshot_columns()",
+        "buffer_snapshot_rebuild": "buf.snapshot_columns(refresh=True)",
         "buffer_sync_age_raise": "buf.sync_age(EventId(0, 0), buf.age_of(EventId(0, 0)) + 1)",
         "round_batch_180ev": "proto.on_round_batch(next(clock))",
         "receive_180_duplicates": "receiver.on_receive(message, now=1.0)",
+        "receive_180_duplicates_reference": (
+            "reference.on_receive_reference(message, now=1.0)"
+        ),
     }
     out = {}
     for name, stmt in cases.items():
@@ -143,12 +163,17 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="*", default=[250, 500, 1000])
     parser.add_argument("--duration", type=float, default=60.0)
-    parser.add_argument("--out", default=str(ROOT / "BENCH_core.json"))
     parser.add_argument(
-        "--quick", action="store_true", help="tiny sizes, print only, no file"
+        "--out",
+        default=None,
+        help="output JSON path (defaults to BENCH_core.json for full runs; "
+        "quick runs only write when --out is given, e.g. the CI smoke job)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="n=100, short horizon (CI smoke)"
     )
     args = parser.parse_args(argv)
-    sizes = [60, 120] if args.quick else args.sizes
+    sizes = [100] if args.quick else args.sizes
     duration = 20.0 if args.quick else args.duration
 
     scaling = []
@@ -188,12 +213,42 @@ def main(argv=None) -> int:
         "scaling": scaling,
         "speedup_batched_vs_timers": speedups,
         "micro_hot_paths": micro,
+        # PR 1's recorded numbers for the same scenario, kept so the
+        # hot-path trajectory stays visible across PRs.
+        "baseline_pr1": _PR1_BASELINE,
+        "speedup_vs_pr1": _vs_pr1(scaling, micro),
     }
-    if not args.quick:
-        out = pathlib.Path(args.out)
+    out_path = args.out
+    if out_path is None and not args.quick:
+        out_path = str(ROOT / "BENCH_core.json")
+    if out_path is not None:
+        out = pathlib.Path(out_path)
         out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out}")
     return 0
+
+
+_PR1_BASELINE = {
+    "batched_wall_seconds": {"250": 0.4892, "500": 1.1881, "1000": 2.9958},
+    "micro_hot_paths": {
+        "buffer_snapshot_us": 50.665,
+        "receive_180_duplicates_us": 34.879,
+    },
+}
+
+
+def _vs_pr1(scaling: list, micro: dict) -> dict:
+    """End-to-end and micro speedups against PR 1's recorded numbers."""
+    out: dict = {}
+    baseline = _PR1_BASELINE["batched_wall_seconds"]
+    for row in scaling:
+        key = str(row["n_nodes"])
+        if row["dispatch"] == "batched" and key in baseline:
+            out[f"batched_{key}"] = round(baseline[key] / row["wall_seconds"], 3)
+    for name, value in _PR1_BASELINE["micro_hot_paths"].items():
+        if name in micro and micro[name]:
+            out[name] = round(value / micro[name], 3)
+    return out
 
 
 if __name__ == "__main__":

@@ -5,13 +5,20 @@ multi-round measurement): the per-round and per-receive costs bound how
 large a simulated system the harness can afford, and the anchor-based
 buffer justifies itself here (an O(n)-ageing buffer would dominate
 every round).
+
+The ``test_speedup_*`` tests are the acceptance gates of the
+zero-rebuild hot path: they time the cached/batched paths against the
+rebuild/reference paths *in the same process* and assert the floor
+ratios (≥5x for the snapshot cache hit, ≥2x for batched duplicate
+folding), so the optimisation cannot silently rot.
 """
 
 import random
+import timeit
 
 from repro.gossip.buffer import EventBuffer
 from repro.gossip.config import SystemConfig
-from repro.gossip.events import EventId, EventSummary
+from repro.gossip.events import EventColumns, EventId, EventSummary
 from repro.gossip.lpbcast import LpbcastProtocol
 from repro.gossip.protocol import GossipMessage
 from repro.membership.full import Directory, FullMembershipView
@@ -41,10 +48,25 @@ def test_micro_buffer_advance_round(benchmark):
     benchmark(buf.advance_round)
 
 
-def test_micro_buffer_snapshot(benchmark):
+def test_micro_buffer_snapshot_cache_hit(benchmark):
     buf = make_filled_buffer(180)
-    result = benchmark(buf.snapshot)
+    buf.snapshot_columns()  # prime
+    result = benchmark(buf.snapshot_columns)
     assert len(result) == 180
+
+
+def test_micro_buffer_snapshot_rebuild(benchmark):
+    buf = make_filled_buffer(180)
+    result = benchmark(lambda: buf.snapshot_columns(refresh=True))
+    assert len(result) == 180
+
+
+def test_micro_buffer_sync_ages_no_raise(benchmark):
+    """The steady-state duplicate fold: nothing actually raises."""
+    buf = make_filled_buffer(180)
+    columns = buf.snapshot_columns()
+    raised = benchmark(lambda: buf.sync_ages(columns.ids, columns.ages))
+    assert raised == 0
 
 
 def test_micro_buffer_oldest_excluding(benchmark):
@@ -101,8 +123,55 @@ def test_micro_receive_full_message(benchmark):
 def test_micro_receive_all_duplicates(benchmark):
     sender, receiver = _protocol_pair()
     message = sender.on_round(1.0)[0].message
+    assert isinstance(message.events, EventColumns)
     receiver.on_receive(message, now=1.0)  # prime: all known afterwards
     benchmark(lambda: receiver.on_receive(message, now=1.1))
+
+
+def test_micro_receive_batch_all_duplicates(benchmark):
+    """Ten coalesced 180-duplicate messages through on_receive_batch."""
+    sender, receiver = _protocol_pair()
+    message = sender.on_round(1.0)[0].message
+    receiver.on_receive(message, now=1.0)
+    messages = [message] * 10
+    benchmark(lambda: receiver.on_receive_batch(messages, now=1.1))
+
+
+# ----------------------------------------------------------------------
+# acceptance gates: the zero-rebuild paths must stay decisively faster
+# ----------------------------------------------------------------------
+def _best(stmt, number, repeat=7):
+    return min(timeit.repeat(stmt, number=number, repeat=repeat)) / number
+
+
+def test_speedup_snapshot_cache_hit_vs_rebuild():
+    buf = make_filled_buffer(180)
+    buf.snapshot_columns()
+    hit = _best(buf.snapshot_columns, number=5000)
+    rebuild = _best(lambda: buf.snapshot_columns(refresh=True), number=1000)
+    assert rebuild / hit >= 5.0, f"cache hit only {rebuild / hit:.1f}x faster"
+
+
+def test_speedup_batched_duplicate_folding_vs_reference():
+    config = SystemConfig(buffer_capacity=180, dedup_capacity=400_000)
+    directory = Directory(range(60))
+    sender = LpbcastProtocol(
+        0, config, FullMembershipView(directory, 0), random.Random(1)
+    )
+    for _ in range(180):
+        sender.broadcast(None, now=0.0)
+    message = sender.on_round(1.0)[0].message
+    batched = LpbcastProtocol(
+        1, config, FullMembershipView(directory, 1), random.Random(2)
+    )
+    batched.on_receive(message, now=1.0)
+    reference = LpbcastProtocol(
+        2, config, FullMembershipView(directory, 2), random.Random(3)
+    )
+    reference.on_receive_reference(message, now=1.0)
+    new = _best(lambda: batched.on_receive(message, 1.1), number=2000)
+    ref = _best(lambda: reference.on_receive_reference(message, 1.1), number=2000)
+    assert ref / new >= 2.0, f"batched fold only {ref / new:.1f}x faster"
 
 
 def test_micro_codec_encode(benchmark):

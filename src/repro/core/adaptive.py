@@ -23,8 +23,12 @@ substrate-agnostic.
 Because both variants hook into the baseline rather than reimplement its
 round/receive loops, they inherit the batched hot path too: one
 ``on_round_batch`` call produces the round's ``(targets, message)`` pair
-with the adaptive header attached, and drivers multicast it without
-per-destination tuples.
+with the adaptive header attached — the events embedded as the buffer's
+cached columnar snapshot — and drivers multicast it without
+per-destination tuples. The receive side likewise inherits the batched
+duplicate folding (and ``on_receive_reference``); the Figure 5(b)
+``_after_receive`` hook runs after the fold against the un-trimmed
+buffer exactly as before, so the congestion signal is unchanged.
 
 Admission interface
 -------------------

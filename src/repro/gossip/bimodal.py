@@ -27,7 +27,7 @@ from typing import Any, Optional
 from repro.gossip.buffer import DroppedEvent, EventBuffer
 from repro.gossip.config import SystemConfig
 from repro.gossip.dedup import DedupStore
-from repro.gossip.events import EventId, EventSummary
+from repro.gossip.events import EventColumns, EventId, EventSummary
 from repro.gossip.lpbcast import ProtocolStats
 from repro.gossip.peer_sampling import TargetSampler, UniformSampler
 from repro.gossip.protocol import (
@@ -43,7 +43,7 @@ from repro.gossip.protocol import (
 __all__ = ["BimodalStats", "BimodalProtocol"]
 
 
-@dataclass
+@dataclass(slots=True)
 class BimodalStats(ProtocolStats):
     """Baseline counters plus the anti-entropy specifics."""
 
@@ -59,6 +59,8 @@ class BimodalProtocol(GossipProtocol):
     Constructor signature matches :class:`LpbcastProtocol` so the same
     drivers and factories work.
     """
+
+    may_reply = True  # digests pull requests, requests pull replies
 
     def __init__(
         self,
@@ -76,6 +78,12 @@ class BimodalProtocol(GossipProtocol):
         self.rng = rng
         self.buffer = EventBuffer(config.buffer_capacity)
         self.dedup = DedupStore(config.dedup_capacity)
+        self._known_ids = self.dedup.backing  # stable dict, bound once
+        self._known_keys = self._known_ids.keys()  # live view, set-typed
+        self._membership_receive = (
+            None if getattr(membership, "gossip_passive", False)
+            else membership.on_gossip_receive
+        )
         self.stats = BimodalStats()
         self._deliver_fn = deliver_fn
         self._drop_fn = drop_fn
@@ -137,11 +145,11 @@ class BimodalProtocol(GossipProtocol):
 
         targets = self._sampler.select(self.membership, self.config.fanout, self.rng)
         if targets:
+            # ids + anchors from the cached columnar snapshot, payloads
+            # stripped — the digest never re-copies the buffer contents.
             digest = GossipMessage(
                 sender=self.node_id,
-                events=tuple(
-                    EventSummary(s.id, s.age, None) for s in self.buffer.snapshot()
-                ),
+                events=self.buffer.snapshot_columns().without_payloads(),
                 adaptive=header,
                 membership=membership_header,
                 kind="digest",
@@ -156,7 +164,9 @@ class BimodalProtocol(GossipProtocol):
     # ------------------------------------------------------------------
     def on_receive(self, message: GossipMessage, now: float) -> list[Emission]:
         self.stats.messages_received += 1
-        self.membership.on_gossip_receive(message.membership, message.sender, self.rng)
+        membership_receive = self._membership_receive
+        if membership_receive is not None:
+            membership_receive(message.membership, message.sender, self.rng)
         if message.adaptive is not None:
             self._on_adaptive_header(message.adaptive, now)
 
@@ -171,23 +181,37 @@ class BimodalProtocol(GossipProtocol):
 
     def _fold_events(self, message: GossipMessage, now: float) -> None:
         buffer = self.buffer
-        for event_id, age, payload in message.events:
-            if not self.dedup.add(event_id):
-                self.stats.duplicates_seen += 1
-                buffer.sync_age(event_id, age)
-                continue
-            if message.kind == "reply":
-                self.stats.events_repaired += 1
-            self._deliver(event_id, payload, now)
-            buffer.stage(event_id, age=age, payload=payload)
+        events = message.events
+        if type(events) is EventColumns and self._known_keys >= events.id_set:
+            # Steady state: all duplicates — one batched age fold.
+            self.stats.duplicates_seen += len(events.ids)
+            buffer.sync_ages(events.ids, events.ages)
+        else:
+            repaired = message.kind == "reply"
+            for event_id, age, payload in events:
+                if not self.dedup.add(event_id):
+                    self.stats.duplicates_seen += 1
+                    buffer.sync_age(event_id, age)
+                    continue
+                if repaired:
+                    self.stats.events_repaired += 1
+                self._deliver(event_id, payload, now)
+                buffer.stage(event_id, age=age, payload=payload)
         self._after_receive(message, now)
         self._note_drops(buffer.evict_overflow(), now)
 
     def _answer_digest(self, message: GossipMessage, now: float) -> list[Emission]:
+        events = message.events
+        if type(events) is EventColumns and self._known_keys >= events.id_set:
+            # Nothing missing: fold the whole digest's ages in one pass.
+            self.buffer.sync_ages(events.ids, events.ages)
+            return []
         missing = []
-        for event_id, age, _none in message.events:
-            if event_id in self.dedup:
-                self.buffer.sync_age(event_id, age)
+        known = self._known_ids
+        sync_age = self.buffer.sync_age
+        for event_id, age, _none in events:
+            if event_id in known:
+                sync_age(event_id, age)
             else:
                 missing.append(EventSummary(event_id, 0, None))
         if not missing:

@@ -24,15 +24,28 @@ duplicate age-raising would otherwise grow it without bound). The
 observable behaviour is
 identical to Figure 1 (the unit tests check this against a brute-force
 model).
+
+Performance note — the cached columnar snapshot
+-----------------------------------------------
+Every round every node re-gossips its whole buffer, but between rounds
+the buffer is usually *unchanged* — anchors do not move on
+:meth:`advance_round`, only on add/remove/``sync_age``. The buffer
+therefore keeps its wire columns ``(ids, anchors, payloads)`` cached
+under a mutation version counter: :meth:`snapshot_columns` is a pure
+cache hit when nothing arrived between rounds, an O(new) append patch
+when only new events were staged, and a full rebuild only after a
+removal or an age raise. Batched duplicate folding goes through
+:meth:`sync_ages`, which walks the entry dict directly and defers heap
+maintenance to one :meth:`compact` pass when enough anchors moved.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Container, Iterator, NamedTuple, Optional
+from typing import Any, Container, Iterable, Iterator, NamedTuple, Optional
 
-from repro.gossip.events import EventId, EventSummary
+from repro.gossip.events import EventColumns, EventId, EventSummary
 
 __all__ = ["DroppedEvent", "EventBuffer"]
 
@@ -75,6 +88,17 @@ class EventBuffer:
         self._entries: dict[EventId, _Entry] = {}
         self._heap: list[tuple[int, int, EventId]] = []
         self._arrivals = itertools.count()
+        # snapshot cache: wire columns valid at mutation version _snap_version
+        self._version = 0
+        self._snap_version = -1
+        self._snap_ids: tuple[EventId, ...] = ()
+        self._snap_anchors: tuple[int, ...] = ()
+        self._snap_payloads: tuple[Any, ...] = ()
+        self._snap_id_set: frozenset = frozenset()
+        # Entries staged since the cache was built (an O(new) append patch
+        # on the next snapshot); None after any non-append mutation —
+        # removal or anchor change — meaning a full rebuild is due.
+        self._snap_pending: Optional[list[_Entry]] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -108,7 +132,12 @@ class EventBuffer:
     # mutation
     # ------------------------------------------------------------------
     def advance_round(self) -> None:
-        """Age every stored event by one round. O(1)."""
+        """Age every stored event by one round. O(1).
+
+        Anchors are round-relative, so this neither moves an anchor nor
+        invalidates the snapshot cache — the next round's gossip reuses
+        the cached columns with a higher base round.
+        """
         self._round += 1
 
     def add(self, event_id: EventId, age: int = 0, payload: Any = None) -> list[DroppedEvent]:
@@ -139,6 +168,9 @@ class EventBuffer:
         entry = _Entry(event_id, anchor, next(self._arrivals), payload)
         self._entries[event_id] = entry
         heapq.heappush(self._heap, (anchor, entry.arrival, event_id))
+        self._version += 1
+        if self._snap_pending is not None:  # an append: the cache patches
+            self._snap_pending.append(entry)
 
     def evict_overflow(self) -> list[DroppedEvent]:
         """Trim to capacity, oldest first; returns what was dropped."""
@@ -160,6 +192,8 @@ class EventBuffer:
         anchor = self._round - age
         if anchor < entry.anchor:
             entry.anchor = anchor
+            self._version += 1
+            self._snap_pending = None
             heap = self._heap
             heapq.heappush(heap, (anchor, entry.arrival, event_id))
             if len(heap) > 64 and len(heap) > 4 * len(self._entries):
@@ -167,9 +201,55 @@ class EventBuffer:
             return True
         return False
 
+    def sync_ages(self, ids: Iterable[EventId], ages: Iterable[int]) -> int:
+        """Raise stored ages to ``max(current, age)`` for many events.
+
+        The batched counterpart of calling :meth:`sync_age` per id —
+        one direct walk over the entry dict, with heap maintenance
+        deferred to a single :meth:`compact` pass when enough anchors
+        moved to make per-raise pushes a net loss. Unknown ids are
+        ignored. Returns the number of ages actually raised.
+        """
+        round_ = self._round
+        raised: Optional[list[tuple[int, int, EventId]]] = None
+        # map() dispatches the dict lookups at C speed; the Python body
+        # only runs the compare (and, rarely, the raise).
+        for entry, age in zip(map(self._entries.get, ids), ages):
+            if entry is None:
+                continue
+            anchor = round_ - age
+            if anchor < entry.anchor:
+                entry.anchor = anchor
+                if raised is None:
+                    raised = [(anchor, entry.arrival, entry.id)]
+                else:
+                    raised.append((anchor, entry.arrival, entry.id))
+        if raised is None:
+            return 0
+        entries = self._entries
+        self._version += 1
+        self._snap_pending = None
+        heap = self._heap
+        if 4 * len(raised) >= len(entries):
+            # Rebuilding once beats pushing (and later skipping) this
+            # many strands — the heap comes out stale-free as a bonus.
+            self.compact()
+        else:
+            for item in raised:
+                heapq.heappush(heap, item)
+            if len(heap) > 64 and len(heap) > 4 * len(entries):
+                self.compact()
+        return len(raised)
+
     def drop_aged_out(self, max_age: int) -> list[DroppedEvent]:
         """Remove every event with age strictly greater than ``max_age``."""
         cutoff = self._round - max_age  # drop anchors strictly below cutoff
+        heap = self._heap
+        if not heap or heap[0][0] >= cutoff:
+            # The heap minimum bounds every live anchor (stale records
+            # only ever carry anchors of entries that were since lowered
+            # or removed), so nothing can be old enough to drop.
+            return []
         dropped: list[DroppedEvent] = []
         while self._heap:
             anchor, arrival, event_id = self._heap[0]
@@ -181,6 +261,8 @@ class EventBuffer:
                 break
             heapq.heappop(self._heap)
             del self._entries[event_id]
+            self._version += 1
+            self._snap_pending = None
             dropped.append(DroppedEvent(event_id, self._round - anchor, entry.payload, "age_out"))
         return dropped
 
@@ -193,6 +275,8 @@ class EventBuffer:
         entry = self._entries.pop(event_id, None)
         if entry is None:
             return None
+        self._version += 1
+        self._snap_pending = None
         return DroppedEvent(event_id, self._round - entry.anchor, entry.payload, reason)
 
     def resize(self, capacity: int) -> list[DroppedEvent]:
@@ -218,21 +302,60 @@ class EventBuffer:
             if entry is None or entry.anchor != anchor or entry.arrival != arrival:
                 continue  # stale heap record
             del self._entries[event_id]
+            self._version += 1
+            self._snap_pending = None
             return event_id, entry
 
     # ------------------------------------------------------------------
     # read paths used by the protocols
     # ------------------------------------------------------------------
-    def snapshot(self) -> list[EventSummary]:
-        """Wire summaries of all stored events with their current ages.
+    def snapshot_columns(self, refresh: bool = False) -> EventColumns:
+        """Wire columns of all stored events, anchored at the current round.
 
-        The caller may share the returned list between the ``f`` copies of
-        one round's gossip message; it must not mutate it.
+        The heavy part — the ``(ids, anchors, payloads)`` column tuples —
+        is cached under the mutation version counter: unchanged buffer →
+        cache hit; only appends since the last build → incremental patch;
+        anything else → full rebuild. ``refresh=True`` forces the rebuild
+        (benchmark/measurement hook). The returned columns may be shared
+        between the ``f`` copies of one round's gossip message; callers
+        must not mutate them.
         """
-        round_ = self._round
-        return [
-            EventSummary(eid, round_ - e.anchor, e.payload) for eid, e in self._entries.items()
-        ]
+        if refresh or self._snap_version != self._version:
+            pending = self._snap_pending
+            if refresh or not pending:
+                # Full rebuild (first snapshot, or a removal/age raise
+                # happened since the last one).
+                entries = list(self._entries.values())
+                self._snap_ids = tuple([e.id for e in entries])
+                self._snap_anchors = tuple([e.anchor for e in entries])
+                self._snap_payloads = tuple([e.payload for e in entries])
+                self._snap_id_set = frozenset(self._snap_ids)
+            else:
+                # Append-only delta: the staged entries are exactly the
+                # (insertion-ordered) dict's tail — an O(new) patch.
+                fresh_ids = tuple([e.id for e in pending])
+                self._snap_ids += fresh_ids
+                self._snap_anchors += tuple([e.anchor for e in pending])
+                self._snap_payloads += tuple([e.payload for e in pending])
+                self._snap_id_set = self._snap_id_set.union(fresh_ids)
+            self._snap_pending = []
+            self._snap_version = self._version
+        return EventColumns(
+            self._snap_ids,
+            self._round,
+            self._snap_anchors,
+            self._snap_payloads,
+            id_set=self._snap_id_set,
+        )
+
+    def snapshot(self) -> list[EventSummary]:
+        """Row-form summaries of all stored events with their current ages.
+
+        Compatibility view over :meth:`snapshot_columns`; hot paths embed
+        the columns directly. The caller must not mutate the result.
+        """
+        columns = self.snapshot_columns()
+        return list(map(EventSummary, columns.ids, columns.ages, columns.payloads))
 
     def oldest_excluding(
         self, count: int, exclude: Optional[Container[EventId]] = None

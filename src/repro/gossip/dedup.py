@@ -14,6 +14,7 @@ metrics collector, which tracks per-event receiver sets.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator
 
 from repro.gossip.events import EventId
@@ -35,6 +36,19 @@ class DedupStore:
     def capacity(self) -> int:
         return self._capacity
 
+    @property
+    def backing(self) -> dict:
+        """The insertion-ordered backing dict.
+
+        The batched receive paths split a message's ids into new vs
+        duplicate with set operations against this dict and bulk-insert
+        the new ids directly (``backing[event_id] = None``), then call
+        :meth:`trim` once — one capacity pass per message instead of one
+        per event. Callers must only *append* ids through it; ordering is
+        the eviction order.
+        """
+        return self._ids
+
     def __len__(self) -> int:
         return len(self._ids)
 
@@ -52,6 +66,22 @@ class DedupStore:
         if len(self._ids) > self._capacity:
             self._evict_oldest()
         return True
+
+    def trim(self) -> int:
+        """Evict oldest ids until within capacity; returns evicted count.
+
+        Complements bulk insertion through :attr:`backing`: the final
+        state (last ``capacity`` ids in insertion order) is identical to
+        per-:meth:`add` eviction, paid once per batch.
+        """
+        ids = self._ids
+        excess = len(ids) - self._capacity
+        if excess <= 0:
+            return 0
+        for event_id in list(itertools.islice(iter(ids), excess)):
+            del ids[event_id]
+        self.evictions += excess
+        return excess
 
     def resize(self, capacity: int) -> None:
         """Change capacity; evicts oldest ids if shrinking."""

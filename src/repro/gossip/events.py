@@ -11,13 +11,29 @@ synchronise ages to the maximum seen when duplicates arrive. Age is a
 proxy for how widely the event has been disseminated, which is exactly why
 the adaptive mechanism uses the age of *dropped* events as its congestion
 signal.
+
+Wire forms
+----------
+Two interchangeable representations of a message's events exist:
+
+* a plain tuple of :class:`EventSummary` — the row form, used for small
+  hand-built event lists (recovery requests, repair replies);
+* :class:`EventColumns` — the columnar, anchor-relative form the hot
+  paths use. It stores ``(ids, base_round, anchors, payloads)`` and
+  computes ``age = base_round - anchor`` on demand, which lets
+  :class:`~repro.gossip.buffer.EventBuffer` share one cached column set
+  across every message of a round instead of rebuilding a summary list.
+
+The two compare equal when they describe the same events, and
+:class:`EventColumns` iterates as :class:`EventSummary` rows, so code
+written against the row form keeps working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, NamedTuple
+from typing import Any, Iterable, Iterator, NamedTuple, Optional
 
-__all__ = ["EventId", "EventSummary", "make_event_id"]
+__all__ = ["EventId", "EventSummary", "EventColumns", "make_event_id"]
 
 
 class EventId(NamedTuple):
@@ -28,11 +44,126 @@ class EventId(NamedTuple):
 
 
 class EventSummary(NamedTuple):
-    """Wire form of a buffered event, as carried inside gossip messages."""
+    """Row wire form of a buffered event, as carried inside gossip messages."""
 
     id: EventId
     age: int
     payload: Any
+
+
+class EventColumns:
+    """Columnar, anchor-relative form of a message's events.
+
+    ``anchors[i]`` is ``base_round - age_i`` in the *sender's* round
+    numbering; receivers recover ages as ``base_round - anchors[i]``
+    without caring about the sender's absolute round. The column tuples
+    may be shared with the sender's buffer cache and between the ``f``
+    copies of one round's gossip — treat them as immutable.
+
+    ``ages`` and ``id_set`` are computed lazily and cached, so the ``f``
+    receivers of one shared message pay for them once.
+    """
+
+    __slots__ = ("ids", "base_round", "anchors", "payloads", "_ages", "_id_set")
+
+    def __init__(
+        self,
+        ids: tuple[EventId, ...],
+        base_round: int,
+        anchors: tuple[int, ...],
+        payloads: tuple[Any, ...],
+        id_set: Optional[frozenset] = None,
+    ) -> None:
+        self.ids = ids
+        self.base_round = base_round
+        self.anchors = anchors
+        self.payloads = payloads
+        self._ages: Optional[tuple[int, ...]] = None
+        # Builders that already hold the ids as a frozenset (the buffer's
+        # snapshot cache) pass it in so receivers never rebuild it.
+        self._id_set: Optional[frozenset] = id_set
+
+    @classmethod
+    def from_summaries(cls, summaries: Iterable[EventSummary]) -> "EventColumns":
+        """Build columns (base round 0) from row-form summaries."""
+        rows = tuple(summaries)
+        if not rows:
+            return cls((), 0, (), ())
+        ids, ages, payloads = zip(*rows)
+        return cls(tuple(ids), 0, tuple(-age for age in ages), tuple(payloads))
+
+    # ------------------------------------------------------------------
+    # derived columns (lazy, shared across the f receivers)
+    # ------------------------------------------------------------------
+    @property
+    def ages(self) -> tuple[int, ...]:
+        """Per-event ages, ``base_round - anchor``."""
+        ages = self._ages
+        if ages is None:
+            base = self.base_round
+            ages = self._ages = tuple(base - anchor for anchor in self.anchors)
+        return ages
+
+    @property
+    def id_set(self) -> frozenset:
+        """The ids as a frozenset (duplicate-split set operations)."""
+        ids = self._id_set
+        if ids is None:
+            ids = self._id_set = frozenset(self.ids)
+        return ids
+
+    def without_payloads(self) -> "EventColumns":
+        """The same events with payloads stripped (digest messages)."""
+        stripped = EventColumns(
+            self.ids,
+            self.base_round,
+            self.anchors,
+            (None,) * len(self.ids),
+            id_set=self._id_set,
+        )
+        stripped._ages = self._ages  # same base and anchors
+        return stripped
+
+    # ------------------------------------------------------------------
+    # row-form compatibility view
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[EventSummary]:
+        return map(EventSummary, self.ids, self.ages, self.payloads)
+
+    def __getitem__(self, index: int) -> EventSummary:
+        return EventSummary(self.ids[index], self.ages[index], self.payloads[index])
+
+    def summaries(self) -> tuple[EventSummary, ...]:
+        """The events as a row-form tuple."""
+        return tuple(self)
+
+    # Equality is semantic — same ids, ages and payloads — so a columnar
+    # message equals its row form regardless of the anchor base, and codec
+    # round-trips may re-base without breaking ``decode(encode(m)) == m``.
+    def __eq__(self, other: Any):
+        if isinstance(other, EventColumns):
+            return (
+                self.ids == other.ids
+                and self.payloads == other.payloads
+                and self.ages == other.ages
+            )
+        if isinstance(other, (tuple, list)):
+            if len(other) != len(self.ids):
+                return False
+            return all(mine == theirs for mine, theirs in zip(self, other))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return (
+            f"EventColumns(n={len(self.ids)}, base_round={self.base_round}, "
+            f"ids={self.ids!r})"
+        )
 
 
 def make_event_id(origin: Any, seq: int) -> EventId:

@@ -13,6 +13,21 @@ Behaviour, in the paper's own structure:
   2. *Garbage collect* — ``eventIds`` is FIFO-bounded; ``events`` drops
      its oldest entries when over capacity.
 
+The steady-state receive path is batch-oriented: columnar messages are
+split into new-vs-duplicate ids with set operations against the dedup
+store's backing dict, new ids are bulk-inserted (one capacity trim per
+message), and duplicate age-raises fold through one
+:meth:`~repro.gossip.buffer.EventBuffer.sync_ages` call. In the regime
+the paper's steady state lives in — every summary a duplicate — the
+whole message reduces to one subset check and one direct-dict loop.
+The seed's per-event loop is kept verbatim as
+:meth:`on_receive_reference`; the dispatch-determinism tests assert the
+two paths produce byte-identical runs. (The one observable difference
+is deliberately pathological: with the batch path, ids are atomic
+within a message, so an undersized dedup store can no longer evict an
+id mid-message and re-deliver a later duplicate of it from the *same*
+message.)
+
 ``upon BROADCAST(event)`` (:meth:`LpbcastProtocol.broadcast`):
   buffer the new event locally with age 0 (admission control — the token
   bucket of Figure 3 — lives in :mod:`repro.core.tokens` and is applied by
@@ -33,7 +48,7 @@ from typing import Any, Optional
 from repro.gossip.buffer import DroppedEvent, EventBuffer
 from repro.gossip.config import SystemConfig
 from repro.gossip.dedup import DedupStore
-from repro.gossip.events import EventId
+from repro.gossip.events import EventColumns, EventId
 from repro.gossip.peer_sampling import TargetSampler, UniformSampler
 from repro.gossip.protocol import (
     AdaptiveHeader,
@@ -48,7 +63,7 @@ from repro.gossip.protocol import (
 __all__ = ["LpbcastProtocol", "ProtocolStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ProtocolStats:
     """Per-node protocol counters (used by tests and metrics)."""
 
@@ -112,6 +127,37 @@ class LpbcastProtocol(GossipProtocol):
         self.rng = rng
         self.buffer = EventBuffer(config.buffer_capacity)
         self.dedup = DedupStore(config.dedup_capacity)
+        # The dedup backing dict, bound once — the receive path consults
+        # it per message and the dict object is stable for the store's
+        # lifetime (resize/trim mutate it in place).
+        self._known_ids = self.dedup.backing
+        self._known_keys = self._known_ids.keys()  # live view, set-typed
+        # Per-message hook elision, resolved once: passive membership
+        # views (full membership) skip the on_gossip_receive call, and
+        # variants that don't override _after_receive skip that call.
+        self._membership_receive = (
+            None if getattr(membership, "gossip_passive", False)
+            else membership.on_gossip_receive
+        )
+        self._has_after_hook = (
+            type(self)._after_receive is not LpbcastProtocol._after_receive
+        )
+        self._has_before_hook = (
+            type(self)._before_emission is not LpbcastProtocol._before_emission
+        )
+        self._has_header_hook = (
+            type(self)._emission_headers is not LpbcastProtocol._emission_headers
+        )
+        # Subclasses that wrap on_receive (e.g. keyed obsolescence) must
+        # see every message: the hoisted batch loop only applies when
+        # on_receive is the stock implementation.
+        self._receive_overridden = (
+            type(self).on_receive is not LpbcastProtocol.on_receive
+        )
+        self._membership_emit = (
+            None if getattr(membership, "gossip_passive", False)
+            else membership.on_gossip_emit
+        )
         self.stats = ProtocolStats()
         self._deliver_fn = deliver_fn
         self._drop_fn = drop_fn
@@ -149,30 +195,39 @@ class LpbcastProtocol(GossipProtocol):
         """Currently allowed sending rate; None means unbounded."""
         return None
 
+    # Push-only: on_receive never returns replies, so drivers may skip
+    # reply handling entirely (pull variants set this True).
+    may_reply = False
+
     # ------------------------------------------------------------------
     # rounds
     # ------------------------------------------------------------------
-    def _round_batch(self, now: float) -> tuple[tuple, Optional[GossipMessage]]:
+    def _round_batch(self, now: float):
         """One round's work: returns ``(targets, message)``; message may be None."""
-        self.stats.rounds += 1
-        self.buffer.advance_round()
-        self._note_drops(self.buffer.drop_aged_out(self.config.max_age), now)
-        self._before_emission(now)
+        stats = self.stats
+        stats.rounds += 1
+        buffer = self.buffer
+        buffer.advance_round()
+        dropped = buffer.drop_aged_out(self.config.max_age)
+        if dropped:
+            self._note_drops(dropped, now)
+        if self._has_before_hook:
+            self._before_emission(now)
 
         targets = self._sampler.select(self.membership, self.config.fanout, self.rng)
         if not targets:
             return (), None
-        events = tuple(self.buffer.snapshot())  # shared across the f copies
-        membership_header = self.membership.on_gossip_emit(self.rng)
-        adaptive_header = self._emission_headers(now)
+        # Columnar snapshot, shared across the f copies — a cache hit
+        # whenever no event arrived since the last round (see EventBuffer).
+        membership_emit = self._membership_emit
         message = GossipMessage(
             sender=self.node_id,
-            events=events,
-            adaptive=adaptive_header,
-            membership=membership_header,
+            events=buffer.snapshot_columns(),
+            adaptive=self._emission_headers(now) if self._has_header_hook else None,
+            membership=membership_emit(self.rng) if membership_emit is not None else None,
         )
-        self.stats.messages_sent += len(targets)
-        return tuple(targets), message
+        stats.messages_sent += len(targets)
+        return targets, message
 
     def on_round(self, now: float) -> list[Emission]:
         targets, message = self._round_batch(now)
@@ -190,24 +245,107 @@ class LpbcastProtocol(GossipProtocol):
     # receive path
     # ------------------------------------------------------------------
     def on_receive(self, message: GossipMessage, now: float) -> list[Emission]:
-        stats = self.stats
-        stats.messages_received += 1
-        self.membership.on_gossip_receive(message.membership, message.sender, self.rng)
-        if message.adaptive is not None:
-            self._on_adaptive_header(message.adaptive, now)
+        self._receive_many((message,), now)
+        return []
 
-        # Figure 1 ordering: fold every event in first, garbage collect
-        # after. The _after_receive hook runs in between, against the
-        # un-trimmed buffer — that is where Figure 5(b) measures what a
-        # minBuff-sized buffer would have dropped. In steady state most
-        # summaries are duplicates, so the loop binds the per-event
-        # callables once and batches the duplicate count.
+    def on_receive_batch(self, messages, now: float) -> list[Emission]:
+        """Fold several messages arriving at one instant.
+
+        Message-for-message identical to calling :meth:`on_receive` in
+        order. Drivers that coalesce deliveries per instant (the
+        simulated network, the threaded runtime's queue drain) land
+        here. Subclasses that override :meth:`on_receive` are routed
+        through their override, message by message.
+        """
+        if self._receive_overridden:
+            replies: list[Emission] = []
+            for message in messages:
+                replies.extend(self.on_receive(message, now))
+            return replies
+        self._receive_many(messages, now)
+        return []
+
+    def _receive_many(self, messages, now: float) -> None:
+        """The receive loop shared by the single and batched entry points.
+
+        Hoists the per-message binds (stats, dedup keys, buffer) across
+        the batch, and must never dispatch back through
+        :meth:`on_receive` — subclass wrappers route in from above.
+
+        Figure 1 ordering per message: fold every event in first,
+        garbage collect after. The _after_receive hook runs in between,
+        against the un-trimmed buffer — that is where Figure 5(b)
+        measures what a minBuff-sized buffer would have dropped.
+        """
+        stats = self.stats
+        stats.messages_received += len(messages)
+        membership_receive = self._membership_receive
+        known_keys = self._known_keys
+        buffer = self.buffer
+        sync_ages = buffer.sync_ages
+        rng = self.rng
+        has_after = self._has_after_hook
+        for message in messages:
+            if membership_receive is not None:
+                membership_receive(message.membership, message.sender, rng)
+            if message.adaptive is not None:
+                self._on_adaptive_header(message.adaptive, now)
+            events = message.events
+            if type(events) is EventColumns:
+                ids = events.ids
+                if ids:
+                    id_set = events._id_set  # inline the lazy-property slots
+                    if id_set is None:
+                        id_set = events.id_set
+                    if known_keys >= id_set:
+                        # Steady state: every summary is a duplicate. No
+                        # deliveries, no dedup mutation, nothing staged
+                        # (so no overflow possible) — one batched fold.
+                        stats.duplicates_seen += len(ids)
+                        ages = events._ages
+                        if ages is None:
+                            ages = events.ages
+                        sync_ages(ids, ages)
+                        if has_after:
+                            self._after_receive(message, now)
+                        continue
+                    self._fold_columns(events, now)
+            elif events:
+                self._fold_rows(events, now)
+            if has_after:
+                self._after_receive(message, now)
+            if len(buffer) > buffer.capacity:
+                self._note_drops(buffer.evict_overflow(), now)
+
+    def _fold_columns(self, events: EventColumns, now: float) -> None:
+        """Fold a columnar message with at least one new event."""
+        buffer = self.buffer
+        dedup = self.dedup
+        known = self._known_ids
+        stage = buffer.stage
+        duplicate_ids: list = []
+        duplicate_ages: list[int] = []
+        for event_id, age, payload in zip(events.ids, events.ages, events.payloads):
+            if event_id in known:
+                duplicate_ids.append(event_id)
+                duplicate_ages.append(age)
+            else:
+                known[event_id] = None
+                self._deliver(event_id, payload, now)
+                stage(event_id, age=age, payload=payload)
+        dedup.trim()
+        if duplicate_ids:
+            self.stats.duplicates_seen += len(duplicate_ids)
+            buffer.sync_ages(duplicate_ids, duplicate_ages)
+
+    def _fold_rows(self, events, now: float) -> None:
+        """Fold row-form events (hand-built lists: requests, replies)."""
         buffer = self.buffer
         dedup_add = self.dedup.add
         sync_age = buffer.sync_age
         stage = buffer.stage
         duplicates = 0
-        for event_id, age, payload in message.events:
+        for event_id, age, payload in events:
             if dedup_add(event_id):
                 self._deliver(event_id, payload, now)
                 stage(event_id, age=age, payload=payload)
@@ -215,8 +353,22 @@ class LpbcastProtocol(GossipProtocol):
                 duplicates += 1
                 sync_age(event_id, age)
         if duplicates:
-            stats.duplicates_seen += duplicates
+            self.stats.duplicates_seen += duplicates
 
+    def on_receive_reference(self, message: GossipMessage, now: float) -> list[Emission]:
+        """The seed's per-event receive loop, kept as the reference path.
+
+        Semantically identical to :meth:`on_receive` (the determinism
+        tests bind nodes to this method and assert byte-identical runs);
+        only the folding strategy differs.
+        """
+        stats = self.stats
+        stats.messages_received += 1
+        self.membership.on_gossip_receive(message.membership, message.sender, self.rng)
+        if message.adaptive is not None:
+            self._on_adaptive_header(message.adaptive, now)
+        self._fold_rows(message.events, now)
+        buffer = self.buffer
         self._after_receive(message, now)
         if len(buffer) > buffer.capacity:
             self._note_drops(buffer.evict_overflow(), now)

@@ -26,9 +26,9 @@ semantics.
 from __future__ import annotations
 
 import abc
-from typing import Any, Callable, Hashable, NamedTuple, Optional, Sequence
+from typing import Any, Callable, Hashable, NamedTuple, Optional, Sequence, Union
 
-from repro.gossip.events import EventId, EventSummary
+from repro.gossip.events import EventColumns, EventId, EventSummary
 
 __all__ = [
     "NodeId",
@@ -66,12 +66,16 @@ class MembershipHeader(NamedTuple):
 class GossipMessage(NamedTuple):
     """One gossip message: event summaries plus optional headers.
 
-    ``events`` may be shared between the ``f`` emissions of a round —
-    receivers must treat it as immutable.
+    ``events`` is either a plain tuple of :class:`EventSummary` (the row
+    form, for small hand-built lists) or the columnar
+    :class:`~repro.gossip.events.EventColumns` the hot paths emit — the
+    two iterate and compare identically. ``events`` may be shared between
+    the ``f`` emissions of a round — receivers must treat it as
+    immutable.
     """
 
     sender: NodeId
-    events: tuple[EventSummary, ...]
+    events: Union[tuple[EventSummary, ...], EventColumns]
     adaptive: Optional[AdaptiveHeader] = None
     membership: Optional[MembershipHeader] = None
     kind: str = "gossip"

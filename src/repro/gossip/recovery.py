@@ -28,7 +28,7 @@ from typing import Any, Iterable, Optional
 
 from repro.gossip.bimodal import BimodalProtocol
 from repro.gossip.config import SystemConfig
-from repro.gossip.events import EventId, EventSummary
+from repro.gossip.events import EventColumns, EventId, EventSummary
 from repro.gossip.peer_sampling import TargetSampler
 from repro.gossip.protocol import DeliverFn, DropFn, Emission, GossipMessage, NodeId
 
@@ -167,10 +167,16 @@ class BuffererBimodalProtocol(BimodalProtocol):
         return event_id
 
     def _fold_events(self, message: GossipMessage, now: float) -> None:
-        for event_id, age, payload in message.events:
-            if event_id not in self.dedup:
-                self._maybe_pin(event_id, age, payload)
-                self._note_sequence(event_id)
+        events = message.events
+        known = self._known_ids
+        if not (type(events) is EventColumns and known.keys() >= events.id_set):
+            # Only messages carrying something new can need pinning or
+            # move the gap detector; the all-duplicate steady state skips
+            # the scan entirely.
+            for event_id, age, payload in events:
+                if event_id not in known:
+                    self._maybe_pin(event_id, age, payload)
+                    self._note_sequence(event_id)
         super()._fold_events(message, now)
 
     # ------------------------------------------------------------------
@@ -242,10 +248,16 @@ class BuffererBimodalProtocol(BimodalProtocol):
     # ------------------------------------------------------------------
     def _answer_digest(self, message: GossipMessage, now: float) -> list[Emission]:
         """Ask each missing event's bufferers instead of the digest sender."""
+        events = message.events
+        known = self._known_ids
+        if type(events) is EventColumns and known.keys() >= events.id_set:
+            self.buffer.sync_ages(events.ids, events.ages)
+            return []
         missing: list[EventSummary] = []
-        for event_id, age, _none in message.events:
-            if event_id in self.dedup:
-                self.buffer.sync_age(event_id, age)
+        sync_age = self.buffer.sync_age
+        for event_id, age, _none in events:
+            if event_id in known:
+                sync_age(event_id, age)
             else:
                 missing.append(EventSummary(event_id, 0, None))
         if not missing:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.gossip.protocol import NodeId
+from repro.sim.rng import uniform_sample
 
 __all__ = ["Directory", "FullMembershipView"]
 
@@ -59,6 +60,10 @@ class Directory:
 class FullMembershipView:
     """A node's view over a shared :class:`Directory` (itself excluded)."""
 
+    # Full views learn nothing from gossip: protocols may skip the
+    # per-message on_gossip_receive call entirely (hot-path contract).
+    gossip_passive = True
+
     def __init__(self, directory: Directory, owner: NodeId) -> None:
         self._directory = directory
         self._owner = owner
@@ -84,7 +89,7 @@ class FullMembershipView:
         peers = self._peers()
         if count >= len(peers):
             return list(peers)
-        return rng.sample(peers, count)
+        return uniform_sample(rng, peers, count)
 
     # Partial-view protocol compatibility: full views ignore gossip.
     def on_gossip_emit(self, rng):  # pragma: no cover - trivial

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.gossip.protocol import MembershipHeader, NodeId
+from repro.sim.rng import uniform_sample
 
 __all__ = ["ViewConfig", "PartialViewMembership"]
 
@@ -101,7 +102,7 @@ class PartialViewMembership:
         view = list(self._view)
         if count >= len(view):
             return view
-        return rng.sample(view, count)
+        return uniform_sample(rng, view, count)
 
     # ------------------------------------------------------------------
     # subscription management

@@ -77,8 +77,10 @@ class MetricsCollector:
         # drop ages (the congestion signal measured from the outside)
         self.drop_age_gauge = GaugeSeries(bucket_width)
         self.drop_ages: list[int] = []
-        # named per-node gauges: (name, node) -> series
-        self._gauges: dict[tuple[str, NodeId], GaugeSeries] = {}
+        # named per-node gauges, indexed per name: name -> node -> series
+        # (per-name lookups — gauge_mean, gauge_nodes — touch only that
+        # name's bucket instead of scanning every (name, node) pair)
+        self._gauges: dict[str, dict[NodeId, GaugeSeries]] = {}
         # counters
         self.duplicate_deliveries = 0
         # Deliveries observed before their admission was recorded. The
@@ -143,20 +145,22 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def sample_gauge(self, name: str, node: NodeId, time: float, value: float) -> None:
         """Record one sample of a named per-node gauge."""
-        key = (name, node)
-        series = self._gauges.get(key)
+        by_node = self._gauges.get(name)
+        if by_node is None:
+            by_node = self._gauges[name] = {}
+        series = by_node.get(node)
         if series is None:
-            series = GaugeSeries(self.bucket_width)
-            self._gauges[key] = series
+            series = by_node[node] = GaugeSeries(self.bucket_width)
         series.sample(time, value)
 
     def gauge(self, name: str, node: NodeId) -> Optional[GaugeSeries]:
         """The series for one (gauge, node), or None if never sampled."""
-        return self._gauges.get((name, node))
+        by_node = self._gauges.get(name)
+        return by_node.get(node) if by_node is not None else None
 
     def gauge_nodes(self, name: str) -> list[NodeId]:
         """All nodes that ever sampled the named gauge."""
-        return [node for (gname, node) in self._gauges if gname == name]
+        return list(self._gauges.get(name, ()))
 
     def gauge_mean(
         self, name: str, since: float = float("-inf"), until: float = float("inf")
@@ -164,9 +168,7 @@ class MetricsCollector:
         """Mean over all nodes' samples of a named gauge in a window."""
         total = 0.0
         count = 0
-        for (gname, _node), series in self._gauges.items():
-            if gname != name:
-                continue
+        for series in self._gauges.get(name, {}).values():
             m = series.mean(since, until)
             if m == m:  # not NaN
                 total += m
@@ -181,10 +183,11 @@ class MetricsCollector:
         until: float = float("inf"),
     ) -> float:
         """Mean of a named gauge restricted to ``nodes`` (e.g. senders only)."""
+        by_node = self._gauges.get(name, {})
         total = 0.0
         count = 0
         for node in nodes:
-            series = self._gauges.get((name, node))
+            series = by_node.get(node)
             if series is None:
                 continue
             m = series.mean(since, until)
@@ -247,12 +250,15 @@ class MetricsCollector:
         self.drops_obsolete.merge(other.drops_obsolete)
         self.drop_age_gauge.merge(other.drop_age_gauge)
         self.drop_ages.extend(other.drop_ages)
-        for key, series in other._gauges.items():
-            mine_series = self._gauges.get(key)
-            if mine_series is None:
-                mine_series = GaugeSeries(self.bucket_width)
-                self._gauges[key] = mine_series
-            mine_series.merge(series)
+        for name, other_by_node in other._gauges.items():
+            by_node = self._gauges.get(name)
+            if by_node is None:
+                by_node = self._gauges[name] = {}
+            for node, series in other_by_node.items():
+                mine_series = by_node.get(node)
+                if mine_series is None:
+                    mine_series = by_node[node] = GaugeSeries(self.bucket_width)
+                mine_series.merge(series)
         self.duplicate_deliveries += other.duplicate_deliveries
         for event_id, early in other._early.items():
             self._early.setdefault(event_id, []).extend(early)

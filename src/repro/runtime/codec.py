@@ -11,6 +11,14 @@ Two interchangeable codecs serialise :class:`~repro.gossip.protocol.GossipMessag
 Both round-trip every value type a protocol can legally put on the wire:
 ints, strings, floats, bools, None, bytes, and (nested) tuples — which
 covers event ids, κ-smallest aggregate states and pub/sub addresses.
+
+Wire version 2 carries events *columnar* — all ids, then all ages, then
+all payloads — and both decoders materialise them as
+:class:`~repro.gossip.events.EventColumns` (anchored at base round 0),
+so the threaded runtime and the simulator hand protocols one and the
+same message shape. Row-form event tuples are accepted on encode and
+written in the identical columnar layout; equality between the two
+forms is semantic, so ``decode(encode(m)) == m`` holds for both.
 """
 
 from __future__ import annotations
@@ -19,13 +27,13 @@ import json
 import struct
 from typing import Any, Optional
 
-from repro.gossip.events import EventId, EventSummary
+from repro.gossip.events import EventColumns, EventId
 from repro.gossip.protocol import AdaptiveHeader, GossipMessage, MembershipHeader
 
 __all__ = ["CodecError", "BinaryCodec", "JsonCodec"]
 
 _MAGIC = 0xAD
-_VERSION = 1
+_VERSION = 2
 
 # message kinds (1 byte on the wire)
 _KINDS = ("gossip", "multicast", "digest", "request", "reply")
@@ -158,6 +166,16 @@ def _read_value(r: _Reader) -> Any:
 # ----------------------------------------------------------------------
 # codecs
 # ----------------------------------------------------------------------
+def _as_columns(events) -> tuple[tuple, tuple, tuple]:
+    """Extract (ids, ages, payloads) from either event form."""
+    if type(events) is EventColumns:
+        return events.ids, events.ages, events.payloads
+    if not events:
+        return (), (), ()
+    ids, ages, payloads = zip(*events)
+    return ids, ages, payloads
+
+
 class BinaryCodec:
     """Compact binary encoding of gossip messages."""
 
@@ -168,11 +186,14 @@ class BinaryCodec:
             raise CodecError(f"unknown message kind {message.kind!r}")
         out = bytearray((_MAGIC, _VERSION, kind))
         _write_value(out, message.sender)
-        _write_uvarint(out, len(message.events))
-        for event_id, age, payload in message.events:
+        ids, ages, payloads = _as_columns(message.events)
+        _write_uvarint(out, len(ids))
+        for event_id in ids:
             _write_value(out, event_id.origin)
             _write_uvarint(out, event_id.seq)
+        for age in ages:
             _write_uvarint(out, age)
+        for payload in payloads:
             _write_value(out, payload)
         if message.adaptive is None:
             out.append(0)
@@ -200,13 +221,13 @@ class BinaryCodec:
         if kind_code >= len(_KINDS):
             raise CodecError(f"unknown message kind code {kind_code}")
         sender = _read_value(r)
-        events = []
-        for _ in range(r.uvarint()):
-            origin = _read_value(r)
-            seq = r.uvarint()
-            age = r.uvarint()
-            payload = _read_value(r)
-            events.append(EventSummary(EventId(origin, seq), age, payload))
+        n_events = r.uvarint()
+        ids = tuple(
+            EventId(_read_value(r), r.uvarint()) for _ in range(n_events)
+        )
+        anchors = tuple(-r.uvarint() for _ in range(n_events))
+        payloads = tuple(_read_value(r) for _ in range(n_events))
+        events = EventColumns(ids, 0, anchors, payloads)
         adaptive: Optional[AdaptiveHeader] = None
         if r.byte():
             period = _unzigzag(r.uvarint())
@@ -221,7 +242,7 @@ class BinaryCodec:
             raise CodecError("trailing garbage")
         return GossipMessage(
             sender=sender,
-            events=tuple(events),
+            events=events,
             adaptive=adaptive,
             membership=membership,
             kind=_KINDS[kind_code],
@@ -235,14 +256,16 @@ class JsonCodec:
         """Serialise a message as JSON bytes."""
         if message.kind not in _KIND_CODE:
             raise CodecError(f"unknown message kind {message.kind!r}")
+        ids, ages, payloads = _as_columns(message.events)
         doc = {
             "v": _VERSION,
             "kind": message.kind,
             "sender": _jsonify(message.sender),
-            "events": [
-                [_jsonify(e.id.origin), e.id.seq, e.age, _jsonify(e.payload)]
-                for e in message.events
-            ],
+            "events": {
+                "ids": [[_jsonify(eid.origin), eid.seq] for eid in ids],
+                "ages": list(ages),
+                "payloads": [_jsonify(p) for p in payloads],
+            },
             "adaptive": (
                 None
                 if message.adaptive is None
@@ -268,12 +291,15 @@ class JsonCodec:
         if not isinstance(doc, dict) or doc.get("v") != _VERSION:
             raise CodecError("unsupported json document")
         try:
-            events = tuple(
-                EventSummary(
-                    EventId(_unjsonify(origin), seq), age, _unjsonify(payload)
-                )
-                for origin, seq, age, payload in doc["events"]
+            columns = doc["events"]
+            ids = tuple(
+                EventId(_unjsonify(origin), seq) for origin, seq in columns["ids"]
             )
+            anchors = tuple(-age for age in columns["ages"])
+            payloads = tuple(_unjsonify(p) for p in columns["payloads"])
+            if not len(ids) == len(anchors) == len(payloads):
+                raise ValueError("event columns have unequal lengths")
+            events = EventColumns(ids, 0, anchors, payloads)
             adaptive = doc["adaptive"]
             membership = doc["membership"]
         except (KeyError, TypeError, ValueError) as exc:

@@ -155,6 +155,17 @@ class NetworkStats:
 class Network:
     """Delivers messages between attached handlers through the simulator.
 
+    Deliveries are *coalesced per instant*: every message arriving at one
+    virtual timestamp is queued, and a single flush event — ordered after
+    all of that instant's arrivals — hands each destination its messages
+    in arrival order. Receivers that registered a ``batch_handler`` get
+    them in one call (the simulator's counterpart of the threaded
+    runtime's bulk queue drain, feeding
+    :meth:`~repro.gossip.protocol.GossipProtocol.on_receive_batch`);
+    plain handlers are invoked once per message, unchanged. Both round
+    dispatch modes share this path, so runs remain byte-identical across
+    them.
+
     Parameters
     ----------
     sim:
@@ -176,21 +187,41 @@ class Network:
         self._loss = loss if loss is not None else NoLoss()
         self._rng = sim.rngs.stream("network")
         self._handlers: dict[Address, Handler] = {}
+        self._batch_handlers: dict[Address, Callable] = {}
         self._partition_of: dict[Address, int] = {}
+        # (message, src) pairs queued per destination for the current
+        # instant, drained by one _flush_pending event per timestamp.
+        self._pending: dict[Address, list] = {}
+        self._flush_scheduled = False
         self.stats = NetworkStats()
 
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def attach(self, address: Address, handler: Handler) -> None:
-        """Register ``handler(message, src, now)`` as receiver for ``address``."""
+    def attach(
+        self,
+        address: Address,
+        handler: Handler,
+        batch_handler: Optional[Callable] = None,
+    ) -> None:
+        """Register ``handler(message, src, now)`` as receiver for ``address``.
+
+        ``batch_handler(messages, now)`` — ``messages`` a list in arrival
+        order — takes precedence when several messages land at one
+        instant (and is also used for single messages, so a receiver
+        sees exactly one code path). Batch receivers that need the
+        source must read it from the message itself.
+        """
         if address in self._handlers:
             raise ValueError(f"address {address!r} already attached")
         self._handlers[address] = handler
+        if batch_handler is not None:
+            self._batch_handlers[address] = batch_handler
 
     def detach(self, address: Address) -> None:
         """Remove an address; in-flight messages to it are dropped on arrival."""
         self._handlers.pop(address, None)
+        self._batch_handlers.pop(address, None)
 
     def set_loss(self, loss: Optional[LossModel]) -> None:
         """Swap the loss model at runtime (fault injection)."""
@@ -273,18 +304,35 @@ class Network:
         stats.sent += n
         stats.payload_items += items * n
         handlers = self._handlers
-        partitioned = self._partition_of
+        partition_of = self._partition_of
+        partition_get = partition_of.get if partition_of else None
+        src_group = partition_get(src, -1) if partition_get is not None else -1
         loss = self._loss
         lossless = type(loss) is NoLoss
         rng = self._rng
         latency = self._latency
         fixed_delay = latency.delay if type(latency) is ConstantLatency else None
+        if (
+            fixed_delay is not None
+            and lossless
+            and partition_get is None
+        ):
+            # Draw-free models, no partition: every destination shares one
+            # delay and nothing consults the RNG, so the whole fanout
+            # reduces to a membership filter and a single scheduled event.
+            batch = [dst for dst in dsts if dst in handlers]
+            missing = n - len(batch)
+            if missing:
+                stats.no_route += missing
+            if batch:
+                self._sim.post(fixed_delay, self._deliver_batch, tuple(batch), message, src)
+            return len(batch)
         post = self._sim.post
         scheduled = 0
         batch_delay = -1.0
-        batch: list[Address] = []
+        batch = []
         for dst in dsts:
-            if partitioned and self._crosses_partition(src, dst):
+            if partition_get is not None and partition_get(dst, -1) != src_group:
                 stats.partitioned += 1
                 continue
             if dst not in handlers:
@@ -306,26 +354,60 @@ class Network:
             post(batch_delay, self._deliver_batch, tuple(batch), message, src)
         return scheduled
 
-    def _deliver(self, dst: Address, message: Any, src: Address) -> None:
-        handler = self._handlers.get(dst)
-        if handler is None:
-            # Receiver left while the message was in flight.
-            self.stats.no_route += 1
-            return
-        self.stats.delivered += 1
-        handler(message, src, self._sim.now)
+    def _enqueue(self, dst: Address, message: Any, src: Address) -> None:
+        # Batch-handled destinations queue bare messages (their handler
+        # never sees the source); plain handlers queue (message, src).
+        queue = self._pending.get(dst)
+        item = message if dst in self._batch_handlers else (message, src)
+        if queue is None:
+            self._pending[dst] = [item]
+        else:
+            queue.append(item)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._sim.post(0.0, self._flush_pending)
+
+    _deliver = _enqueue
 
     def _deliver_batch(self, dsts: tuple, message: Any, src: Address) -> None:
+        pending = self._pending
+        batched = self._batch_handlers
+        for dst in dsts:
+            queue = pending.get(dst)
+            item = message if dst in batched else (message, src)
+            if queue is None:
+                pending[dst] = [item]
+            else:
+                queue.append(item)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._sim.post(0.0, self._flush_pending)
+
+    def _flush_pending(self) -> None:
+        # Runs at the same virtual time as the arrivals it drains: post()
+        # sequencing orders it after every delivery event of this instant
+        # (all were scheduled earlier), and anything a handler sends now
+        # arrives strictly later, starting a fresh accumulation.
+        self._flush_scheduled = False
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = {}
         handlers = self._handlers
+        batch_handlers = self._batch_handlers
         stats = self.stats
         now = self._sim.now
-        missed = 0
-        for dst in dsts:
+        for dst, items in pending.items():
+            batch_handler = batch_handlers.get(dst)
+            if batch_handler is not None:
+                stats.delivered += len(items)
+                batch_handler(items, now)
+                continue
             handler = handlers.get(dst)
             if handler is None:
-                missed += 1
+                # Receiver left while the messages were in flight.
+                stats.no_route += len(items)
                 continue
-            handler(message, src, now)
-        stats.delivered += len(dsts) - missed
-        if missed:
-            stats.no_route += missed
+            stats.delivered += len(items)
+            for message, src in items:
+                handler(message, src, now)

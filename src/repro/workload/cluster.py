@@ -74,7 +74,17 @@ class ClusterNode(SimProcess):
         self.collector = collector
         self.sample_gauges = sample_gauges
         self._round_member = None
-        network.attach(node_id, self._on_message)
+        # The network's per-instant delivery coalescing feeds everything
+        # through the batch handler; push-only protocols (never a reply)
+        # get the variant without reply dispatch. The plain handler is
+        # the Network API's per-message fallback and is not used while a
+        # batch handler is registered.
+        batch = (
+            self._on_message_batch
+            if getattr(protocol, "may_reply", True)
+            else self._on_message_batch_push_only
+        )
+        network.attach(node_id, self._on_message, batch_handler=batch)
         if rounds is not None:
             self._round_member = rounds.add(
                 self._on_round_batched,
@@ -117,6 +127,15 @@ class ClusterNode(SimProcess):
         if replies:
             for dest, reply in replies:
                 self.network.send(self.node_id, dest, reply, items=reply.n_events)
+
+    def _on_message_batch(self, messages: list, now: float) -> None:
+        replies = self.protocol.on_receive_batch(messages, now)
+        if replies:
+            for dest, reply in replies:
+                self.network.send(self.node_id, dest, reply, items=reply.n_events)
+
+    def _on_message_batch_push_only(self, messages: list, now: float) -> None:
+        self.protocol.on_receive_batch(messages, now)
 
     def _sample_gauges(self, now: float) -> None:
         collector = self.collector

@@ -106,6 +106,69 @@ def test_compaction_preserves_drop_semantics():
             assert buf.age_of(eid) == model.items[eid][0]
 
 
+def test_snapshot_cache_matches_fresh_build_under_random_interleavings():
+    """Cache-hit, append-patch and rebuild paths all equal a fresh build.
+
+    Drives random interleavings of every mutation the buffer supports —
+    add/stage, sync_age (raising and not), drop_aged_out, remove, resize,
+    advance_round — and after every step checks the cached columnar
+    snapshot against the entry dict itself (ids, ages, payloads, order).
+    """
+    rng = random.Random(7)
+    buf = EventBuffer(24)
+    next_id = 0
+    for step in range(4000):
+        op = rng.random()
+        if op < 0.30:
+            buf.add(EventId("n", next_id), age=rng.randint(0, 6), payload=next_id)
+            next_id += 1
+        elif op < 0.50:
+            live = list(buf.ids())
+            if live:
+                eid = rng.choice(live)
+                buf.sync_age(eid, buf.age_of(eid) + rng.randint(-1, 2))
+        elif op < 0.65:
+            buf.advance_round()
+        elif op < 0.78:
+            buf.drop_aged_out(rng.randint(6, 14))
+        elif op < 0.88:
+            live = list(buf.ids())
+            if live:
+                buf.remove(rng.choice(live))
+        elif op < 0.94:
+            buf.resize(rng.randint(4, 32))
+        else:
+            buf.advance_round()  # consecutive rounds: pure cache hits
+            buf.snapshot_columns()
+
+        columns = buf.snapshot_columns()
+        assert columns.ids == tuple(buf.ids())
+        assert columns.ages == tuple(buf.age_of(e) for e in buf.ids())
+        assert columns.payloads == tuple(buf.payload_of(e) for e in buf.ids())
+        assert columns == tuple(buf.snapshot())  # row view agrees too
+    assert next_id > 1000  # the stress actually exercised the buffer
+
+
+def test_snapshot_cache_hits_share_column_tuples():
+    """Consecutive unchanged rounds reuse the cached tuples outright."""
+    buf = EventBuffer(16)
+    for i in range(8):
+        buf.add(EventId("s", i), age=i % 3)
+    first = buf.snapshot_columns()
+    buf.advance_round()  # ages everything; anchors (and columns) unchanged
+    second = buf.snapshot_columns()
+    assert second.ids is first.ids
+    assert second.anchors is first.anchors
+    assert second.payloads is first.payloads
+    assert second.base_round == first.base_round + 1
+    assert [age - 1 for age in second.ages] == list(first.ages)
+    # an append patches incrementally: the old prefix is preserved
+    buf.stage(EventId("s", 99), age=0, payload="fresh")
+    third = buf.snapshot_columns()
+    assert third.ids[: len(first.ids)] == first.ids
+    assert third.ids[-1] == EventId("s", 99)
+
+
 def test_explicit_compact_is_idempotent_and_lossless():
     buf = EventBuffer(32)
     for i in range(32):

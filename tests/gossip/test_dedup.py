@@ -89,3 +89,27 @@ def test_dedup_matches_fifo_model(ids, capacity):
                 model.pop(0)
         assert list(store) == model
         assert len(store) <= capacity
+
+
+def test_backing_dict_bulk_insert_and_trim_match_per_add():
+    """The hot path's bulk insert + one trim equals per-add eviction."""
+    per_add = DedupStore(5)
+    bulk = DedupStore(5)
+    ids = [eid(n) for n in range(12)]
+    for e in ids:
+        per_add.add(e)
+    backing = bulk.backing
+    for e in ids:
+        if e not in backing:
+            backing[e] = None
+    assert bulk.trim() == 7
+    assert list(bulk) == list(per_add)
+    assert bulk.evictions == per_add.evictions == 7
+    assert bulk.trim() == 0  # idempotent once within capacity
+
+
+def test_backing_is_the_live_dict():
+    store = DedupStore(4)
+    store.add(eid(1))
+    assert eid(1) in store.backing
+    assert store.backing.keys() >= {eid(1)}

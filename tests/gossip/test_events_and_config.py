@@ -3,7 +3,7 @@
 import pytest
 
 from repro.gossip.config import SystemConfig
-from repro.gossip.events import EventId, EventSummary, make_event_id
+from repro.gossip.events import EventColumns, EventId, EventSummary, make_event_id
 
 
 def test_event_id_identity():
@@ -62,3 +62,69 @@ def test_config_is_frozen():
     cfg = SystemConfig()
     with pytest.raises(AttributeError):
         cfg.fanout = 10
+
+
+# ----------------------------------------------------------------------
+# EventColumns — the columnar wire form
+# ----------------------------------------------------------------------
+def _columns():
+    return EventColumns(
+        ids=(EventId("a", 0), EventId("b", 3)),
+        base_round=10,
+        anchors=(8, 10),
+        payloads=("x", None),
+    )
+
+
+def test_event_columns_ages_are_anchor_relative():
+    cols = _columns()
+    assert cols.ages == (2, 0)
+    # a different base with shifted anchors describes the same events
+    rebased = EventColumns(cols.ids, 0, (-2, 0), cols.payloads)
+    assert rebased.ages == cols.ages
+    assert rebased == cols
+
+
+def test_event_columns_iterates_as_summaries():
+    cols = _columns()
+    assert list(cols) == [
+        EventSummary(EventId("a", 0), 2, "x"),
+        EventSummary(EventId("b", 3), 0, None),
+    ]
+    assert cols[1] == EventSummary(EventId("b", 3), 0, None)
+    assert len(cols) == 2
+    assert cols.summaries() == tuple(cols)
+
+
+def test_event_columns_equals_row_form_both_ways():
+    cols = _columns()
+    rows = tuple(cols)
+    assert cols == rows
+    assert rows == cols  # reflected comparison through tuple.__eq__
+    assert hash(cols) == hash(rows)
+    assert cols != rows[:1]
+    assert cols != ()
+
+
+def test_event_columns_from_summaries_roundtrip():
+    rows = (
+        EventSummary(EventId(1, 1), 5, b"p"),
+        EventSummary(EventId(2, 2), 0, None),
+    )
+    cols = EventColumns.from_summaries(rows)
+    assert cols == rows
+    assert EventColumns.from_summaries(()) == ()
+
+
+def test_event_columns_without_payloads():
+    stripped = _columns().without_payloads()
+    assert stripped.payloads == (None, None)
+    assert stripped.ids == _columns().ids
+    assert stripped.ages == _columns().ages
+
+
+def test_event_columns_id_set_cached_and_shared():
+    cols = _columns()
+    assert cols.id_set == frozenset(cols.ids)
+    assert cols.id_set is cols.id_set  # computed once
+    assert cols.ages is cols.ages

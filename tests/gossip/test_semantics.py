@@ -127,3 +127,26 @@ def test_adaptive_semantic_composition():
     assert proto.min_buff_estimate == 8  # adaptive layer active
     emissions = proto.on_round(now=1.0)
     assert emissions[0].message.adaptive is not None
+
+def test_batch_receive_routes_through_semantic_override():
+    """on_receive_batch must not bypass the subclass's on_receive wrapper
+    (the simulated network's per-instant coalescing delivers through it)."""
+    from repro.gossip.events import EventColumns
+
+    proto, _drops = make_node()
+    older = EventColumns.from_summaries(
+        (EventSummary(EventId("s", 0), 0, ("key", 1)),)
+    )
+    newer = EventColumns.from_summaries(
+        (EventSummary(EventId("s", 1), 0, ("key", 2)),)
+    )
+    proto.on_receive_batch(
+        [
+            GossipMessage(sender="s", events=older),
+            GossipMessage(sender="s", events=newer),
+        ],
+        now=1.0,
+    )
+    assert proto.obsoleted == 1
+    assert EventId("s", 0) not in proto.buffer
+    assert EventId("s", 1) in proto.buffer

@@ -101,3 +101,37 @@ def test_mean_drop_age_windowed():
     m.on_drop("a", eid(2), 8, "overflow", 10.0)
     assert m.mean_drop_age(0, 5) == 4.0
     assert m.mean_drop_age() == 6.0
+
+
+def test_gauges_indexed_per_name():
+    """Per-name gauge lookups touch only that name's bucket."""
+    c = MetricsCollector()
+    for node in range(4):
+        c.sample_gauge("allowed_rate", node, 1.0, float(node))
+        c.sample_gauge("buffer_len", node, 1.0, 10.0 + node)
+    assert c.gauge_nodes("allowed_rate") == [0, 1, 2, 3]
+    assert c.gauge_nodes("buffer_len") == [0, 1, 2, 3]
+    assert c.gauge_nodes("missing") == []
+    assert c.gauge("allowed_rate", 2).mean(0, 2) == 2.0
+    assert c.gauge("allowed_rate", 99) is None
+    assert c.gauge("missing", 0) is None
+    assert c.gauge_mean("allowed_rate", 0, 2) == 1.5
+    assert c.gauge_mean_over("buffer_len", [1, 3], 0, 2) == 12.0
+
+
+def test_gauge_index_survives_pickle_and_merge():
+    import pickle
+
+    a = MetricsCollector()
+    a.sample_gauge("avg_age", "n1", 0.5, 3.0)
+    a.sample_gauge("avg_age", "n2", 0.5, 5.0)
+    b = pickle.loads(pickle.dumps(MetricsCollector()))
+    b.sample_gauge("avg_age", "n2", 1.5, 7.0)
+    b.sample_gauge("min_buff", "n3", 1.5, 40.0)
+    a.merge(pickle.loads(pickle.dumps(b)))
+    assert set(a.gauge_nodes("avg_age")) == {"n1", "n2"}
+    assert a.gauge_nodes("min_buff") == ["n3"]
+    # n2's series holds samples from both shards
+    series = a.gauge("avg_age", "n2")
+    assert series.mean(0.0, 1.0) == 5.0
+    assert series.mean(1.0, 2.0) == 7.0

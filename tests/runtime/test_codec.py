@@ -4,7 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gossip.events import EventId, EventSummary
+from repro.gossip.buffer import EventBuffer
+from repro.gossip.events import EventColumns, EventId, EventSummary
 from repro.gossip.protocol import AdaptiveHeader, GossipMessage, MembershipHeader
 from repro.runtime.codec import BinaryCodec, CodecError, JsonCodec
 
@@ -53,6 +54,89 @@ def test_roundtrip_tuple_addresses(codec):
         events=(EventSummary(EventId(("news", 4), 0), 1, None),),
     )
     assert codec.decode(codec.encode(msg)) == msg
+
+
+# ----------------------------------------------------------------------
+# columnar (EventColumns) messages — the hot-path wire shape
+# ----------------------------------------------------------------------
+def columnar_message(**overrides):
+    columns = EventColumns(
+        ids=(EventId(1, 0), EventId("node-x", 7), EventId(("t", 2), 9)),
+        base_round=41,
+        anchors=(39, 36, 41),
+        payloads=(None, "payload", b"\x01\x02"),
+    )
+    fields = dict(
+        sender=3,
+        events=columns,
+        adaptive=AdaptiveHeader(4, 45),
+        membership=MembershipHeader(subs=(1, 2), unsubs=("dead",)),
+    )
+    fields.update(overrides)
+    return GossipMessage(**fields)
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=["binary", "json"])
+def test_columnar_roundtrip_preserves_semantics(codec):
+    msg = columnar_message()
+    decoded = codec.decode(codec.encode(msg))
+    assert isinstance(decoded.events, EventColumns)
+    assert decoded == msg  # semantic equality: ids, ages, payloads, headers
+    assert decoded.events.ages == msg.events.ages
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=["binary", "json"])
+def test_columnar_roundtrip_empty_events(codec):
+    msg = columnar_message(
+        events=EventColumns((), 12, (), ()), adaptive=None, membership=None
+    )
+    decoded = codec.decode(codec.encode(msg))
+    assert isinstance(decoded.events, EventColumns)
+    assert len(decoded.events) == 0
+    assert decoded == msg
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=["binary", "json"])
+def test_columnar_roundtrip_digest_without_payloads(codec):
+    msg = columnar_message(events=columnar_message().events.without_payloads(),
+                           kind="digest")
+    decoded = codec.decode(codec.encode(msg))
+    assert decoded.kind == "digest"
+    assert decoded.events.payloads == (None, None, None)
+    assert decoded == msg
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=["binary", "json"])
+def test_row_form_decodes_to_columnar(codec):
+    """Row-form events encode to the same wire shape and come back columnar."""
+    msg = simple_message()
+    decoded = codec.decode(codec.encode(msg))
+    assert isinstance(decoded.events, EventColumns)
+    assert decoded == msg
+    assert tuple(decoded.events) == msg.events  # iterates as summaries
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=["binary", "json"])
+def test_buffer_snapshot_roundtrips_through_wire(codec):
+    """Simulator and threaded runtime share one message shape end to end."""
+    buf = EventBuffer(16)
+    for i in range(10):
+        buf.add(EventId("src", i), age=i % 4, payload=i)
+    for _ in range(3):
+        buf.advance_round()
+    columns = buf.snapshot_columns()
+    msg = GossipMessage(sender="src", events=columns)
+    decoded = codec.decode(codec.encode(msg))
+    assert decoded.events.ages == columns.ages
+    assert decoded.events.ids == columns.ids
+    assert decoded == msg
+
+
+def test_json_rejects_malformed_columns():
+    with pytest.raises(CodecError):
+        JsonCodec().decode(b'{"v":2,"kind":"gossip","sender":1,'
+                           b'"events":{"ids":[[1,0]],"ages":[],"payloads":[]},'
+                           b'"adaptive":null,"membership":null}')
 
 
 def test_binary_rejects_bad_magic():

@@ -36,7 +36,8 @@ def test_constant_latency_collapses_to_one_event():
     net.multicast(0, tuple(range(1, 9)), "m")
     sim.run()
     assert len(log) == 8
-    assert sim.events_dispatched == 1  # one batched delivery event
+    # one batched delivery event + the instant's single flush event
+    assert sim.events_dispatched == 2
 
 
 def test_multicast_matches_sequential_sends():
@@ -82,6 +83,39 @@ def test_multicast_respects_partitions_and_detach():
     assert net.stats.no_route == 0
     sim.run()
     assert [d for d, *_ in log] == [1]
+
+
+def test_partitioned_multicast_matches_sequential_sends():
+    """RNG parity holds with a partition in force: the hoisted partition
+    check must skip exactly the destinations per-send would skip, before
+    any loss/latency draw is consumed."""
+
+    def run(batched):
+        sim = Simulator(seed=29)
+        net = Network(
+            sim, latency=UniformLatency(0.005, 0.05), loss=BernoulliLoss(0.25)
+        )
+        log = []
+        for n in range(8):
+            collect(net, n, log)
+        net.partition([[0, 1, 2, 3], [4, 5, 6, 7]])
+        for _round in range(25):
+            if batched:
+                net.multicast(0, (1, 2, 4, 3, 5, 6), "m")
+            else:
+                for dst in (1, 2, 4, 3, 5, 6):
+                    net.send(0, dst, "m")
+        sim.run()
+        return [(d, s, round(t, 12)) for d, _m, s, t in log], (
+            net.stats.sent,
+            net.stats.delivered,
+            net.stats.lost,
+            net.stats.partitioned,
+        )
+
+    a, b = run(batched=True), run(batched=False)
+    assert a == b
+    assert a[1][3] == 75  # 3 cross-partition targets x 25 rounds
 
 
 def test_multicast_to_departed_node_counts_no_route_at_delivery():
