@@ -159,6 +159,72 @@ reference.on_receive_reference(message, now=0.5)
     return out
 
 
+def scenario_overhead(n_nodes: int, duration: float) -> dict:
+    """Guard: the declarative scenario layer must cost construction time
+    only — its per-round hot path is the same cluster the direct build
+    drives. Runs the bench regime once built directly and once lowered
+    from a ScenarioSpec, demands byte-identical runs, and reports the
+    wall ratio (≈1.0) plus spec build/lower micro timings."""
+    from repro.experiments.harness import build_cluster, spec_for_scenario
+    from repro.scenarios.spec import FixedLinks, ScenarioSpec, SenderSpec
+
+    fanout = max(4, round(math.log2(n_nodes)))
+    spec = ScenarioSpec(
+        name="bench-core",
+        summary="the dispatch benchmark regime, as a scenario",
+        n_nodes=n_nodes,
+        protocol="lpbcast",
+        system=SystemConfig(
+            fanout=fanout,
+            gossip_period=1.0,
+            buffer_capacity=30,
+            dedup_capacity=max(4000, 8 * n_nodes),
+            max_age=8,
+            round_jitter=0.0,
+            round_phase=0.0,
+        ),
+        topology=FixedLinks(0.01),
+        senders=(SenderSpec(0, 0.5), SenderSpec(n_nodes // 2, 0.5)),
+        duration=duration,
+        warmup=0.0,
+        drain=0.0,
+        seed=2003,
+    )
+
+    def run_direct() -> tuple[float, tuple]:
+        cluster = build(n_nodes, "batched")
+        gc.collect()
+        t0 = time.perf_counter()
+        cluster.run(until=duration)
+        return time.perf_counter() - t0, fingerprint(cluster)
+
+    def run_scenario() -> tuple[float, tuple]:
+        cluster = build_cluster(spec_for_scenario(spec, sample_gauges=False))
+        gc.collect()
+        t0 = time.perf_counter()
+        cluster.run(until=duration)
+        return time.perf_counter() - t0, fingerprint(cluster)
+
+    direct_wall, direct_fp = min(run_direct() for _ in range(2))
+    scenario_wall, scenario_fp = min(run_scenario() for _ in range(2))
+    if direct_fp != scenario_fp:
+        raise SystemExit(
+            "scenario-built cluster diverged from the direct build: "
+            "the scenario layer is not free"
+        )
+    lower_us = min(
+        timeit.repeat(lambda: spec_for_scenario(spec), repeat=5, number=200)
+    ) / 200 * 1e6
+    return {
+        "n_nodes": n_nodes,
+        "virtual_seconds": duration,
+        "direct_wall_seconds": round(direct_wall, 4),
+        "scenario_wall_seconds": round(scenario_wall, 4),
+        "scenario_vs_direct_ratio": round(scenario_wall / direct_wall, 3),
+        "spec_lower_us": round(lower_us, 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="*", default=[250, 500, 1000])
@@ -197,6 +263,15 @@ def main(argv=None) -> int:
     for name, value in micro.items():
         print(f"micro {name:28s} {value:9.3f} us")
 
+    overhead = scenario_overhead(min(sizes), duration)
+    print(
+        f"scenario overhead n={overhead['n_nodes']}: direct "
+        f"{overhead['direct_wall_seconds']:.3f}s vs scenario "
+        f"{overhead['scenario_wall_seconds']:.3f}s "
+        f"(ratio {overhead['scenario_vs_direct_ratio']:.3f}, "
+        f"spec lowering {overhead['spec_lower_us']:.1f} us)"
+    )
+
     doc = {
         "benchmark": "core-dispatch",
         "python": platform.python_version(),
@@ -213,6 +288,7 @@ def main(argv=None) -> int:
         "scaling": scaling,
         "speedup_batched_vs_timers": speedups,
         "micro_hot_paths": micro,
+        "scenario_overhead": overhead,
         # PR 1's recorded numbers for the same scenario, kept so the
         # hot-path trajectory stays visible across PRs.
         "baseline_pr1": _PR1_BASELINE,

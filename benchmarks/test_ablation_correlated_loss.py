@@ -7,54 +7,37 @@ events in buffers* — datagram loss removes events before they ever reach
 a buffer, so a loss burst does not depress ``avgAge`` and the senders do
 not slow down.
 
-This benchmark measures the caveat: a heavy loss window hits a healthy
-adaptive group; reliability craters *during* the window while the
-allowed rate barely moves — and recovers immediately after, because the
-mechanism never mistook the loss for congestion (no spurious
-throttling). Both halves matter: the signal is blind to loss, and it is
-*robust* against loss.
+This benchmark measures the caveat on the registry's ``correlated-loss``
+scenario (the same spec the CLI, determinism tests and docs use): a
+heavy loss window hits a healthy adaptive group; reliability craters
+*during* the window while the allowed rate barely moves — and recovers
+immediately after, because the mechanism never mistook the loss for
+congestion (no spurious throttling). Both halves matter: the signal is
+blind to loss, and it is *robust* against loss.
 """
 
-import math
-
-from repro.core.config import AdaptiveConfig
 from repro.experiments.report import render_table
-from repro.gossip.config import SystemConfig
 from repro.metrics.delivery import analyze_delivery
-from repro.sim.faults import FaultScript
+from repro.scenarios.registry import get_scenario
 from repro.workload.cluster import SimCluster
 
 
 def test_ablation_correlated_loss(benchmark, profile, emit):
-    big = profile.buffer_sizes[-1]
-    burst_start, burst_len = 120.0, 40.0
-    duration = 280.0
+    spec = get_scenario("correlated-loss", profile)
+    burst = spec.faults.faults[0]
+    burst_end = burst.time + burst.duration
+    d = spec.duration
 
     def run():
-        cluster = SimCluster(
-            n_nodes=profile.n_nodes,
-            system=SystemConfig(
-                buffer_capacity=big,
-                dedup_capacity=profile.dedup_capacity,
-                max_age=profile.max_age,
-            ),
-            protocol="adaptive",
-            adaptive=AdaptiveConfig(age_critical=profile.tau_hint, initial_rate=8.0),
-            seed=profile.seed,
-        )
-        senders = profile.sender_ids()
-        # load comfortably inside capacity so loss is the only stressor
-        cluster.add_senders(senders, rate_each=0.5 * big / len(senders))
-        FaultScript().loss(burst_start, burst_len, 0.75).apply(
-            cluster.sim, cluster.network
-        )
-        cluster.run(until=duration)
+        cluster = SimCluster.from_scenario(spec)
+        cluster.run(until=d)
         m = cluster.metrics
+        senders = list(spec.sender_ids)
         rows = []
         for label, (t0, t1) in [
-            ("before burst", (80.0, burst_start)),
-            ("during burst", (burst_start, burst_start + burst_len)),
-            ("after burst", (burst_start + burst_len + 20.0, duration - 20.0)),
+            ("before burst", (0.25 * d, burst.time)),
+            ("during burst", (burst.time, burst_end)),
+            ("after burst", (burst_end + 0.1 * d, 0.9 * d)),
         ]:
             stats = analyze_delivery(m.messages_in_window(t0, t1), cluster.group_size)
             allowed = m.gauge_mean_over("allowed_rate", senders, t0, t1) * len(senders)
@@ -71,8 +54,8 @@ def test_ablation_correlated_loss(benchmark, profile, emit):
             ["phase", "allowed (msg/s)", "input (msg/s)", "avg recv (%)", "atomicity (%)"],
             rows,
             title=(
-                "Ablation — §5 caveat: 75% loss burst "
-                f"(t={burst_start:.0f}..{burst_start + burst_len:.0f}s), healthy load"
+                f"Ablation — §5 caveat: {burst.p:.0%} loss burst "
+                f"(t={burst.time:.0f}..{burst_end:.0f}s), healthy load"
             ),
             digits=1,
         ),

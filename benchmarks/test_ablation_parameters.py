@@ -15,7 +15,6 @@ the guidance of §3.4 can be checked against behaviour.
   (measured as the grant shortly after a capacity recovery).
 """
 
-import dataclasses
 import math
 
 from repro.core.config import AdaptiveConfig

@@ -1,64 +1,61 @@
 #!/usr/bin/env python3
-"""Partial membership views, churn, and recovery bufferers.
+"""Partial membership views, churn, and a composed extra stress.
 
-The paper notes (§5) that its mechanism works over *partial* membership
-knowledge. This example runs a 30-node group where every node knows only
-8 random peers (lpbcast-style subscription gossip keeps the views
-alive), while nodes leave, crash and join mid-run — and one node's
-buffers silently shrink. The adaptive senders still discover the
-minimum and throttle.
+The registry's ``rolling-churn`` scenario runs a group where every node
+knows only a few random peers (lpbcast-style subscription gossip keeps
+the views alive) while nodes crash and rejoin on a cadence. This example
+*composes* one more condition onto it — a surviving node's buffers
+silently shrink late in the run — to show that scenarios are values you
+can stress further, not fixed scripts.
 
 Run:  python examples/churn_partial_views.py
 """
 
-from repro import AdaptiveConfig, SimCluster, SystemConfig, analyze_delivery
-from repro.membership import ChurnScript, ViewConfig
+from repro import SimCluster, analyze_delivery, get_scenario
+from repro.scenarios import BufferSqueeze
 
-N = 30
-SENDERS = [0, 6, 12]
 
-cluster = SimCluster(
-    n_nodes=N,
-    system=SystemConfig(buffer_capacity=60, dedup_capacity=3000),
-    protocol="adaptive",
-    adaptive=AdaptiveConfig(age_critical=4.46, initial_rate=10.0),
-    membership="partial",
-    view_config=ViewConfig(view_size=8),
-    seed=13,
-)
-cluster.add_senders(SENDERS, rate_each=15.0)  # 45 msg/s offered
-
-# churn: three graceful leaves, one crash, two joins
-script = (
-    ChurnScript()
-    .leave(30.0, 20)
-    .leave(45.0, 21)
-    .crash(60.0, 22)
-    .join(70.0, 100)
-    .join(85.0, 101)
-)
-cluster.apply_churn(script)
-# and one surviving node quietly loses most of its buffer
-cluster.at(100.0, lambda: cluster.set_capacity(15, 20))
-
-cluster.run(until=220.0)
-
-m = cluster.metrics
-print(f"{N} nodes, partial views of 8, churn at t=30..85, node 15 shrinks "
-      f"to 20 events at t=100\n")
-print(f"{'window':>12} {'admitted msg/s':>15} {'avg recv %':>11} {'minBuff@0':>10}")
-for t0, t1 in [(10, 30), (40, 90), (120, 200)]:
-    # compare each window's messages against the group size of its time
-    stats = analyze_delivery(
-        m.messages_in_window(t0, t1), cluster.group_size_at(t0)
+def main(horizon: float | None = None) -> None:
+    base = get_scenario("rolling-churn")
+    victim = next(
+        n for n in range(base.n_nodes) if n not in base.sender_ids
     )
-    min_buff = m.gauge_mean("min_buff", t0, t1)
-    print(f"{f'{t0}-{t1}s':>12} {m.admitted.rate(t0, t1):>15.1f} "
-          f"{stats.avg_receiver_pct:>11.1f} {min_buff:>10.0f}")
+    spec = base.stressed(
+        BufferSqueeze(time=0.7 * base.duration, capacity=20, nodes=(victim,))
+    )
+    if horizon is not None:
+        spec = spec.with_horizon(horizon)
+    cluster = SimCluster.from_scenario(spec)
+    cluster.run(until=spec.duration)
 
-proto0 = cluster.protocol_of(0)
-print(f"\nnode 0's view size: {proto0.membership.size()} (bounded at 8)")
-print(f"node 0's minBuff estimate: {proto0.min_buff_estimate} "
-      f"(node 15's hidden capacity: 20)")
-print("Partial views, churn and the minimum-discovery all compose —")
-print("the gossip overlay only needs to stay connected, not complete.")
+    m = cluster.metrics
+    d = spec.duration
+    print(
+        f"{spec.n_nodes} nodes, partial views of {spec.view_size}, rolling "
+        f"crash/rejoin from t={0.25 * d:.0f}s, node {victim} shrinks to 20 "
+        f"events at t={0.7 * d:.0f}s\n"
+    )
+    print(f"{'window':>12} {'admitted msg/s':>15} {'avg recv %':>11} {'minBuff@0':>10}")
+    for t0, t1 in [(0.05 * d, 0.2 * d), (0.25 * d, 0.6 * d), (0.75 * d, 0.95 * d)]:
+        # compare each window's messages against the group size of its time
+        stats = analyze_delivery(
+            m.messages_in_window(t0, t1), cluster.group_size_at(t0)
+        )
+        min_buff = m.gauge_mean("min_buff", t0, t1)
+        print(
+            f"{f'{t0:.0f}-{t1:.0f}s':>12} {m.admitted.rate(t0, t1):>15.1f} "
+            f"{stats.avg_receiver_pct:>11.1f} {min_buff:>10.0f}"
+        )
+
+    sender = spec.sender_ids[0]
+    proto = cluster.protocol_of(sender)
+    print(f"\nnode {sender}'s view size: {proto.membership.size()} "
+          f"(bounded at {spec.view_size})")
+    print(f"node {sender}'s minBuff estimate: {proto.min_buff_estimate} "
+          f"(node {victim}'s hidden capacity: 20)")
+    print("Partial views, churn and the minimum-discovery all compose —")
+    print("the gossip overlay only needs to stay connected, not complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,56 +1,56 @@
 #!/usr/bin/env python3
-"""The paper's Figure 9 scenario as a script: runtime buffer changes.
+"""The paper's Figure 9 scenario: runtime buffer changes.
 
-A 30-node group runs below capacity. At t=120 s, 20% of the nodes shrink
-their buffers from 90 to 45 events; at t=240 s they grow back — but only
-to 60. The adaptive senders track the moving capacity; the printout
-shows the allowed rate staircase and the atomicity staying up.
+The registry's ``buffer-flap`` scenario is exactly this experiment: a
+group runs below capacity until, a third of the way in, 20% of the nodes
+shrink their buffers from 90 to 45 events; at two thirds they grow back
+— but only to 60. The adaptive senders track the moving capacity; the
+printout shows the allowed-rate staircase and the atomicity staying up.
 
 Run:  python examples/dynamic_resources.py
 """
 
-from repro import (
-    AdaptiveConfig,
-    ResourceScript,
-    SimCluster,
-    SystemConfig,
-    analyze_delivery,
-)
+from repro import SimCluster, analyze_delivery, get_scenario
 
-N = 30
-SENDERS = [0, 5, 10, 15, 20]
-SMALL = [27, 28, 29, 26, 25, 24]  # the 20% whose buffers flap
-OFFERED = 100.0  # above what buffers of 45 or 60 can sustain
 
-cluster = SimCluster(
-    n_nodes=N,
-    system=SystemConfig(buffer_capacity=90, dedup_capacity=4000),
-    protocol="adaptive",
-    adaptive=AdaptiveConfig(age_critical=4.46, initial_rate=12.0),
-    seed=11,
-)
-cluster.add_senders(SENDERS, rate_each=OFFERED / len(SENDERS))
-(
-    ResourceScript()
-    .set_capacity(120.0, SMALL, 45)
-    .set_capacity(240.0, SMALL, 60)
-    .apply(cluster)
-)
-cluster.run(until=360.0)
+def main(horizon: float | None = None) -> None:
+    spec = get_scenario("buffer-flap")
+    if horizon is not None:
+        spec = spec.with_horizon(horizon)
+    squeeze = spec.resources.changes[0]
+    senders = list(spec.sender_ids)
+    cluster = SimCluster.from_scenario(spec)
+    cluster.run(until=spec.duration)
 
-m = cluster.metrics
-print(f"offered load: {OFFERED:.0f} msg/s  |  buffer schedule for nodes "
-      f"{SMALL}: 90 -> 45 @120s -> 60 @240s\n")
-print(f"{'t (s)':>6} {'allowed msg/s':>14} {'admitted msg/s':>15} "
-      f"{'minBuff':>8} {'atomicity %':>12}")
-for t0 in range(0, 360, 30):
-    t1 = t0 + 30
-    allowed = m.gauge_mean_over("allowed_rate", SENDERS, t0, t1) * len(SENDERS)
-    stats = analyze_delivery(m.messages_in_window(t0, max(t0 + 1, t1 - 10)), N)
-    print(f"{t0:>6} {allowed:>14.1f} {m.admitted.rate(t0, t1):>15.1f} "
-          f"{m.gauge_mean('min_buff', t0, t1):>8.0f} "
-          f"{stats.atomicity_pct:>12.1f}")
+    m = cluster.metrics
+    print(
+        f"offered load: {spec.offered_load:.0f} msg/s  |  buffer schedule for "
+        f"nodes {sorted(squeeze.nodes)}: "
+        f"{spec.system.buffer_capacity} -> {squeeze.capacity} @"
+        f"{squeeze.time:.0f}s -> {spec.resources.changes[1].capacity} @"
+        f"{spec.resources.changes[1].time:.0f}s\n"
+    )
+    print(
+        f"{'t (s)':>6} {'allowed msg/s':>14} {'admitted msg/s':>15} "
+        f"{'minBuff':>8} {'atomicity %':>12}"
+    )
+    step = max(1, int(spec.duration / 12))
+    for t0 in range(0, int(spec.duration), step):
+        t1 = t0 + step
+        allowed = m.gauge_mean_over("allowed_rate", senders, t0, t1) * len(senders)
+        stats = analyze_delivery(
+            m.messages_in_window(t0, max(t0 + 1, t1 - step // 3)), spec.n_nodes
+        )
+        print(
+            f"{t0:>6} {allowed:>14.1f} {m.admitted.rate(t0, t1):>15.1f} "
+            f"{m.gauge_mean('min_buff', t0, t1):>8.0f} "
+            f"{stats.atomicity_pct:>12.1f}"
+        )
 
-print("\nThe allowed rate steps down when the small buffers appear, and")
-print("steps partway back up when they recover to 60 — while atomicity")
-print("stays high throughout (compare Figure 9 of the paper).")
+    print("\nThe allowed rate steps down when the small buffers appear, and")
+    print("steps partway back up when they recover — while atomicity")
+    print("stays high throughout (compare Figure 9 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,55 +1,42 @@
 #!/usr/bin/env python3
-"""Quickstart: adaptive gossip broadcast in ~40 lines.
+"""Quickstart: adaptive gossip broadcast in ~30 lines.
 
-Builds a 30-node group where six senders together offer more load than
-the group's buffers can carry, runs it once with the classic (static)
-lpbcast and once with the paper's adaptive protocol, and prints the
-comparison that motivates the whole paper: without adaptation the group
-silently loses messages; with it, senders throttle themselves to the
-sustainable rate and reliability is preserved.
+Pulls the ``overload-baseline`` scenario from the registry — six senders
+together offering more load than the group's buffers can carry — and
+runs it once with the classic (static) lpbcast and once with the paper's
+adaptive protocol. The printout is the comparison that motivates the
+whole paper: without adaptation the group silently loses messages; with
+it, senders throttle themselves to the sustainable rate and reliability
+is preserved.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AdaptiveConfig, SimCluster, SystemConfig, analyze_delivery
-
-N_NODES = 30
-SENDERS = [0, 5, 10, 15, 20, 25]
-OFFERED_TOTAL = 60.0  # msg/s across all senders — too much for these buffers
-SYSTEM = SystemConfig(buffer_capacity=30, dedup_capacity=3000)
-# τ (the critical drop age) is a property of the deployment; 4.46 was
-# measured for this simulator with the Figure 4 procedure (EXPERIMENTS.md).
-ADAPTIVE = AdaptiveConfig(age_critical=4.46)
+from repro import get_scenario
+from repro.scenarios.runner import run_scenario
 
 
-def run(protocol: str) -> None:
-    cluster = SimCluster(
-        n_nodes=N_NODES,
-        system=SYSTEM,
-        protocol=protocol,
-        adaptive=ADAPTIVE,
-        seed=42,
+def main(horizon: float | None = None) -> None:
+    base = get_scenario("overload-baseline")
+    print(
+        f"{base.n_nodes} nodes, buffers of {base.system.buffer_capacity} events, "
+        f"{len(base.senders)} senders offering {base.offered_load:.0f} msg/s total\n"
     )
-    cluster.add_senders(SENDERS, rate_each=OFFERED_TOTAL / len(SENDERS))
-    cluster.run(until=120.0)
-
-    window = (60.0, 110.0)  # steady state: skip warm-up, leave drain room
-    stats = analyze_delivery(
-        cluster.metrics.messages_in_window(*window), cluster.group_size
+    for protocol in ("lpbcast", "adaptive"):
+        result = run_scenario(base.with_protocol(protocol), horizon=horizon)
+        stats = result.delivery
+        print(
+            f"{protocol:>8s} | offered {result.offered_rate:5.1f} msg/s"
+            f" | admitted {result.input_rate:5.1f} msg/s"
+            f" | delivered to {stats.avg_receiver_pct:5.1f}% of nodes"
+            f" | atomicity {stats.atomicity_pct:5.1f}%"
+            f" | drop age {result.drop_age_mean:4.2f} hops"
+        )
+    print(
+        "\nThe adaptive senders admit only what the group can sustain, so"
+        "\nmessages keep reaching (almost) everyone instead of dying young."
     )
-    admitted = cluster.metrics.admitted.rate(*window)
-    drop_age = cluster.metrics.mean_drop_age(*window)
-    print(f"{protocol:>8s} | offered {OFFERED_TOTAL:5.1f} msg/s"
-          f" | admitted {admitted:5.1f} msg/s"
-          f" | delivered to {stats.avg_receiver_pct:5.1f}% of nodes"
-          f" | atomicity {stats.atomicity_pct:5.1f}%"
-          f" | drop age {drop_age:4.2f} hops")
 
 
 if __name__ == "__main__":
-    print(f"{N_NODES} nodes, buffers of {SYSTEM.buffer_capacity} events, "
-          f"{len(SENDERS)} senders offering {OFFERED_TOTAL:.0f} msg/s total\n")
-    run("lpbcast")
-    run("adaptive")
-    print("\nThe adaptive senders admit only what the group can sustain, so"
-          "\nmessages keep reaching (almost) everyone instead of dying young.")
+    main()

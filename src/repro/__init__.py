@@ -33,7 +33,11 @@ from repro.gossip.config import SystemConfig
 from repro.gossip.lpbcast import LpbcastProtocol
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.delivery import DeliveryStats, analyze_delivery, atomicity_series
+from repro.membership.churn import ChurnScript
+from repro.scenarios.registry import get_scenario, list_scenarios, scenario
+from repro.scenarios.spec import ScenarioSpec, SenderSpec
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultScript
 from repro.workload.cluster import SimCluster, make_protocol_factory
 from repro.workload.dynamics import ResourceScript
 from repro.workload.pubsub import PubSubSystem
@@ -57,6 +61,13 @@ __all__ = [
     "Driver",
     "SimCluster",
     "make_protocol_factory",
+    "ScenarioSpec",
+    "SenderSpec",
+    "scenario",
+    "get_scenario",
+    "list_scenarios",
+    "FaultScript",
+    "ChurnScript",
     "ResourceScript",
     "PubSubSystem",
     "PeriodicArrivals",

@@ -226,6 +226,19 @@ class Driver(abc.ABC):
     # ------------------------------------------------------------------
     # the unified surface
     # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(cls, spec, **overrides) -> "Driver":
+        """Instantiate a declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+        on this driver.
+
+        Both concrete drivers implement it: the simulator materialises
+        every schedule the spec carries; the threaded runtime applies
+        what real threads can honour (workload, capacity changes) and
+        reports what it skipped (see
+        :func:`repro.scenarios.runner.run_scenario_threaded`).
+        """
+        raise NotImplementedError(f"{cls.__name__} cannot instantiate scenarios")
+
     @abc.abstractmethod
     def run_for(self, duration: float) -> None:
         """Advance the group by ``duration`` seconds of *its* time —

@@ -1,6 +1,7 @@
 """Command-line interface to the experiment harness.
 
-Regenerate any of the paper's figures without writing code::
+Regenerate any of the paper's figures, or run named scenarios, without
+writing code::
 
     python -m repro.experiments figure2
     python -m repro.experiments figure4 --iterations 5
@@ -9,14 +10,21 @@ Regenerate any of the paper's figures without writing code::
     python -m repro.experiments figure9 -o fig9.txt
     python -m repro.experiments all --jobs 8 --json results.json
     python -m repro.experiments calibrate --buffers 30 60 90
+    python -m repro.experiments list-scenarios
+    python -m repro.experiments run-scenario correlated-loss flash-crowd
+    python -m repro.experiments run-scenario --all --jobs 8
+    python -m repro.experiments run-scenario rolling-churn --driver both --quick
 
-``--jobs N`` shards sweep-based figures across N worker processes; the
-numbers are identical to a serial run (every simulation is seed-isolated),
-only the wall clock changes. ``--json FILE`` additionally writes the raw
-result objects as machine-readable JSON.
+``--jobs N`` shards sweep-based figures and scenario matrices across N
+worker processes; the numbers are identical to a serial run (every
+simulation is seed-isolated), only the wall clock changes. ``--json
+FILE`` additionally writes the raw result objects as machine-readable
+JSON.
 
 Figures 6/7/8 share a buffer sweep; invoking several of them in one
-process reuses it.
+process reuses it. ``run-scenario --quick`` shrinks the profile to a
+smoke scale (small group, short horizon) so any scenario answers in
+seconds.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from repro.experiments import figures
 from repro.experiments.calibrate import calibrate as run_calibration
 from repro.experiments.profiles import get_profile
 from repro.experiments.report import render_series, render_table
-from repro.experiments.sweep import to_jsonable
+from repro.experiments.sweep import run_scenario_matrix, to_jsonable
 
 __all__ = ["main", "build_parser"]
 
@@ -170,51 +178,179 @@ _COMMANDS = {
 }
 
 
+def _run_list_scenarios(profile, args):
+    from repro.scenarios.registry import list_scenarios
+
+    rows = list_scenarios()
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{name:<{width}}  {summary}" for name, summary in rows]
+    return "\n".join(lines), {"scenarios": [name for name, _ in rows]}
+
+
+def _scenario_result_rows(results):
+    return [
+        (
+            r.spec.scenario or r.spec.protocol,
+            r.input_rate,
+            r.output_rate,
+            r.delivery.avg_receiver_pct,
+            r.delivery.atomicity_pct,
+            r.drop_age_mean,
+        )
+        for r in results
+    ]
+
+
+def _run_run_scenario(profile, args):
+    from repro.scenarios.registry import scenario_names
+    from repro.scenarios.runner import run_scenario, smoke_profile
+
+    if args.quick:
+        profile = smoke_profile(profile)
+    if args.all and args.names:
+        raise SystemExit(
+            "run-scenario: pass scenario names or --all, not both "
+            f"(--all would ignore {args.names})"
+        )
+    if args.all:
+        names = scenario_names()
+    elif args.names:
+        names = list(args.names)
+    else:
+        raise SystemExit(
+            "run-scenario needs scenario names (or --all); "
+            "see `python -m repro.experiments list-scenarios`"
+        )
+    chunks = []
+    payload: dict = {"profile": profile.name, "scenarios": list(names)}
+    if args.driver in ("sim", "both"):
+        results = run_scenario_matrix(
+            names,
+            profile=profile,
+            jobs=args.jobs,
+            dispatch=args.dispatch,
+            horizon=args.horizon,
+        )
+        chunks.append(
+            render_table(
+                ["scenario", "in (msg/s)", "out (msg/s)", "avg recv (%)",
+                 "atomicity (%)", "drop age"],
+                _scenario_result_rows(results),
+                title=f"Scenario matrix — sim driver ({profile.name}, "
+                f"{args.dispatch} dispatch)",
+                digits=2,
+            )
+        )
+        payload["sim"] = results
+    if args.driver in ("threaded", "both"):
+        reports = [
+            run_scenario(name, driver="threaded", profile=profile, horizon=args.horizon)
+            for name in names
+        ]
+        lines = [f"Scenario runs — threaded driver ({profile.name})"]
+        for report in reports:
+            lines.append(
+                f"  {report.scenario}: {report.wall_seconds:.1f}s wall, "
+                f"offers={report.offers} admitted={report.admitted} "
+                f"delivered/node={report.delivered_min}..{report.delivered_max}"
+            )
+            for item in report.skipped:
+                lines.append(f"    skipped: {item}")
+        chunks.append("\n".join(lines))
+        payload["threaded"] = reports
+    return "\n\n".join(chunks), payload
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's evaluation figures.",
+        description="Regenerate the paper's evaluation figures and run "
+        "registered scenarios.",
     )
-    parser.add_argument(
-        "command",
-        choices=sorted([*_COMMANDS, "all"]),
-        help="which figure to regenerate ('all' runs every figure)",
-    )
-    parser.add_argument(
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
         "--profile",
         default=None,
         help="scale profile: quick (default) or paper; also via REPRO_PROFILE",
     )
-    parser.add_argument(
+    common.add_argument(
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for sweep-based figures (results are "
-        "identical to --jobs 1; only the wall clock changes)",
+        help="worker processes for sweeps/matrices (results are identical "
+        "to --jobs 1; only the wall clock changes)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--iterations",
         type=int,
         default=5,
         help="bisection iterations for calibration-based figures",
     )
-    parser.add_argument(
+    common.add_argument(
         "--buffers",
         type=int,
         nargs="*",
         default=None,
         help="buffer sizes for the calibrate command",
     )
-    parser.add_argument(
+    common.add_argument(
         "-o",
         "--output",
         default=None,
         help="also write the rendered tables to this file",
     )
-    parser.add_argument(
+    common.add_argument(
         "--json",
         default=None,
         help="also write the raw results as machine-readable JSON",
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+    for name in sorted([*_COMMANDS, "all"]):
+        sub.add_parser(
+            name,
+            parents=[common],
+            help=(
+                "run every figure" if name == "all"
+                else f"regenerate {name}" if name.startswith("figure")
+                else "measure tau and per-buffer max rates"
+            ),
+        )
+    runner = sub.add_parser(
+        "run-scenario",
+        parents=[common],
+        help="run named scenarios from the registry (sim and/or threaded driver)",
+    )
+    runner.add_argument("names", nargs="*", help="registered scenario names")
+    runner.add_argument(
+        "--all", action="store_true", help="run every registered scenario"
+    )
+    runner.add_argument(
+        "--driver",
+        choices=["sim", "threaded", "both"],
+        default="sim",
+        help="execution driver (default sim)",
+    )
+    runner.add_argument(
+        "--dispatch",
+        choices=["batched", "timers"],
+        default="batched",
+        help="sim round-dispatch mode (results are byte-identical)",
+    )
+    runner.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="shrink each scenario to this many simulated seconds",
+    )
+    runner.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke scale: small group, short horizon, light load",
+    )
+    sub.add_parser(
+        "list-scenarios",
+        parents=[common],
+        help="list every registered scenario with its summary",
     )
     return parser
 
@@ -222,14 +358,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     profile = get_profile(args.profile)
-    names = sorted(_COMMANDS) if args.command == "all" else [args.command]
-    chunks = []
-    payloads = {}
-    for name in names:
-        text, payload = _COMMANDS[name](profile, args)
-        chunks.append(text)
-        payloads[name] = payload
-    text = "\n\n".join(chunks)
+    if args.command == "run-scenario":
+        text, payload = _run_run_scenario(profile, args)
+        payloads = {"run-scenario": payload}
+    elif args.command == "list-scenarios":
+        text, payload = _run_list_scenarios(profile, args)
+        payloads = {"list-scenarios": payload}
+    else:
+        names = sorted(_COMMANDS) if args.command == "all" else [args.command]
+        chunks = []
+        payloads = {}
+        for name in names:
+            chunk, payload = _COMMANDS[name](profile, args)
+            chunks.append(chunk)
+            payloads[name] = payload
+        text = "\n\n".join(chunks)
     print(text)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:

@@ -12,22 +12,37 @@ sweep runner ship them across process boundaries, and
 :attr:`RunSpec.dispatch` selects the driver's round-dispatch mode
 (``"batched"`` by default; ``"timers"`` is the reference path — results
 are byte-identical either way).
+
+Scenario runs are RunSpecs too: :func:`spec_for_scenario` lowers a
+declarative :class:`~repro.scenarios.spec.ScenarioSpec` onto the same
+dataclass (workload shape, fault/churn scripts, topology and baseline
+loss ride along in the optional trailing fields), so the sweep runner
+shards whole scenario matrices exactly like buffer sweeps.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.config import AdaptiveConfig
 from repro.experiments.profiles import Profile
 from repro.gossip.config import SystemConfig
+from repro.membership.views import ViewConfig
 from repro.metrics.delivery import DeliveryStats, analyze_delivery
+from repro.scenarios.spec import ScenarioSpec, SenderSpec, build_latency
 from repro.workload.cluster import SimCluster
 from repro.workload.dynamics import ResourceScript
 
-__all__ = ["RunSpec", "RunResult", "run_once", "spec_for_profile"]
+__all__ = [
+    "RunSpec",
+    "RunResult",
+    "run_once",
+    "spec_for_profile",
+    "spec_for_scenario",
+    "build_cluster",
+]
 
 
 @dataclass(frozen=True)
@@ -49,6 +64,21 @@ class RunSpec:
     membership: str = "full"
     bucket_width: float = 1.0
     dispatch: str = "batched"  # "batched" | "timers" round dispatch
+    # scenario-carrying fields (all default to "not present", so plain
+    # experiment specs are unchanged): a declarative workload shape that
+    # overrides the uniform sender_ids/offered_load split, fault and
+    # churn scripts, a topology/latency spec, a baseline loss model,
+    # partial-view sizing, an aggregation strategy, and the provenance
+    # name of the scenario this spec was lowered from.
+    senders: Optional[tuple[SenderSpec, ...]] = None
+    faults: Optional[Any] = None  # FaultScript
+    churn: Optional[Any] = None  # ChurnScript
+    latency: Optional[Any] = None  # topology spec (has .build) or LatencyModel
+    loss: Optional[Any] = None  # LossModel
+    view_size: Optional[int] = None
+    aggregate: Optional[Any] = None
+    scenario: Optional[str] = None
+    sample_gauges: bool = True
 
     def __post_init__(self) -> None:
         if not self.sender_ids:
@@ -125,22 +155,89 @@ def spec_for_profile(
     )
 
 
+def spec_for_scenario(
+    scenario: ScenarioSpec,
+    dispatch: str = "batched",
+    horizon: Optional[float] = None,
+    **overrides,
+) -> RunSpec:
+    """Lower a declarative scenario onto a :class:`RunSpec`.
+
+    ``horizon`` shrinks the run (warmup/drain scale along) — the smoke
+    and determinism harnesses use it to exercise every scenario in
+    seconds. Further keyword ``overrides`` replace RunSpec fields.
+    """
+    if horizon is not None:
+        scenario = scenario.with_horizon(horizon)
+    params = dict(
+        protocol=scenario.protocol,
+        system=scenario.system,
+        n_nodes=scenario.n_nodes,
+        sender_ids=scenario.sender_ids,
+        offered_load=scenario.offered_load,
+        duration=scenario.duration,
+        warmup=scenario.warmup,
+        drain=scenario.drain,
+        seed=scenario.seed,
+        adaptive=scenario.adaptive,
+        rate_limit=scenario.rate_limit,
+        script=scenario.resources if len(scenario.resources) else None,
+        membership=scenario.membership,
+        bucket_width=scenario.bucket_width,
+        dispatch=dispatch,
+        senders=scenario.senders,
+        faults=scenario.faults if len(scenario.faults) else None,
+        churn=scenario.churn if len(scenario.churn) else None,
+        latency=scenario.topology,
+        loss=scenario.baseline_loss,
+        view_size=scenario.view_size,
+        aggregate=scenario.aggregate,
+        scenario=scenario.name,
+    )
+    params.update(overrides)
+    return RunSpec(**params)
+
+
 def build_cluster(spec: RunSpec) -> SimCluster:
-    """Materialise the cluster and senders for a spec (without running)."""
+    """Materialise the cluster, senders and schedules for a spec
+    (without running)."""
+    latency = build_latency(spec.latency, spec.n_nodes)
     cluster = SimCluster(
         n_nodes=spec.n_nodes,
         system=spec.system,
         protocol=spec.protocol,
         adaptive=spec.adaptive,
         rate_limit=spec.rate_limit,
+        aggregate=spec.aggregate,
         seed=spec.seed,
+        latency=latency,
+        loss=spec.loss,
         membership=spec.membership,
+        view_config=(
+            ViewConfig(view_size=spec.view_size) if spec.view_size is not None else None
+        ),
         bucket_width=spec.bucket_width,
         dispatch=spec.dispatch,
+        sample_gauges=spec.sample_gauges,
     )
-    cluster.add_senders(list(spec.sender_ids), rate_each=spec.rate_per_sender)
+    if spec.senders is not None:
+        for sender in spec.senders:
+            cluster.add_sender(
+                sender.node,
+                sender.rate,
+                arrivals=sender.build_arrivals(),
+                start=sender.start,
+                stop=sender.stop,
+                queue_limit=sender.queue_limit,
+            )
+    else:
+        cluster.add_senders(list(spec.sender_ids), rate_each=spec.rate_per_sender)
     if spec.script is not None:
         spec.script.apply(cluster)
+    if spec.faults is not None:
+        cluster.apply_faults(spec.faults, baseline_loss=spec.loss)
+    if spec.churn is not None:
+        cluster.apply_churn(spec.churn)
     return cluster
 
 
@@ -151,7 +248,15 @@ def run_once(spec: RunSpec) -> RunResult:
 
     since, until = spec.window
     m = cluster.metrics
-    delivery = analyze_delivery(m.messages_in_window(since, until), cluster.group_size)
+    # Under churn/crash schedules the group size moves mid-window; judge
+    # each message against the group it was broadcast into, not the
+    # end-of-run directory (see analyze_delivery's size_at).
+    moving_membership = spec.churn is not None or spec.faults is not None
+    delivery = analyze_delivery(
+        m.messages_in_window(since, until),
+        cluster.group_size,
+        size_at=cluster.group_size_at if moving_membership else None,
+    )
     window_len = until - since
     senders = list(spec.sender_ids)
     allowed_each = m.gauge_mean_over("allowed_rate", senders, since, until)

@@ -20,12 +20,24 @@ from __future__ import annotations
 import dataclasses
 import math
 import multiprocessing
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
-from repro.experiments.harness import RunResult, RunSpec, build_cluster, run_once
+from repro.experiments.harness import (
+    RunResult,
+    RunSpec,
+    build_cluster,
+    run_once,
+    spec_for_scenario,
+)
 from repro.metrics.collector import MetricsCollector
 
-__all__ = ["run_specs", "merged_metrics", "to_jsonable", "results_to_jsonable"]
+__all__ = [
+    "run_specs",
+    "run_scenario_matrix",
+    "merged_metrics",
+    "to_jsonable",
+    "results_to_jsonable",
+]
 
 
 def _pool(jobs: int):
@@ -44,6 +56,33 @@ def run_specs(specs: Iterable[RunSpec], jobs: int = 1) -> list[RunResult]:
         # chunksize 1: specs have wildly different costs (buffer sweeps
         # scale superlinearly in load), so fine-grained stealing wins.
         return pool.map(run_once, specs, chunksize=1)
+
+
+def run_scenario_matrix(
+    names: Optional[Sequence[str]] = None,
+    profile: Any = None,
+    jobs: int = 1,
+    dispatch: str = "batched",
+    horizon: Optional[float] = None,
+) -> list[RunResult]:
+    """Run a scenario matrix, ``jobs`` at a time; results in name order.
+
+    Defaults to *every* registered scenario (the whole registry sweeps in
+    parallel). Scenario runs are ordinary :class:`RunSpec`s after
+    lowering, so the job-count determinism guarantee of :func:`run_specs`
+    carries over verbatim; each result's ``spec.scenario`` records which
+    scenario produced it.
+    """
+    # the registry sits above this layer; resolve it at call time
+    from repro.scenarios.registry import get_scenario, scenario_names
+
+    if names is None:
+        names = scenario_names()
+    specs = [
+        spec_for_scenario(get_scenario(name, profile), dispatch=dispatch, horizon=horizon)
+        for name in names
+    ]
+    return run_specs(specs, jobs=jobs)
 
 
 def _collect_once(spec: RunSpec) -> MetricsCollector:

@@ -9,7 +9,7 @@ schedule of join/leave actions that a cluster driver replays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Literal
+from typing import Iterable, Literal, Sequence
 
 from repro.gossip.protocol import NodeId
 
@@ -56,6 +56,33 @@ class ChurnScript:
 
     def extend(self, events: Iterable[ChurnEvent]) -> "ChurnScript":
         self.events.extend(events)
+        return self
+
+    def rolling(
+        self,
+        start: float,
+        interval: float,
+        nodes: Sequence[NodeId],
+        rejoin_after: float | None = None,
+        action: Literal["leave", "crash"] = "leave",
+    ) -> "ChurnScript":
+        """One node departs every ``interval`` seconds, starting at ``start``.
+
+        The canonical rolling-upgrade / flaky-fleet shape: node ``i``
+        departs at ``start + i * interval`` via ``action`` and, when
+        ``rejoin_after`` is given, rejoins that many seconds later (a
+        node may thus be down while the next one departs — exactly the
+        overlap a rolling restart produces).
+        """
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        if rejoin_after is not None and rejoin_after <= 0:
+            raise ValueError("rejoin_after must be > 0")
+        for i, node in enumerate(nodes):
+            t = start + i * interval
+            self.events.append(ChurnEvent(t, action, node))
+            if rejoin_after is not None:
+                self.events.append(ChurnEvent(t + rejoin_after, "join", node))
         return self
 
     def sorted_events(self) -> list[ChurnEvent]:

@@ -48,12 +48,20 @@ def analyze_delivery(
     records: Iterable[MessageRecord],
     group_size: int,
     threshold: float = ATOMICITY_THRESHOLD,
+    size_at=None,
 ) -> DeliveryStats:
     """Summarise reliability over ``records`` for a group of ``group_size``.
 
     A message's receiver fraction counts the origin (which delivers to
     itself on broadcast) — matching "delivered to X% of participant
     processes" in the paper.
+
+    Under churn the right denominator moves: a message broadcast while a
+    quarter of the group is crashed can only ever reach the survivors.
+    Pass ``size_at(broadcast_time) -> int`` (e.g.
+    :meth:`~repro.workload.cluster.SimCluster.group_size_at`) to judge
+    each message against the group it was actually broadcast into;
+    ``group_size`` then only reports the nominal size in the summary.
     """
     if group_size < 1:
         raise ValueError("group_size must be >= 1")
@@ -65,11 +73,19 @@ def analyze_delivery(
     latency_count = 0
     for record in records:
         n_messages += 1
-        fraction = len(record.receivers) / group_size
+        if size_at is None:
+            denom = group_size
+            fraction = len(record.receivers) / denom
+        else:
+            denom = max(1, size_at(record.broadcast_time))
+            # nodes that crash and later restart may still catch a copy,
+            # pushing receivers past the broadcast-time group: that is
+            # "everyone alive got it, plus returners" — cap at 100%
+            fraction = min(1.0, len(record.receivers) / denom)
         frac_sum += fraction
         if fraction > threshold:
             atomic += 1
-        if len(record.receivers) >= group_size:
+        if len(record.receivers) >= denom:
             complete += 1
         if record.last_delivery is not None:
             latency_sum += record.last_delivery - record.broadcast_time

@@ -111,6 +111,51 @@ class ThreadedCluster(Driver):
     # ------------------------------------------------------------------
     # Driver hooks
     # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(
+        cls,
+        spec,
+        gossip_period: Optional[float] = None,
+        transport: str = "memory",
+        **overrides,
+    ) -> "ThreadedCluster":
+        """Instantiate a declarative scenario on real threads.
+
+        Real runs want short rounds, so the spec's gossip period is
+        replaced by ``gossip_period`` (default 0.1 s); everything else of
+        the protocol profile carries over. Scenario *schedules* (workload
+        offers, timed capacity changes) are driven by
+        :func:`repro.scenarios.runner.run_scenario_threaded`, which also
+        reports the sim-only conditions (loss, partitions, churn) it has
+        to skip. Partial-view membership is likewise a sim-side feature;
+        the threaded group always runs on the full directory.
+        """
+        import dataclasses
+
+        period = 0.1 if gossip_period is None else gossip_period
+        system = dataclasses.replace(spec.system, gossip_period=period)
+        cluster = cls(
+            n_nodes=spec.n_nodes,
+            system=system,
+            protocol=spec.protocol,
+            adaptive=spec.adaptive,
+            rate_limit=spec.rate_limit,
+            aggregate=spec.aggregate,
+            transport=transport,
+            seed=spec.seed,
+            **overrides,
+        )
+        # conditions present from t=0 (e.g. slow receivers) apply before
+        # the threads start, directly on the still-unshared protocols
+        for change in spec.resources.changes:
+            if change.time == 0.0 and hasattr(change, "capacity"):
+                for node in change.nodes:
+                    if node in cluster.nodes:
+                        cluster.nodes[node].protocol.set_buffer_capacity(
+                            change.capacity, 0.0
+                        )
+        return cluster
+
     def _default_system(self) -> SystemConfig:
         # real runs want short rounds so experiments finish fast
         return SystemConfig(gossip_period=0.1)
@@ -157,6 +202,19 @@ class ThreadedCluster(Driver):
     def broadcast(self, node_id: Any, payload: Any = None) -> None:
         """Offer a broadcast through ``node_id`` (admission on its thread)."""
         self.nodes[node_id].broadcast(payload)
+
+    def set_capacity(self, node_id: Any, capacity: int) -> None:
+        """Change a node's buffer capacity, safely, while it runs.
+
+        The change is queued onto the node's own thread (the protocol is
+        never touched cross-thread) — the threaded counterpart of
+        :meth:`repro.workload.cluster.SimCluster.set_capacity`.
+        """
+
+        def apply(protocol, now: float) -> None:
+            protocol.set_buffer_capacity(capacity, now)
+
+        self.nodes[node_id].invoke(apply)
 
     def note_admitted(self, node_id: Any, event_id, when: Optional[float] = None) -> None:
         """Record an admission in the metrics (used by runtime tests)."""

@@ -77,6 +77,7 @@ class RuntimeNode(threading.Thread):
         self.phase = phase
         self.on_error = on_error
         self._offers: "queue.Queue[Any]" = queue.Queue()
+        self._commands: "queue.Queue[Callable[[Any, float], None]]" = queue.Queue()
         self._stop_event = threading.Event()
         self._pending: list[Any] = []
         self.decode_errors = 0
@@ -90,6 +91,16 @@ class RuntimeNode(threading.Thread):
     def broadcast(self, payload: Any = None) -> None:
         """Offer one broadcast; admission happens on the node thread."""
         self._offers.put(payload)
+
+    def invoke(self, fn: Callable[[Any, float], None]) -> None:
+        """Run ``fn(protocol, now)`` on the node thread, soon.
+
+        The safe channel for runtime reconfiguration (scenario scripts
+        changing buffer capacities mid-run): the protocol object is only
+        ever touched by its own thread, so cross-thread control must be
+        queued, not called.
+        """
+        self._commands.put(fn)
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Stop the loop and join the thread (safe if never started)."""
@@ -116,6 +127,7 @@ class RuntimeNode(threading.Thread):
                     period *= rng.uniform(1 - self.jitter, 1 + self.jitter)
                 next_round = now + period
                 continue
+            self._drain_commands(now)
             self._drain_offers(now)
             wait = min(next_round - self.clock(), self.POLL_CAP)
             packet = self.transport.recv(wait)
@@ -163,6 +175,14 @@ class RuntimeNode(threading.Thread):
             return
         if not self.transport.send(addr, self.codec.encode(message)):
             self.send_failures += 1
+
+    def _drain_commands(self, now: float) -> None:
+        while True:
+            try:
+                fn = self._commands.get_nowait()
+            except queue.Empty:
+                return
+            fn(self.protocol, now)
 
     def _drain_offers(self, now: float) -> None:
         while True:

@@ -1,0 +1,79 @@
+"""Declarative scenarios: one picklable spec per adverse condition.
+
+The subsystem has four parts:
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the frozen value
+  composing topology, fault/churn/resource schedules, workload shape and
+  protocol profile;
+* :mod:`repro.scenarios.conditions` — composable stress conditions that
+  fold themselves into a spec (``spec.stressed(CorrelatedLoss(...))``);
+* :mod:`repro.scenarios.registry` / :mod:`~repro.scenarios.library` —
+  the ``@scenario("name")`` registry and the shipped named scenarios;
+* :mod:`repro.scenarios.runner` — execution on either driver
+  (simulator or threads), plus the sharded scenario matrix.
+
+Quickstart::
+
+    from repro.scenarios import get_scenario, run_scenario
+    result = run_scenario("correlated-loss")           # simulator
+    report = run_scenario("flash-crowd", driver="threaded")
+"""
+
+from repro.scenarios.conditions import (
+    BandwidthCap,
+    BufferSqueeze,
+    CorrelatedLoss,
+    CrashGroup,
+    LoadSpike,
+    Partition,
+    RollingChurn,
+    SlowReceivers,
+)
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    scenario,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    FixedLinks,
+    HeavyTailLinks,
+    LanLinks,
+    ScenarioSpec,
+    SenderSpec,
+    WanClusters,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "SenderSpec",
+    "LanLinks",
+    "WanClusters",
+    "FixedLinks",
+    "HeavyTailLinks",
+    "CorrelatedLoss",
+    "Partition",
+    "BandwidthCap",
+    "CrashGroup",
+    "RollingChurn",
+    "BufferSqueeze",
+    "LoadSpike",
+    "SlowReceivers",
+    "scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "run_scenario",
+    "run_scenario_matrix",
+    "run_scenario_threaded",
+]
+
+
+def __getattr__(name):
+    # runner pulls in the drivers and the experiments harness; load it
+    # lazily so `import repro.scenarios` stays light for spec authors
+    if name in ("run_scenario", "run_scenario_matrix", "run_scenario_threaded"):
+        from repro.scenarios import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,228 @@
+"""Composable stress conditions.
+
+Each condition is a small frozen value with one method,
+``apply_to(spec) -> spec``: it folds itself into a
+:class:`~repro.scenarios.spec.ScenarioSpec`'s fault/churn/resource
+scripts and returns a *new* spec (scripts are copied, never mutated, so
+a base scenario can be stressed several ways without cross-talk).
+Conditions resolve node sets lazily against the spec they are applied
+to — ``fraction=0.3`` means "the last 30% of the group", deterministic
+and independent of how large the scenario happens to be.
+
+Compose with :meth:`ScenarioSpec.stressed`::
+
+    spec = base.stressed(
+        CorrelatedLoss(time=60, duration=20, p=0.75),
+        CrashGroup(time=100, fraction=0.25, restart_after=40),
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.membership.churn import ChurnScript
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.faults import FaultScript
+from repro.workload.dynamics import ResourceScript
+
+__all__ = [
+    "CorrelatedLoss",
+    "Partition",
+    "BandwidthCap",
+    "CrashGroup",
+    "RollingChurn",
+    "BufferSqueeze",
+    "LoadSpike",
+    "SlowReceivers",
+]
+
+
+def _resolve_nodes(
+    spec: ScenarioSpec, nodes: Optional[Sequence], fraction: Optional[float]
+) -> tuple:
+    """A deterministic node set: explicit ``nodes``, or the last
+    ``fraction`` of the group (senders sit at the front by convention,
+    so the tail is the least disruptive default)."""
+    if nodes is not None:
+        return tuple(nodes)
+    if fraction is None:
+        raise ValueError("need either nodes or fraction")
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    count = max(1, int(round(spec.n_nodes * fraction)))
+    return tuple(range(spec.n_nodes - count, spec.n_nodes))
+
+
+def _copy_churn(spec: ScenarioSpec) -> ChurnScript:
+    return ChurnScript(list(spec.churn.events))
+
+
+def _copy_resources(spec: ScenarioSpec) -> ResourceScript:
+    return ResourceScript(list(spec.resources.changes))
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelatedLoss:
+    """A Bernoulli loss burst — the §5 caveat the paper admits to."""
+
+    time: float
+    duration: float
+    p: float
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        script = FaultScript(list(spec.faults.faults))
+        script.loss(self.time, self.duration, self.p)
+        return spec.replace(faults=script)
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """Split the group into ``n_groups`` contiguous blocks, then heal."""
+
+    time: float
+    duration: float
+    n_groups: int = 2
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if self.n_groups < 2:
+            raise ValueError("a partition needs at least two groups")
+        per = max(1, spec.n_nodes // self.n_groups)
+        groups = []
+        for g in range(self.n_groups):
+            lo = g * per
+            hi = spec.n_nodes if g == self.n_groups - 1 else (g + 1) * per
+            groups.append(list(range(lo, hi)))
+        script = FaultScript(list(spec.faults.faults))
+        script.partition(self.time, self.duration, groups)
+        return spec.replace(faults=script)
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthCap:
+    """Cap total network throughput (msg/s) for a window — a saturated
+    switch/link, the resource-exhaustion stressor."""
+
+    time: float
+    duration: float
+    rate: float
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        script = FaultScript(list(spec.faults.faults))
+        script.bandwidth_cap(self.time, self.duration, self.rate)
+        return spec.replace(faults=script)
+
+
+@dataclass(frozen=True, slots=True)
+class CrashGroup:
+    """A correlated crash: a whole node set fails at one instant,
+    optionally restarting (fresh state, old identity) later."""
+
+    time: float
+    nodes: Optional[tuple] = None
+    fraction: Optional[float] = None
+    restart_after: Optional[float] = None
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        victims = _resolve_nodes(spec, self.nodes, self.fraction)
+        sender_victims = set(victims) & set(spec.sender_ids)
+        if sender_victims:
+            raise ValueError(
+                f"CrashGroup would take down sender nodes {sorted(sender_victims)}; "
+                "point it at non-sender nodes (senders drive the workload)"
+            )
+        restart_at = None if self.restart_after is None else self.time + self.restart_after
+        script = FaultScript(list(spec.faults.faults))
+        script.crash(self.time, victims, restart_at=restart_at)
+        return spec.replace(faults=script)
+
+
+@dataclass(frozen=True, slots=True)
+class RollingChurn:
+    """One node at a time departs (and optionally rejoins) on a cadence —
+    the rolling-restart / flaky-fleet shape."""
+
+    start: float
+    interval: float
+    nodes: Optional[tuple] = None
+    fraction: Optional[float] = None
+    rejoin_after: Optional[float] = None
+    action: str = "leave"
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        churned = _resolve_nodes(spec, self.nodes, self.fraction)
+        script = _copy_churn(spec)
+        script.rolling(
+            self.start,
+            self.interval,
+            churned,
+            rejoin_after=self.rejoin_after,
+            action=self.action,
+        )
+        return spec.replace(churn=script)
+
+
+@dataclass(frozen=True, slots=True)
+class BufferSqueeze:
+    """Some nodes' buffers shrink mid-run (and may partially recover) —
+    the Figure 9 resource-exhaustion shape."""
+
+    time: float
+    capacity: int
+    nodes: Optional[tuple] = None
+    fraction: Optional[float] = None
+    restore_at: Optional[float] = None
+    restore_to: Optional[int] = None
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        squeezed = _resolve_nodes(spec, self.nodes, self.fraction)
+        script = _copy_resources(spec)
+        script.squeeze(
+            self.time,
+            squeezed,
+            self.capacity,
+            restore_at=self.restore_at,
+            restore_to=self.restore_to,
+        )
+        return spec.replace(resources=script)
+
+
+@dataclass(frozen=True, slots=True)
+class LoadSpike:
+    """Every sender multiplies its offered rate by ``factor`` for a
+    window — the flash-crowd shape."""
+
+    time: float
+    duration: float
+    factor: float
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if self.factor <= 0:
+            raise ValueError("factor must be > 0")
+        script = _copy_resources(spec)
+        for sender in spec.senders:
+            script.spike(
+                self.time,
+                self.duration,
+                [sender.node],
+                rate=sender.rate * self.factor,
+                base_rate=sender.rate,
+            )
+        return spec.replace(resources=script)
+
+
+@dataclass(frozen=True, slots=True)
+class SlowReceivers:
+    """Some nodes are under-provisioned from the start (tiny buffers) —
+    the heterogeneous-straggler shape the κ-smallest extension targets."""
+
+    capacity: int
+    nodes: Optional[tuple] = None
+    fraction: Optional[float] = None
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        stragglers = _resolve_nodes(spec, self.nodes, self.fraction)
+        script = _copy_resources(spec)
+        script.set_capacity(0.0, stragglers, self.capacity)
+        return spec.replace(resources=script)

@@ -1,0 +1,286 @@
+"""The shipped scenario library.
+
+Every adverse condition the paper (and the related gossip literature)
+motivates, as a registered, profile-scaled
+:class:`~repro.scenarios.spec.ScenarioSpec`. All times inside a builder
+are expressed as fractions of ``profile.duration`` so the same scenario
+runs at paper scale, quick scale, or a test-sized profile without
+editing its definition. Run one with::
+
+    python -m repro.experiments run-scenario correlated-loss
+    python -m repro.experiments run-scenario flash-crowd --driver threaded
+
+or build it in code via :func:`repro.scenarios.get_scenario`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import AdaptiveConfig
+from repro.experiments.profiles import Profile
+from repro.scenarios.conditions import (
+    BandwidthCap,
+    BufferSqueeze,
+    CorrelatedLoss,
+    CrashGroup,
+    LoadSpike,
+    Partition,
+    RollingChurn,
+    SlowReceivers,
+)
+from repro.scenarios.registry import scenario
+from repro.scenarios.spec import ScenarioSpec, SenderSpec, WanClusters
+from repro.sim.network import BernoulliLoss
+
+__all__ = []  # scenarios are consumed through the registry, not imports
+
+
+def _adaptive(profile: Profile, initial_rate: float = 8.0) -> AdaptiveConfig:
+    return AdaptiveConfig(age_critical=profile.tau_hint, initial_rate=initial_rate)
+
+
+def _senders(profile: Profile, load=None, **kw) -> tuple[SenderSpec, ...]:
+    """The profile's sender placement at ``load`` total msg/s."""
+    ids = profile.sender_ids()
+    total = profile.offered_load if load is None else load
+    return tuple(SenderSpec(node, total / len(ids), **kw) for node in ids)
+
+
+def _tail_non_senders(profile: Profile, count: int) -> tuple:
+    """The ``count`` highest node ids that are not senders (safe to kill)."""
+    senders = set(profile.sender_ids())
+    picked = []
+    for node in range(profile.n_nodes - 1, -1, -1):
+        if node not in senders:
+            picked.append(node)
+        if len(picked) == count:
+            break
+    return tuple(sorted(picked))
+
+
+def _base(profile: Profile, name: str, summary: str, seed_offset: int, **kw) -> ScenarioSpec:
+    params = dict(
+        name=name,
+        summary=summary,
+        n_nodes=profile.n_nodes,
+        protocol="adaptive",
+        system=profile.system(),
+        adaptive=_adaptive(profile),
+        senders=_senders(profile),
+        duration=profile.duration,
+        warmup=profile.warmup,
+        drain=profile.drain,
+        seed=profile.seed + seed_offset,
+    )
+    params.update(kw)
+    return ScenarioSpec(**params)
+
+
+@scenario("overload-baseline")
+def overload_baseline(profile: Profile) -> ScenarioSpec:
+    """The paper's core setting: offered load exceeds buffer capacity."""
+    return _base(
+        profile,
+        "overload-baseline",
+        "offered load above buffer capacity; adaptation must throttle",
+        seed_offset=1,
+    )
+
+
+@scenario("wan-clustered")
+def wan_clustered(profile: Profile) -> ScenarioSpec:
+    """Three WAN sites: cheap intra-site links, expensive cross-site links."""
+    return _base(
+        profile,
+        "wan-clustered",
+        "three-site WAN topology with expensive cross-site links",
+        seed_offset=2,
+        topology=WanClusters(n_clusters=3),
+        senders=_senders(profile, load=0.5 * profile.offered_load),
+    )
+
+
+@scenario("flash-crowd")
+def flash_crowd(profile: Profile) -> ScenarioSpec:
+    """A 4x load spike hits a comfortably-loaded group mid-run."""
+    d = profile.duration
+    return _base(
+        profile,
+        "flash-crowd",
+        "sudden 4x offered-load spike against a comfortable baseline",
+        seed_offset=3,
+        senders=_senders(profile, load=0.3 * profile.offered_load),
+    ).stressed(LoadSpike(time=0.4 * d, duration=0.25 * d, factor=4.0))
+
+
+@scenario("correlated-loss")
+def correlated_loss(profile: Profile) -> ScenarioSpec:
+    """The §5 caveat: a heavy correlated-loss burst on a healthy group."""
+    d = profile.duration
+    big = profile.buffer_sizes[-1]
+    return _base(
+        profile,
+        "correlated-loss",
+        "75% loss burst mid-run; loss is not read as congestion",
+        seed_offset=4,
+        system=profile.system(big),
+        adaptive=_adaptive(profile, initial_rate=8.0),
+        senders=_senders(profile, load=0.5 * big),
+    ).stressed(CorrelatedLoss(time=0.45 * d, duration=0.2 * d, p=0.75))
+
+
+@scenario("rolling-churn")
+def rolling_churn(profile: Profile) -> ScenarioSpec:
+    """Rolling crash/rejoin over partial membership views."""
+    d = profile.duration
+    churned = _tail_non_senders(profile, max(2, profile.n_nodes // 6))
+    return _base(
+        profile,
+        "rolling-churn",
+        "nodes crash and rejoin on a cadence, over partial views",
+        seed_offset=5,
+        membership="partial",
+        view_size=min(8, profile.n_nodes - 1),
+        senders=_senders(profile, load=0.5 * profile.offered_load),
+    ).stressed(
+        RollingChurn(
+            start=0.25 * d,
+            interval=0.05 * d,
+            nodes=churned,
+            rejoin_after=0.1 * d,
+            action="crash",
+        )
+    )
+
+
+@scenario("partition-heal")
+def partition_heal(profile: Profile) -> ScenarioSpec:
+    """The network splits in two mid-run, then heals."""
+    d = profile.duration
+    # events must outlive the partition to be recovered after the heal
+    system = dataclasses.replace(
+        profile.system(profile.buffer_sizes[-1]), max_age=max(profile.max_age, 25)
+    )
+    return _base(
+        profile,
+        "partition-heal",
+        "clean two-way partition mid-run, healed before the drain",
+        seed_offset=6,
+        system=system,
+        senders=_senders(profile, load=0.3 * profile.offered_load),
+    ).stressed(Partition(time=0.3 * d, duration=0.2 * d, n_groups=2))
+
+
+@scenario("slow-receivers")
+def slow_receivers(profile: Profile) -> ScenarioSpec:
+    """A fifth of the group is quietly under-provisioned from the start."""
+    return _base(
+        profile,
+        "slow-receivers",
+        "20% of nodes run with quarter-size buffers from t=0",
+        seed_offset=7,
+    ).stressed(
+        SlowReceivers(capacity=max(5, profile.fig2_buffer // 4), fraction=0.2)
+    )
+
+
+@scenario("buffer-flap")
+def buffer_flap(profile: Profile) -> ScenarioSpec:
+    """The Figure 9 dynamic: buffers shrink mid-run, partially recover."""
+    d = profile.duration
+    return _base(
+        profile,
+        "buffer-flap",
+        "Figure 9: buffers shrink mid-run and only partially recover",
+        seed_offset=8,
+        system=profile.system(profile.fig9_base_buffer),
+        adaptive=_adaptive(profile, initial_rate=12.0),
+    ).stressed(
+        BufferSqueeze(
+            time=0.33 * d,
+            capacity=profile.fig9_low_buffer,
+            fraction=profile.fig9_frac,
+            restore_at=0.66 * d,
+            restore_to=profile.fig9_mid_buffer,
+        )
+    )
+
+
+@scenario("pubsub-hotspot")
+def pubsub_hotspot(profile: Profile) -> ScenarioSpec:
+    """One hot publisher; 40% of members silently split their buffer
+    budget across extra topics mid-run (the §1 pub/sub motivation)."""
+    d = profile.duration
+    ids = profile.sender_ids()
+    hot, rest = ids[0], ids[1:]
+    load = profile.offered_load
+    senders = (SenderSpec(hot, 0.6 * load),) + tuple(
+        SenderSpec(node, 0.4 * load / max(1, len(rest))) for node in rest
+    )
+    return _base(
+        profile,
+        "pubsub-hotspot",
+        "hot publisher; 40% of members lose 5/6 of their buffers mid-run",
+        seed_offset=9,
+        senders=senders,
+    ).stressed(
+        BufferSqueeze(
+            time=0.4 * d,
+            capacity=max(5, profile.fig2_buffer // 6),
+            fraction=0.4,
+        )
+    )
+
+
+@scenario("catastrophic-crash")
+def catastrophic_crash(profile: Profile) -> ScenarioSpec:
+    """A quarter of the group crashes at one instant; restarts later."""
+    d = profile.duration
+    victims = _tail_non_senders(profile, max(2, profile.n_nodes // 4))
+    return _base(
+        profile,
+        "catastrophic-crash",
+        "correlated crash of a quarter of the group, restart later",
+        seed_offset=10,
+        senders=_senders(profile, load=0.4 * profile.offered_load),
+    ).stressed(
+        CrashGroup(time=0.4 * d, nodes=victims, restart_after=0.3 * d)
+    )
+
+
+@scenario("congested-switch")
+def congested_switch(profile: Profile) -> ScenarioSpec:
+    """A bandwidth cap throttles the whole fabric for a window, on top of
+    a lightly lossy LAN — resource exhaustion below the protocol."""
+    d = profile.duration
+    # cap well below the gossip traffic a healthy round produces
+    cap = profile.n_nodes * profile.fanout * 0.5 / profile.gossip_period
+    return _base(
+        profile,
+        "congested-switch",
+        "fabric-wide bandwidth cap window over a lightly lossy LAN",
+        seed_offset=11,
+        baseline_loss=BernoulliLoss(0.01),
+        senders=_senders(profile, load=0.3 * profile.offered_load),
+    ).stressed(BandwidthCap(time=0.4 * d, duration=0.2 * d, rate=cap))
+
+
+@scenario("bursty-onoff")
+def bursty_onoff(profile: Profile) -> ScenarioSpec:
+    """On/off senders: bursts at twice the sustainable rate, then silence
+    (exercises the unused-grant decay of Figure 5(c))."""
+    d = profile.duration
+    ids = profile.sender_ids()
+    rate_each = 2.0 * profile.offered_load / len(ids)
+    senders = tuple(
+        SenderSpec(node, rate_each, arrivals="onoff", on=0.08 * d, off=0.08 * d)
+        for node in ids
+    )
+    return _base(
+        profile,
+        "bursty-onoff",
+        "on/off bursts at 2x sustainable rate, exercising grant decay",
+        seed_offset=12,
+        senders=senders,
+    )

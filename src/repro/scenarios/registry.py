@@ -1,0 +1,87 @@
+"""The scenario registry.
+
+Builders register under a stable name with the :func:`scenario`
+decorator; everything else — the CLI's ``run-scenario``/
+``list-scenarios``, the sweep matrix, the determinism tests, the
+examples — resolves scenarios by name through :func:`get_scenario`, so a
+new adverse condition is one registered builder away from every harness
+in the repo.
+
+A builder is a function ``(profile) -> ScenarioSpec``: it receives an
+experiment :class:`~repro.experiments.profiles.Profile` and scales the
+scenario to it (group size, horizons, seeds), which keeps the quick and
+paper scales in lockstep without duplicating definitions. Builders must
+be deterministic — no RNG, no wall clock — so the same name always
+denotes the same run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.experiments.profiles import Profile, get_profile
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["scenario", "get_scenario", "list_scenarios", "scenario_names"]
+
+ScenarioBuilder = Callable[[Profile], ScenarioSpec]
+
+_REGISTRY: dict[str, tuple[ScenarioBuilder, str]] = {}
+
+
+def scenario(name: str, summary: Optional[str] = None):
+    """Register a scenario builder under ``name``.
+
+    ``summary`` defaults to the first line of the builder's docstring and
+    is what ``list-scenarios`` prints.
+    """
+
+    def register(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        text = summary
+        if text is None:
+            doc = (builder.__doc__ or "").strip()
+            text = doc.splitlines()[0] if doc else ""
+        _REGISTRY[name] = (builder, text)
+        return builder
+
+    return register
+
+
+def _ensure_library() -> None:
+    # The shipped scenarios self-register on import; do it lazily so
+    # importing the registry (e.g. to define new scenarios) stays cheap
+    # and cycle-free.
+    import repro.scenarios.library  # noqa: F401
+
+
+def get_scenario(name: str, profile: Optional[Profile] = None) -> ScenarioSpec:
+    """Build the named scenario at ``profile`` scale (default: the
+    environment-selected profile, see
+    :func:`~repro.experiments.profiles.get_profile`)."""
+    _ensure_library()
+    try:
+        builder, _ = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+    spec = builder(profile if profile is not None else get_profile())
+    if spec.name != name:
+        raise ValueError(
+            f"builder for {name!r} produced a spec named {spec.name!r}"
+        )
+    return spec
+
+
+def scenario_names() -> list[str]:
+    """All registered names, sorted."""
+    _ensure_library()
+    return sorted(_REGISTRY)
+
+
+def list_scenarios() -> list[tuple[str, str]]:
+    """(name, summary) pairs for every registered scenario, sorted."""
+    _ensure_library()
+    return [(name, _REGISTRY[name][1]) for name in sorted(_REGISTRY)]

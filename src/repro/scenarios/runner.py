@@ -1,0 +1,237 @@
+"""Run scenarios on either driver.
+
+The simulator path lowers a :class:`~repro.scenarios.spec.ScenarioSpec`
+to a :class:`~repro.experiments.harness.RunSpec` and reuses the whole
+experiment harness (so scenario runs sweep, shard and serialise exactly
+like figure runs). The threaded path drives the same spec on real
+threads: workload offers are paced from the spec's sender shapes, timed
+capacity changes are queued onto the owning node threads, and the
+conditions only a simulator can impose (loss models, partitions, churn,
+topologies) are *reported as skipped* rather than silently dropped —
+the threaded driver exists to validate the simulator, not to replace it.
+
+Virtual-to-wall time mapping: threaded runs use a short gossip period
+(default 0.1 s vs the spec's 1 s), so one spec second maps to
+``gossip_period / spec.system.gossip_period`` wall seconds and offer
+intervals shrink by the same factor — the load:capacity regime of the
+scenario is preserved, only the clock changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import zlib
+from dataclasses import dataclass
+from random import Random
+from typing import Optional, Union
+
+from repro.experiments.harness import run_once, spec_for_scenario
+from repro.experiments.profiles import Profile, get_profile
+from repro.experiments.sweep import run_scenario_matrix
+from repro.runtime.cluster import ThreadedCluster
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.workload.dynamics import CapacityChange
+
+__all__ = [
+    "ThreadedScenarioReport",
+    "smoke_profile",
+    "run_scenario",
+    "run_scenario_threaded",
+    "run_scenario_matrix",
+]
+
+
+def smoke_profile(profile: Optional[Profile] = None) -> Profile:
+    """A shrunken copy of ``profile`` for smoke runs (CLI ``--quick``,
+    CI, and the scenario-matrix determinism tests): small group, short
+    horizon, light load — every scenario's schedule still fires, because
+    builders place events at fractions of the profile duration."""
+    base = profile if profile is not None else get_profile()
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}-smoke",
+        n_nodes=min(16, base.n_nodes),
+        n_senders=min(3, base.n_senders),
+        duration=36.0,
+        warmup=12.0,
+        drain=6.0,
+        offered_load=min(30.0, base.offered_load),
+    )
+
+
+# ----------------------------------------------------------------------
+# simulator path
+# ----------------------------------------------------------------------
+def _resolve(spec_or_name: Union[str, ScenarioSpec], profile: Optional[Profile]) -> ScenarioSpec:
+    if isinstance(spec_or_name, ScenarioSpec):
+        return spec_or_name
+    return get_scenario(spec_or_name, profile)
+
+
+def run_scenario(
+    spec_or_name: Union[str, ScenarioSpec],
+    driver: str = "sim",
+    profile: Optional[Profile] = None,
+    dispatch: str = "batched",
+    horizon: Optional[float] = None,
+):
+    """Run one scenario end to end on the chosen driver.
+
+    Returns a :class:`~repro.experiments.harness.RunResult` for
+    ``driver="sim"`` and a :class:`ThreadedScenarioReport` for
+    ``driver="threaded"``.
+    """
+    spec = _resolve(spec_or_name, profile)
+    if driver == "sim":
+        return run_once(spec_for_scenario(spec, dispatch=dispatch, horizon=horizon))
+    if driver == "threaded":
+        if horizon is not None:
+            spec = spec.with_horizon(horizon)
+        return run_scenario_threaded(spec)
+    raise ValueError(f"unknown driver {driver!r}; choose 'sim' or 'threaded'")
+
+
+# ----------------------------------------------------------------------
+# threaded path
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ThreadedScenarioReport:
+    """What a threaded scenario run did and what it could not model."""
+
+    scenario: str
+    n_nodes: int
+    wall_seconds: float
+    time_scale: float  # wall seconds per spec second
+    offers: int
+    admitted: int
+    delivered_total: int
+    delivered_min: int
+    delivered_max: int
+    skipped: tuple[str, ...]  # sim-only conditions this driver cannot impose
+
+
+class _Feeder:
+    """Paces one sender's offers in scaled wall time."""
+
+    def __init__(self, sender, scale: float, seed: int) -> None:
+        self.node = sender.node
+        self.arrivals = sender.build_arrivals()
+        node_key = (
+            sender.node
+            if isinstance(sender.node, int)
+            else zlib.crc32(str(sender.node).encode())
+        )
+        self.rng = Random(seed * 1_000_003 + node_key)
+        self.scale = scale
+        self.stop = None if sender.stop is None else sender.stop * scale
+        self.next = sender.start * scale + self.arrivals.next_interval(self.rng) * scale
+
+    def due(self, now: float) -> bool:
+        if self.stop is not None and self.next >= self.stop:
+            return False
+        return self.next <= now
+
+    def advance(self) -> None:
+        self.next += self.arrivals.next_interval(self.rng) * self.scale
+
+
+def _skipped_conditions(spec: ScenarioSpec) -> tuple[str, ...]:
+    skipped = []
+    if len(spec.faults):
+        skipped.append(f"{len(spec.faults)} fault window(s): sim-only")
+    if len(spec.churn):
+        skipped.append(f"{len(spec.churn)} churn event(s): sim-only")
+    if spec.topology is not None:
+        skipped.append("topology/latency model: transport has real timing")
+    if spec.baseline_loss is not None:
+        skipped.append("baseline loss model: transport has real loss")
+    if spec.membership == "partial":
+        skipped.append("partial membership: threaded group runs the full directory")
+    return tuple(skipped)
+
+
+def run_scenario_threaded(
+    spec: ScenarioSpec,
+    wall_seconds: Optional[float] = None,
+    gossip_period: float = 0.1,
+    transport: str = "memory",
+) -> ThreadedScenarioReport:
+    """Drive a scenario on :class:`~repro.runtime.cluster.ThreadedCluster`.
+
+    ``wall_seconds`` bounds the run (default: the whole scenario at the
+    scaled clock). The feeder loop runs on the calling thread: it paces
+    offers through each sender node's admission queue and applies timed
+    capacity changes via the nodes' command queues at their scaled
+    offsets.
+    """
+    scale = gossip_period / spec.system.gossip_period
+    wall = spec.duration * scale if wall_seconds is None else wall_seconds
+    cluster = ThreadedCluster.from_scenario(
+        spec, gossip_period=gossip_period, transport=transport
+    )
+    skipped = _skipped_conditions(spec)
+
+    # timed resource actions at scaled offsets (t=0 capacity overrides
+    # were already applied by from_scenario, before any thread starts)
+    actions = [
+        (change.time * scale, change)
+        for change in sorted(spec.resources.changes, key=lambda c: c.time)
+        if not (change.time == 0.0 and isinstance(change, CapacityChange))
+    ]
+    feeders = [_Feeder(sender, scale, spec.seed) for sender in spec.senders]
+    offers = 0
+    next_action = 0
+
+    cluster.start()
+    t0 = time.monotonic()
+    try:
+        while True:
+            now = time.monotonic() - t0
+            if now >= wall:
+                break
+            while next_action < len(actions) and actions[next_action][0] <= now:
+                _, change = actions[next_action]
+                next_action += 1
+                if isinstance(change, CapacityChange):
+                    for node in change.nodes:
+                        if node in cluster.nodes:
+                            cluster.set_capacity(node, change.capacity)
+                else:  # OfferedRateChange — repace the affected feeders
+                    for feeder in feeders:
+                        if feeder.node in change.nodes:
+                            feeder.arrivals.rate = change.rate
+            wake = t0 + now + 0.02
+            for feeder in feeders:
+                while feeder.due(now):
+                    cluster.broadcast(feeder.node)
+                    offers += 1
+                    feeder.advance()
+                if feeder.stop is None or feeder.next < feeder.stop:
+                    wake = min(wake, t0 + feeder.next)
+            if next_action < len(actions):
+                wake = min(wake, t0 + actions[next_action][0])
+            pause = wake - time.monotonic()
+            if pause > 0:
+                time.sleep(min(pause, 0.02))
+    finally:
+        cluster.stop()
+
+    # threads are joined: protocol state is safe to read now
+    delivered = [
+        cluster.protocol_of(node).stats.events_delivered for node in range(spec.n_nodes)
+    ]
+    admitted = sum(node.offers_admitted for node in cluster.nodes.values())
+    return ThreadedScenarioReport(
+        scenario=spec.name,
+        n_nodes=spec.n_nodes,
+        wall_seconds=wall,
+        time_scale=scale,
+        offers=offers,
+        admitted=admitted,
+        delivered_total=sum(delivered),
+        delivered_min=min(delivered),
+        delivered_max=max(delivered),
+        skipped=skipped,
+    )

@@ -3,9 +3,18 @@
 The paper's §5 is candid about a weakness: "network congestion also
 results in correlated message loss thus degrading reliability. This is a
 potential weakness of the approach". A :class:`FaultScript` schedules
-exactly such pathologies — loss windows and partition windows — onto a
-running network so experiments can measure what the adaptation can and
-cannot rescue (see ``benchmarks/test_ablation_correlated_loss.py``).
+exactly such pathologies — loss windows, partition windows, node
+crashes (with optional restart) and bandwidth caps — onto a running
+system so experiments can measure what the adaptation can and cannot
+rescue (see ``benchmarks/test_ablation_correlated_loss.py`` and the
+scenario library in :mod:`repro.scenarios`).
+
+Loss and bandwidth windows mutate *global* network state, so two open
+windows of the same kind would silently fight over it (the later one
+would win while open, and its close would clobber the earlier one's
+restore). :meth:`FaultScript.validate` therefore rejects overlapping
+windows of the same kind with a clear error; :meth:`FaultScript.apply`
+validates before scheduling anything.
 """
 
 from __future__ import annotations
@@ -16,7 +25,18 @@ from typing import Optional, Sequence, Union
 from repro.sim.engine import Simulator
 from repro.sim.network import BernoulliLoss, LossModel, Network, NoLoss
 
-__all__ = ["LossWindow", "PartitionWindow", "FaultScript"]
+__all__ = [
+    "LossWindow",
+    "PartitionWindow",
+    "CrashWindow",
+    "BandwidthCapWindow",
+    "FaultScript",
+    "OverlappingFaultsError",
+]
+
+
+class OverlappingFaultsError(ValueError):
+    """Two same-kind fault windows overlap in time (ambiguous schedule)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,12 +69,55 @@ class PartitionWindow:
             raise ValueError("a partition needs at least two groups")
 
 
-Fault = Union[LossWindow, PartitionWindow]
+@dataclass(frozen=True, slots=True)
+class CrashWindow:
+    """Nodes crash silently at ``time``; with ``restart_at`` they rejoin.
+
+    A restarted node is a *fresh* process (empty buffers, new protocol
+    state) that re-enters under its old identity — the realistic model
+    for a process restart. Crashes need a cluster driver to act on, so
+    :meth:`FaultScript.apply` must be handed one when crash windows are
+    present.
+    """
+
+    time: float
+    nodes: tuple
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("crash time must be >= 0")
+        if not self.nodes:
+            raise ValueError("a crash window needs at least one node")
+        if self.restart_at is not None and self.restart_at <= self.time:
+            raise ValueError("restart_at must be after the crash time")
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthCapWindow:
+    """Network throughput capped at ``rate`` msg/s during [time, time+duration)."""
+
+    time: float
+    duration: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError("need time >= 0 and duration > 0")
+        if self.rate <= 0:
+            raise ValueError("bandwidth cap rate must be > 0")
+
+
+Fault = Union[LossWindow, PartitionWindow, CrashWindow, BandwidthCapWindow]
+
+# window kinds whose open/close mutates one global network knob — these
+# must not overlap among themselves (see module docstring)
+_EXCLUSIVE_KINDS = (LossWindow, PartitionWindow, BandwidthCapWindow)
 
 
 @dataclass
 class FaultScript:
-    """An ordered schedule of network faults."""
+    """An ordered schedule of faults."""
 
     faults: list[Fault] = field(default_factory=list)
 
@@ -70,22 +133,82 @@ class FaultScript:
         )
         return self
 
+    def crash(
+        self, time: float, nodes: Sequence, restart_at: Optional[float] = None
+    ) -> "FaultScript":
+        self.faults.append(CrashWindow(time, tuple(nodes), restart_at))
+        return self
+
+    def bandwidth_cap(self, time: float, duration: float, rate: float) -> "FaultScript":
+        self.faults.append(BandwidthCapWindow(time, duration, rate))
+        return self
+
     def __len__(self) -> int:
         return len(self.faults)
 
-    def apply(self, sim: Simulator, network: Network,
-              baseline_loss: Optional[LossModel] = None) -> None:
-        """Schedule every fault window on the simulator.
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Reject ambiguous schedules before anything is scheduled.
+
+        Overlapping windows of one kind do not compose (two open loss
+        windows do not multiply their probabilities — the network holds a
+        single loss model), so instead of silently letting the later
+        window clobber the earlier one this raises
+        :class:`OverlappingFaultsError` naming the offending pair.
+        """
+        for kind in _EXCLUSIVE_KINDS:
+            windows = sorted(
+                (f for f in self.faults if isinstance(f, kind)),
+                key=lambda f: (f.time, f.duration),
+            )
+            for earlier, later in zip(windows, windows[1:]):
+                if later.time < earlier.time + earlier.duration:
+                    raise OverlappingFaultsError(
+                        f"overlapping {kind.__name__}s: {earlier} is still open "
+                        f"at t={later.time} when {later} starts; overlapping "
+                        "windows of one kind do not compose — merge them into "
+                        "one window or separate them in time"
+                    )
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        sim: Simulator,
+        network: Network,
+        baseline_loss: Optional[LossModel] = None,
+        cluster=None,
+    ) -> None:
+        """Validate, then schedule every fault window on the simulator.
 
         ``baseline_loss`` is restored when a loss window closes (defaults
-        to no loss). Overlapping loss windows are not supported — the
-        later window simply wins while it is open.
+        to no loss). ``cluster`` — a :class:`~repro.workload.cluster.SimCluster`
+        — is required when the script contains :class:`CrashWindow`s
+        (crash/restart acts on nodes, not on the network).
         """
+        self.validate()
         restore = baseline_loss if baseline_loss is not None else NoLoss()
         for fault in sorted(self.faults, key=lambda f: f.time):
             if isinstance(fault, LossWindow):
                 sim.schedule_at(fault.time, network.set_loss, BernoulliLoss(fault.p))
                 sim.schedule_at(fault.time + fault.duration, network.set_loss, restore)
-            else:
+            elif isinstance(fault, PartitionWindow):
                 sim.schedule_at(fault.time, network.partition, [list(g) for g in fault.groups])
                 sim.schedule_at(fault.time + fault.duration, network.heal)
+            elif isinstance(fault, BandwidthCapWindow):
+                sim.schedule_at(fault.time, network.set_bandwidth_cap, fault.rate)
+                sim.schedule_at(fault.time + fault.duration, network.set_bandwidth_cap, None)
+            else:  # CrashWindow
+                if cluster is None:
+                    raise ValueError(
+                        "FaultScript contains crash windows; pass the cluster "
+                        "(e.g. SimCluster.apply_faults) so nodes can be crashed"
+                    )
+                for node in fault.nodes:
+                    sim.schedule_at(fault.time, cluster.crash_node, node)
+                if fault.restart_at is not None:
+                    for node in fault.nodes:
+                        sim.schedule_at(fault.restart_at, cluster.join_node, node)

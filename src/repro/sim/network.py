@@ -146,10 +146,12 @@ class NetworkStats:
     partitioned: int = 0
     no_route: int = 0
     payload_items: int = 0
+    capped: int = 0
 
     def reset(self) -> None:
         self.sent = self.delivered = self.lost = 0
         self.partitioned = self.no_route = self.payload_items = 0
+        self.capped = 0
 
 
 class Network:
@@ -189,6 +191,11 @@ class Network:
         self._handlers: dict[Address, Handler] = {}
         self._batch_handlers: dict[Address, Callable] = {}
         self._partition_of: dict[Address, int] = {}
+        # Bandwidth cap: at most _cap_rate messages may enter the network
+        # per one-second window; None disables the cap entirely.
+        self._cap_rate: Optional[float] = None
+        self._cap_window = -1
+        self._cap_used = 0
         # (message, src) pairs queued per destination for the current
         # instant, drained by one _flush_pending event per timestamp.
         self._pending: dict[Address, list] = {}
@@ -260,6 +267,38 @@ class Network:
         return self._partition_of.get(src, -1) != self._partition_of.get(dst, -1)
 
     # ------------------------------------------------------------------
+    # bandwidth cap
+    # ------------------------------------------------------------------
+    def set_bandwidth_cap(self, rate: Optional[float]) -> None:
+        """Cap network throughput at ``rate`` messages per second.
+
+        The cap is accounted in one-second windows of virtual time:
+        once ``rate`` messages have entered the network within a window,
+        further sends in that window are dropped (counted in
+        ``stats.capped``) — a blunt but deterministic model of a
+        saturated link or switch. ``None`` removes the cap.
+        """
+        if rate is not None and rate <= 0:
+            raise ValueError("bandwidth cap must be > 0 msg/s (or None)")
+        self._cap_rate = rate
+        self._cap_window = -1
+        self._cap_used = 0
+
+    def _cap_exceeded(self) -> bool:
+        # Only called while a cap is set; checked after partition/route
+        # filtering and *before* the loss model so the RNG stream of an
+        # uncapped run is untouched by this feature.
+        window = int(self._sim.now)
+        if window != self._cap_window:
+            self._cap_window = window
+            self._cap_used = 0
+        if self._cap_used >= self._cap_rate:
+            self.stats.capped += 1
+            return True
+        self._cap_used += 1
+        return False
+
+    # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
     def send(self, src: Address, dst: Address, message: Any, items: int = 1) -> bool:
@@ -277,6 +316,8 @@ class Network:
             return False
         if dst not in self._handlers:
             self.stats.no_route += 1
+            return False
+        if self._cap_rate is not None and self._cap_exceeded():
             return False
         if self._loss.is_lost(src, dst, self._rng):
             self.stats.lost += 1
@@ -312,10 +353,12 @@ class Network:
         rng = self._rng
         latency = self._latency
         fixed_delay = latency.delay if type(latency) is ConstantLatency else None
+        cap_rate = self._cap_rate
         if (
             fixed_delay is not None
             and lossless
             and partition_get is None
+            and cap_rate is None
         ):
             # Draw-free models, no partition: every destination shares one
             # delay and nothing consults the RNG, so the whole fanout
@@ -337,6 +380,8 @@ class Network:
                 continue
             if dst not in handlers:
                 stats.no_route += 1
+                continue
+            if cap_rate is not None and self._cap_exceeded():
                 continue
             if not lossless and loss.is_lost(src, dst, rng):
                 stats.lost += 1

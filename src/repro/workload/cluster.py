@@ -241,6 +241,21 @@ class SimCluster(Driver):
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(cls, spec, dispatch: str = "batched", **overrides) -> "SimCluster":
+        """Instantiate a declarative scenario on the simulator.
+
+        ``spec`` is a :class:`~repro.scenarios.spec.ScenarioSpec`; the
+        cluster comes back fully wired — topology, senders, fault/churn/
+        resource schedules — and ready for ``run(until=spec.duration)``.
+        """
+        # Local import: the experiments layer sits above this driver, so
+        # pulling the lowering helper in at call time keeps the module
+        # graph acyclic while sharing one code path with RunSpec sweeps.
+        from repro.experiments.harness import build_cluster, spec_for_scenario
+
+        return build_cluster(spec_for_scenario(spec, dispatch=dispatch, **overrides))
+
     def _make_membership(self, node_id: NodeId):
         if self.membership_kind == "full":
             return FullMembershipView(self.directory, node_id)
@@ -364,6 +379,15 @@ class SimCluster(Driver):
                 "crash": self.crash_node,
             }[event.action]
             self.sim.schedule_at(event.time, action, event.node)
+
+    def apply_faults(self, script, baseline_loss=None) -> None:
+        """Validate and schedule a :class:`~repro.sim.faults.FaultScript`.
+
+        Passes this cluster along so crash/restart windows can act on
+        nodes; ``baseline_loss`` is what loss windows restore on close
+        (defaults to a perfect network).
+        """
+        script.apply(self.sim, self.network, baseline_loss=baseline_loss, cluster=self)
 
     # ------------------------------------------------------------------
     # execution & analysis

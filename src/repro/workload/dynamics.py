@@ -74,6 +74,46 @@ class ResourceScript:
         self.changes.append(OfferedRateChange(time, tuple(nodes), rate))
         return self
 
+    def squeeze(
+        self,
+        time: float,
+        nodes: Sequence[NodeId],
+        capacity: int,
+        restore_at: float | None = None,
+        restore_to: int | None = None,
+    ) -> "ResourceScript":
+        """Shrink some nodes' buffers, optionally growing them back later.
+
+        The Figure 9 shape in one call: ``capacity`` from ``time`` on and,
+        when ``restore_at`` is given, ``restore_to`` (default: the
+        original is unknown here, so it must be passed explicitly) from
+        then on.
+        """
+        self.set_capacity(time, nodes, capacity)
+        if restore_at is not None:
+            if restore_at <= time:
+                raise ValueError("restore_at must be after the squeeze time")
+            if restore_to is None:
+                raise ValueError("restore_at needs restore_to (the new capacity)")
+            self.set_capacity(restore_at, nodes, restore_to)
+        return self
+
+    def spike(
+        self,
+        time: float,
+        duration: float,
+        nodes: Sequence[NodeId],
+        rate: float,
+        base_rate: float,
+    ) -> "ResourceScript":
+        """Offered-rate spike: ``rate`` during [time, time+duration), then
+        back to ``base_rate`` — the flash-crowd shape."""
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        self.set_offered_rate(time, nodes, rate)
+        self.set_offered_rate(time + duration, nodes, base_rate)
+        return self
+
     def apply(self, cluster: SimCluster) -> None:
         """Schedule every change on the cluster's simulator."""
         for change in sorted(self.changes, key=lambda c: c.time):

@@ -10,7 +10,6 @@ from repro.core.rate_controller import RateDecision
 from repro.gossip.buffer import EventBuffer
 from repro.gossip.config import SystemConfig
 from repro.gossip.events import EventId
-from repro.gossip.protocol import AdaptiveHeader
 
 
 def make(buffer_capacity=20, **adaptive_kw):

@@ -82,6 +82,52 @@ def test_output_file(tiny_profile, capsys, tmp_path):
     assert "Figure 2" in target.read_text()
 
 
+def test_list_scenarios_command(capsys):
+    out = run_cli(capsys, "list-scenarios")
+    for name in ("correlated-loss", "flash-crowd", "rolling-churn"):
+        assert name in out
+
+
+def test_run_scenario_requires_names():
+    with pytest.raises(SystemExit):
+        cli.main(["run-scenario"])
+
+
+def test_run_scenario_sim(tiny_profile, capsys, tmp_path):
+    target = tmp_path / "scenarios.json"
+    out = run_cli(
+        capsys,
+        "run-scenario",
+        "flash-crowd",
+        "--profile",
+        "tiny",
+        "--horizon",
+        "16",
+        "--json",
+        str(target),
+    )
+    assert "Scenario matrix" in out
+    assert "flash-crowd" in out
+    doc = target.read_text()
+    assert '"scenario": "flash-crowd"' in doc
+
+
+def test_run_scenario_both_drivers(tiny_profile, capsys):
+    out = run_cli(
+        capsys,
+        "run-scenario",
+        "slow-receivers",
+        "--profile",
+        "tiny",
+        "--horizon",
+        "12",
+        "--driver",
+        "both",
+    )
+    assert "sim driver" in out
+    assert "threaded driver" in out
+
+
 def test_all_command_runs_every_figure(tiny_profile, capsys, monkeypatch):
     # stub the slow calibration-based figure to keep the test quick
     monkeypatch.setattr(

@@ -1,6 +1,5 @@
 """Tests for experiment profiles and report rendering."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for seed replication and confidence intervals."""
 
-import math
 
 import pytest
 

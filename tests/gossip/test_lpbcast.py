@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.gossip.config import SystemConfig
 from repro.gossip.events import EventId, EventSummary

@@ -6,7 +6,6 @@ adaptive-bimodal, with the plain bimodal substrate showing the same
 overload pathology as plain lpbcast.
 """
 
-import pytest
 
 from repro.core.config import AdaptiveConfig
 from repro.gossip.config import SystemConfig

@@ -2,7 +2,6 @@
 
 from repro.core.config import AdaptiveConfig
 from repro.gossip.config import SystemConfig
-from repro.sim.trace import TraceLog
 from repro.workload.cluster import SimCluster
 
 

@@ -1,14 +1,21 @@
 """Integration: the batched dispatcher reproduces the per-node-timer path
 byte for byte — same seed, same spec, either dispatch mode, same run —
-and the batched columnar receive path reproduces the seed's per-event
-reference loop just as exactly."""
+the batched columnar receive path reproduces the seed's per-event
+reference loop just as exactly, and every registered scenario upholds
+both guarantees (plus job-count independence of the sweep runner)."""
 
 import dataclasses
 
+import pytest
+
 from repro.core.config import AdaptiveConfig
-from repro.experiments.harness import RunSpec, run_once
+from repro.experiments.harness import RunSpec, run_once, spec_for_scenario
+from repro.experiments.profiles import QUICK
+from repro.experiments.sweep import run_scenario_matrix
 from repro.gossip.config import SystemConfig
 from repro.gossip.events import EventColumns
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.runner import smoke_profile
 from repro.workload.cluster import SimCluster
 
 
@@ -151,14 +158,56 @@ def _spec(dispatch):
     )
 
 
+def _assert_results_identical(a, b):
+    """Field-wise RunResult equality, NaN-tolerant, spec excluded
+    (the spec records the dispatch mode / job provenance)."""
+    for field in dataclasses.fields(a):
+        if field.name == "spec":
+            continue
+        va = getattr(a, field.name)
+        vb = getattr(b, field.name)
+        assert va == vb or (va != va and vb != vb), field.name
+
+
 def test_run_result_identical_across_dispatch():
     """Same RunSpec modulo dispatch mode => identical RunResult payload."""
     timers = run_once(_spec("timers"))
     batched = run_once(_spec("batched"))
-    # compare every field except the spec itself (which records the mode)
-    for field in dataclasses.fields(timers):
-        if field.name == "spec":
-            continue
-        a = getattr(timers, field.name)
-        b = getattr(batched, field.name)
-        assert a == b or (a != a and b != b), field.name  # NaN-tolerant
+    _assert_results_identical(timers, batched)
+
+
+# ----------------------------------------------------------------------
+# the scenario matrix upholds the same guarantees
+# ----------------------------------------------------------------------
+_MATRIX_PROFILE = dataclasses.replace(
+    smoke_profile(QUICK),
+    name="determinism-matrix",
+    n_nodes=12,
+    duration=24.0,
+    warmup=8.0,
+    drain=4.0,
+    offered_load=18.0,
+)
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_identical_across_dispatch(name):
+    """Every registered scenario — faults, churn, crash/restart, caps,
+    topologies, bursty workloads — runs byte-identically under both
+    round-dispatch modes."""
+    spec = get_scenario(name, _MATRIX_PROFILE)
+    timers = run_once(spec_for_scenario(spec, dispatch="timers"))
+    batched = run_once(spec_for_scenario(spec, dispatch="batched"))
+    _assert_results_identical(timers, batched)
+
+
+def test_scenario_matrix_identical_across_job_counts():
+    """Sharding a scenario matrix across workers reproduces the serial
+    run bit for bit, in name order."""
+    names = ["catastrophic-crash", "correlated-loss", "rolling-churn"]
+    serial = run_scenario_matrix(names, profile=_MATRIX_PROFILE, jobs=1)
+    sharded = run_scenario_matrix(names, profile=_MATRIX_PROFILE, jobs=3)
+    assert [r.spec.scenario for r in serial] == names
+    for a, b in zip(serial, sharded):
+        assert a.spec == b.spec
+        _assert_results_identical(a, b)

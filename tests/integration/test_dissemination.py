@@ -1,6 +1,5 @@
 """Integration: dissemination properties of the full simulated stack."""
 
-import pytest
 
 from repro.gossip.config import SystemConfig
 from repro.metrics.delivery import analyze_delivery

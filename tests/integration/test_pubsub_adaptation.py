@@ -5,7 +5,6 @@ buffers across topics — with no channel other than the data gossip
 itself. This is the paper's opening use case as an executable test.
 """
 
-import pytest
 
 from repro.core.config import AdaptiveConfig
 from repro.gossip.config import SystemConfig

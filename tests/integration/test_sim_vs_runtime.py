@@ -12,7 +12,6 @@ values — thread scheduling is not deterministic.
 
 import time
 
-import pytest
 
 from repro.core.config import AdaptiveConfig
 from repro.gossip.config import SystemConfig

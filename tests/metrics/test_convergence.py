@@ -1,6 +1,5 @@
 """Tests for step-response analysis."""
 
-import math
 
 import pytest
 

@@ -211,6 +211,49 @@ def test_bimodal_over_threaded_runtime():
     assert digests > 0
 
 
+def test_set_capacity_applies_on_the_node_thread():
+    cluster = ThreadedCluster(3, system=fast_system(), seed=4)
+    cluster.start()
+    try:
+        cluster.set_capacity(2, 7)
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if cluster.protocol_of(2).buffer_capacity == 7:
+                break
+            time.sleep(0.02)
+    finally:
+        cluster.stop()
+    assert cluster.protocol_of(2).buffer_capacity == 7
+    # the untouched nodes keep their configured capacity
+    assert cluster.protocol_of(0).buffer_capacity == 64
+
+
+def test_from_scenario_builds_threaded_cluster():
+    from repro.scenarios.conditions import SlowReceivers
+    from repro.scenarios.spec import ScenarioSpec, SenderSpec
+
+    spec = ScenarioSpec(
+        name="threaded-build",
+        n_nodes=4,
+        system=SystemConfig(buffer_capacity=40, dedup_capacity=400),
+        senders=(SenderSpec(0, 5.0),),
+        duration=30.0,
+        warmup=5.0,
+        drain=5.0,
+        seed=3,
+    ).stressed(SlowReceivers(capacity=9, nodes=(3,)))
+    cluster = ThreadedCluster.from_scenario(spec, gossip_period=0.05)
+    try:
+        # the protocol profile carried over, rounds rescaled, and the
+        # t=0 capacity override landed before any thread started
+        assert cluster.system.gossip_period == 0.05
+        assert cluster.system.buffer_capacity == 40
+        assert cluster.protocol_of(3).buffer_capacity == 9
+        assert cluster.group_size == 4
+    finally:
+        cluster.stop()
+
+
 def test_adaptive_bimodal_over_threaded_runtime():
     cluster = ThreadedCluster(
         4,

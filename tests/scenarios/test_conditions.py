@@ -1,0 +1,130 @@
+"""Tests for composable stress conditions."""
+
+import pytest
+
+from repro.gossip.config import SystemConfig
+from repro.scenarios.conditions import (
+    BandwidthCap,
+    BufferSqueeze,
+    CorrelatedLoss,
+    CrashGroup,
+    LoadSpike,
+    Partition,
+    RollingChurn,
+    SlowReceivers,
+)
+from repro.scenarios.spec import ScenarioSpec, SenderSpec
+from repro.sim.faults import (
+    BandwidthCapWindow,
+    CrashWindow,
+    LossWindow,
+    OverlappingFaultsError,
+    PartitionWindow,
+)
+from repro.workload.dynamics import CapacityChange, OfferedRateChange
+
+
+def base(**kw):
+    params = dict(
+        name="b",
+        n_nodes=10,
+        system=SystemConfig(buffer_capacity=20, dedup_capacity=200),
+        senders=(SenderSpec(0, 4.0), SenderSpec(5, 6.0)),
+        duration=100.0,
+        warmup=20.0,
+        drain=10.0,
+    )
+    params.update(kw)
+    return ScenarioSpec(**params)
+
+
+def test_correlated_loss_folds_a_window():
+    spec = base().stressed(CorrelatedLoss(time=10.0, duration=5.0, p=0.5))
+    (window,) = spec.faults.faults
+    assert isinstance(window, LossWindow)
+    assert (window.time, window.duration, window.p) == (10.0, 5.0, 0.5)
+
+
+def test_conditions_do_not_mutate_the_base():
+    spec = base()
+    spec.stressed(
+        CorrelatedLoss(time=10.0, duration=5.0, p=0.5),
+        BufferSqueeze(time=20.0, capacity=5, fraction=0.2),
+        RollingChurn(start=30.0, interval=5.0, fraction=0.2),
+    )
+    assert len(spec.faults) == 0
+    assert len(spec.resources) == 0
+    assert len(spec.churn) == 0
+
+
+def test_partition_splits_contiguously():
+    spec = base().stressed(Partition(time=10.0, duration=5.0, n_groups=2))
+    (window,) = spec.faults.faults
+    assert isinstance(window, PartitionWindow)
+    assert window.groups == (tuple(range(5)), tuple(range(5, 10)))
+
+
+def test_bandwidth_cap_folds_a_window():
+    spec = base().stressed(BandwidthCap(time=10.0, duration=5.0, rate=200.0))
+    (window,) = spec.faults.faults
+    assert isinstance(window, BandwidthCapWindow)
+    assert window.rate == 200.0
+
+
+def test_crash_group_resolves_fraction_and_protects_senders():
+    spec = base().stressed(CrashGroup(time=10.0, fraction=0.2, restart_after=5.0))
+    (window,) = spec.faults.faults
+    assert isinstance(window, CrashWindow)
+    assert window.nodes == (8, 9)
+    assert window.restart_at == 15.0
+    with pytest.raises(ValueError, match="sender"):
+        base().stressed(CrashGroup(time=10.0, nodes=(5,)))
+
+
+def test_rolling_churn_schedules_cadence():
+    spec = base().stressed(
+        RollingChurn(start=10.0, interval=2.0, nodes=(8, 9), rejoin_after=3.0,
+                     action="crash")
+    )
+    events = spec.churn.sorted_events()
+    assert [(e.time, e.action, e.node) for e in events] == [
+        (10.0, "crash", 8),
+        (12.0, "crash", 9),
+        (13.0, "join", 8),
+        (15.0, "join", 9),
+    ]
+
+
+def test_buffer_squeeze_and_slow_receivers():
+    spec = base().stressed(
+        SlowReceivers(capacity=5, nodes=(9,)),
+        BufferSqueeze(time=40.0, capacity=10, nodes=(8,), restore_at=60.0,
+                      restore_to=15),
+    )
+    changes = spec.resources.changes
+    assert isinstance(changes[0], CapacityChange)
+    assert (changes[0].time, changes[0].nodes, changes[0].capacity) == (0.0, (9,), 5)
+    assert [(c.time, c.capacity) for c in changes[1:]] == [(40.0, 10), (60.0, 15)]
+
+
+def test_load_spike_scales_every_sender():
+    spec = base().stressed(LoadSpike(time=40.0, duration=10.0, factor=3.0))
+    changes = [c for c in spec.resources.changes if isinstance(c, OfferedRateChange)]
+    by_node = {(c.nodes[0], c.time): c.rate for c in changes}
+    assert by_node[(0, 40.0)] == 12.0 and by_node[(0, 50.0)] == 4.0
+    assert by_node[(5, 40.0)] == 18.0 and by_node[(5, 50.0)] == 6.0
+
+
+def test_overlapping_same_kind_windows_are_rejected():
+    stressed = base().stressed(CorrelatedLoss(time=10.0, duration=20.0, p=0.5))
+    with pytest.raises(OverlappingFaultsError, match="overlapping LossWindow"):
+        stressed.stressed(CorrelatedLoss(time=15.0, duration=5.0, p=0.9))
+    # different kinds may overlap freely
+    stressed.stressed(Partition(time=12.0, duration=5.0))
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        base().stressed(SlowReceivers(capacity=5, fraction=1.5))
+    with pytest.raises(ValueError):
+        base().stressed(SlowReceivers(capacity=5))

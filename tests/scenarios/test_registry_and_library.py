@@ -1,0 +1,87 @@
+"""Tests for the scenario registry and the shipped library."""
+
+
+import pytest
+
+from repro.experiments.profiles import QUICK
+from repro.scenarios import registry
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import smoke_profile
+from repro.scenarios.spec import ScenarioSpec
+
+
+def test_library_ships_at_least_eight_scenarios():
+    names = scenario_names()
+    assert len(names) >= 8
+    for required in (
+        "wan-clustered",
+        "flash-crowd",
+        "correlated-loss",
+        "rolling-churn",
+        "partition-heal",
+        "slow-receivers",
+        "pubsub-hotspot",
+        "catastrophic-crash",
+    ):
+        assert required in names
+
+
+def test_every_scenario_builds_at_any_scale():
+    for profile in (QUICK, smoke_profile(QUICK)):
+        for name in scenario_names():
+            spec = get_scenario(name, profile)
+            assert isinstance(spec, ScenarioSpec)
+            assert spec.name == name
+            assert spec.n_nodes == profile.n_nodes
+            # every schedule event fires inside the run
+            for fault in spec.faults.faults:
+                assert fault.time < spec.duration
+            for event in spec.churn.events:
+                assert event.time < spec.duration
+            for change in spec.resources.changes:
+                assert change.time < spec.duration
+
+
+def test_summaries_are_listed():
+    listed = dict(list_scenarios())
+    for name in scenario_names():
+        assert listed[name], f"{name} has no summary"
+
+
+def test_unknown_scenario_names_the_choices():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        get_scenario("no-such-thing")
+
+
+def test_builders_are_deterministic():
+    assert get_scenario("flash-crowd", QUICK) == get_scenario("flash-crowd", QUICK)
+
+
+def test_registration_guards(monkeypatch):
+    monkeypatch.setattr(registry, "_REGISTRY", dict(registry._REGISTRY))
+
+    @scenario("test-duplicate", summary="x")
+    def build(profile):
+        return get_scenario("flash-crowd", profile)
+
+    with pytest.raises(ValueError, match="already registered"):
+        scenario("test-duplicate")(build)
+    # a builder whose spec name disagrees with its registered name is a bug
+    with pytest.raises(ValueError, match="named"):
+        get_scenario("test-duplicate", QUICK)
+
+
+def test_smoke_profile_shrinks():
+    smoke = smoke_profile(QUICK)
+    assert smoke.n_nodes <= QUICK.n_nodes
+    assert smoke.duration < QUICK.duration
+    assert smoke.name.endswith("-smoke")
+    # profile-fraction event times still fire inside the smoke horizon
+    spec = get_scenario("correlated-loss", smoke)
+    burst = spec.faults.faults[0]
+    assert burst.time + burst.duration < spec.duration

@@ -1,0 +1,92 @@
+"""Tests for scenario execution on both drivers."""
+
+import pytest
+
+from repro.gossip.config import SystemConfig
+from repro.scenarios.conditions import BufferSqueeze, CorrelatedLoss
+from repro.scenarios.runner import (
+    ThreadedScenarioReport,
+    run_scenario,
+    run_scenario_threaded,
+    smoke_profile,
+)
+from repro.scenarios.spec import ScenarioSpec, SenderSpec
+from repro.workload.cluster import SimCluster
+
+
+def tiny_spec(**kw):
+    params = dict(
+        name="tiny",
+        n_nodes=8,
+        system=SystemConfig(buffer_capacity=30, dedup_capacity=300),
+        senders=(SenderSpec(0, 5.0), SenderSpec(4, 5.0)),
+        duration=30.0,
+        warmup=10.0,
+        drain=5.0,
+        seed=5,
+    )
+    params.update(kw)
+    return ScenarioSpec(**params)
+
+
+def test_run_scenario_sim_by_name():
+    result = run_scenario("flash-crowd", profile=smoke_profile(), horizon=15.0)
+    assert result.spec.scenario == "flash-crowd"
+    assert result.delivery.messages > 0
+
+
+def test_run_scenario_rejects_unknown_driver():
+    with pytest.raises(ValueError, match="unknown driver"):
+        run_scenario(tiny_spec(), driver="quantum")
+
+
+def test_sim_cluster_from_scenario_applies_schedules():
+    spec = tiny_spec().stressed(
+        CorrelatedLoss(time=5.0, duration=3.0, p=1.0),
+        BufferSqueeze(time=0.0, capacity=7, nodes=(7,)),
+    )
+    cluster = SimCluster.from_scenario(spec)
+    cluster.run(until=1.0)
+    # the t=0 squeeze has been applied...
+    assert cluster.protocol_of(7).buffer.capacity == 7
+    # ...and the loss window engages on schedule
+    cluster.run(until=6.0)
+    assert type(cluster.network._loss).__name__ == "BernoulliLoss"
+    cluster.run(until=10.0)
+    assert type(cluster.network._loss).__name__ == "NoLoss"
+
+
+def test_threaded_run_delivers_and_reports():
+    spec = tiny_spec()
+    report = run_scenario_threaded(spec, wall_seconds=1.2)
+    assert isinstance(report, ThreadedScenarioReport)
+    assert report.scenario == "tiny"
+    assert report.offers > 0
+    assert report.admitted > 0
+    assert report.delivered_total > 0
+    assert report.skipped == ()
+
+
+def test_threaded_run_reports_sim_only_conditions():
+    spec = tiny_spec(membership="partial", view_size=4).stressed(
+        CorrelatedLoss(time=5.0, duration=3.0, p=0.5)
+    )
+    report = run_scenario_threaded(spec, wall_seconds=0.4)
+    assert any("fault" in item for item in report.skipped)
+    assert any("partial membership" in item for item in report.skipped)
+
+
+def test_threaded_run_applies_timed_capacity_changes():
+    # squeeze early enough (in scaled time) that the run observes it
+    spec = tiny_spec().stressed(BufferSqueeze(time=2.0, capacity=9, nodes=(7,)))
+    scale = 0.1 / spec.system.gossip_period
+    report = run_scenario_threaded(spec, wall_seconds=max(1.0, 2.0 * scale + 0.8))
+    assert report.offers > 0
+
+
+def test_run_scenario_threaded_by_name():
+    report = run_scenario(
+        "slow-receivers", driver="threaded", profile=smoke_profile(), horizon=6.0
+    )
+    assert report.scenario == "slow-receivers"
+    assert report.delivered_total > 0

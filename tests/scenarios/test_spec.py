@@ -1,0 +1,147 @@
+"""Tests for the declarative ScenarioSpec value."""
+
+import pickle
+
+import pytest
+
+from repro.gossip.config import SystemConfig
+from repro.scenarios.spec import (
+    FixedLinks,
+    HeavyTailLinks,
+    LanLinks,
+    ScenarioSpec,
+    SenderSpec,
+    WanClusters,
+)
+from repro.sim.network import ConstantLatency, LogNormalLatency, UniformLatency
+from repro.sim.topology import ClusteredTopology
+
+
+def tiny(**kw):
+    params = dict(
+        name="t",
+        n_nodes=10,
+        system=SystemConfig(buffer_capacity=20, dedup_capacity=200),
+        senders=(SenderSpec(0, 4.0), SenderSpec(5, 4.0)),
+        duration=40.0,
+        warmup=10.0,
+        drain=5.0,
+    )
+    params.update(kw)
+    return ScenarioSpec(**params)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        tiny(name="")
+    with pytest.raises(ValueError):
+        tiny(n_nodes=1)
+    with pytest.raises(ValueError):
+        tiny(senders=())
+    with pytest.raises(ValueError):
+        tiny(warmup=50.0)
+    with pytest.raises(ValueError):
+        tiny(drain=40.0)
+    with pytest.raises(ValueError):
+        tiny(membership="gossip")
+    # a sender outside the initial group is a spec bug, not a run bug
+    with pytest.raises(ValueError):
+        tiny(senders=(SenderSpec(99, 1.0),))
+
+
+def test_sender_spec_validation_and_arrivals():
+    with pytest.raises(ValueError):
+        SenderSpec(0, 0.0)
+    with pytest.raises(ValueError):
+        SenderSpec(0, 1.0, arrivals="bursty")
+    with pytest.raises(ValueError):
+        SenderSpec(0, 1.0, start=5.0, stop=5.0)
+    assert SenderSpec(0, 2.0).build_arrivals().rate == 2.0
+    assert SenderSpec(0, 2.0, arrivals="poisson").build_arrivals().rate == 2.0
+    onoff = SenderSpec(0, 2.0, arrivals="onoff", on=3.0, off=1.0).build_arrivals()
+    assert (onoff.on, onoff.off) == (3.0, 1.0)
+
+
+def test_derived_views():
+    spec = tiny()
+    assert spec.sender_ids == (0, 5)
+    assert spec.offered_load == 8.0
+    assert spec.window == (10.0, 35.0)
+
+
+def test_with_horizon_scales_window():
+    spec = tiny().with_horizon(10.0)
+    assert spec.duration == 10.0
+    assert spec.warmup == pytest.approx(2.5)
+    assert spec.drain == pytest.approx(1.25)
+    with pytest.raises(ValueError):
+        tiny().with_horizon(0.0)
+
+
+def test_with_horizon_scales_the_whole_timeline():
+    """A shrunk scenario must still *fire* its condition: every schedule
+    (faults, churn, resources, sender intervals) scales with the run."""
+    from repro.scenarios.conditions import (
+        BufferSqueeze,
+        CorrelatedLoss,
+        CrashGroup,
+        RollingChurn,
+    )
+
+    spec = tiny(
+        senders=(SenderSpec(0, 4.0, arrivals="onoff", on=8.0, off=4.0,
+                            start=2.0, stop=38.0),)
+    ).stressed(
+        CorrelatedLoss(time=20.0, duration=8.0, p=0.5),
+        CrashGroup(time=24.0, nodes=(9,), restart_after=8.0),
+        RollingChurn(start=10.0, interval=4.0, nodes=(8,), rejoin_after=6.0),
+        BufferSqueeze(time=16.0, capacity=5, nodes=(7,)),
+    )
+    half = spec.with_horizon(20.0)
+    loss, crash = half.faults.faults
+    assert (loss.time, loss.duration, loss.p) == (10.0, 4.0, 0.5)
+    assert (crash.time, crash.restart_at) == (12.0, 16.0)
+    assert [(e.time, e.action) for e in half.churn.sorted_events()] == [
+        (5.0, "leave"),
+        (8.0, "join"),
+    ]
+    assert half.resources.changes[0].time == 8.0
+    (sender,) = half.senders
+    assert (sender.start, sender.stop) == (1.0, 19.0)
+    assert (sender.on, sender.off) == (4.0, 2.0)
+    assert sender.rate == 4.0  # the load regime is the scenario's identity
+
+
+def test_replace_and_with_protocol():
+    spec = tiny()
+    assert spec.with_protocol("lpbcast").protocol == "lpbcast"
+    assert spec.replace(seed=9).seed == 9
+    # the original is untouched (frozen value semantics)
+    assert spec.protocol == "adaptive"
+
+
+def test_topologies_build_latency_models():
+    assert isinstance(LanLinks().build(10), UniformLatency)
+    assert isinstance(FixedLinks(0.02).build(10), ConstantLatency)
+    assert isinstance(HeavyTailLinks().build(10), LogNormalLatency)
+    wan = WanClusters(n_clusters=3).build(9)
+    assert isinstance(wan, ClusteredTopology)
+    # contiguous blocks of three nodes per site
+    assert wan.cluster_of[0] == wan.cluster_of[2] == 0
+    assert wan.cluster_of[3] == 1
+    assert wan.cluster_of[8] == 2
+    with pytest.raises(ValueError):
+        WanClusters(n_clusters=1)
+
+
+def test_build_latency_passthrough():
+    assert tiny().build_latency() is None
+    spec = tiny(topology=FixedLinks(0.03))
+    assert isinstance(spec.build_latency(), ConstantLatency)
+    model = ConstantLatency(0.05)
+    assert tiny(topology=model).build_latency() is model
+
+
+def test_pickle_round_trip():
+    spec = tiny(topology=WanClusters())
+    assert pickle.loads(pickle.dumps(spec)) == spec

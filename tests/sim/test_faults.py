@@ -3,7 +3,14 @@
 import pytest
 
 from repro.sim.engine import Simulator
-from repro.sim.faults import FaultScript, LossWindow, PartitionWindow
+from repro.sim.faults import (
+    BandwidthCapWindow,
+    CrashWindow,
+    FaultScript,
+    LossWindow,
+    OverlappingFaultsError,
+    PartitionWindow,
+)
 from repro.sim.network import ConstantLatency, Network
 
 
@@ -16,11 +23,52 @@ def test_fault_validation():
         LossWindow(0.0, 1.0, 0.0)
     with pytest.raises(ValueError):
         PartitionWindow(0.0, 1.0, (("a",),))
+    with pytest.raises(ValueError):
+        CrashWindow(1.0, ())
+    with pytest.raises(ValueError):
+        CrashWindow(1.0, (3,), restart_at=1.0)
+    with pytest.raises(ValueError):
+        BandwidthCapWindow(0.0, 1.0, 0.0)
 
 
 def test_builder():
-    script = FaultScript().loss(1.0, 2.0, 0.5).partition(5.0, 1.0, [["a"], ["b"]])
-    assert len(script) == 2
+    script = (
+        FaultScript()
+        .loss(1.0, 2.0, 0.5)
+        .partition(5.0, 1.0, [["a"], ["b"]])
+        .crash(7.0, [3, 4], restart_at=9.0)
+        .bandwidth_cap(10.0, 2.0, 50.0)
+    )
+    assert len(script) == 4
+
+
+def test_overlapping_loss_windows_rejected():
+    script = FaultScript().loss(1.0, 5.0, 0.5).loss(3.0, 1.0, 0.9)
+    with pytest.raises(OverlappingFaultsError, match="overlapping LossWindow"):
+        script.validate()
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.001))
+    # apply() refuses the ambiguous schedule instead of compounding
+    with pytest.raises(OverlappingFaultsError):
+        script.apply(sim, net)
+
+
+def test_overlapping_partitions_and_caps_rejected():
+    with pytest.raises(OverlappingFaultsError, match="PartitionWindow"):
+        (
+            FaultScript()
+            .partition(1.0, 5.0, [["a"], ["b"]])
+            .partition(2.0, 1.0, [["a", "b"], ["c"]])
+            .validate()
+        )
+    with pytest.raises(OverlappingFaultsError, match="BandwidthCapWindow"):
+        FaultScript().bandwidth_cap(0.0, 5.0, 10.0).bandwidth_cap(4.0, 5.0, 20.0).validate()
+
+
+def test_different_kinds_may_overlap():
+    FaultScript().loss(1.0, 5.0, 0.5).partition(2.0, 2.0, [["a"], ["b"]]).validate()
+    # back-to-back same-kind windows (touching, not overlapping) are fine
+    FaultScript().loss(1.0, 2.0, 0.5).loss(3.0, 2.0, 0.9).validate()
 
 
 def wire(sim):
@@ -71,6 +119,50 @@ def test_baseline_loss_restored():
     FaultScript().loss(1.0, 1.0, 1.0).apply(sim, net, baseline_loss=baseline)
     sim.run(until=3.0)
     assert net._loss is baseline
+
+
+def test_bandwidth_cap_window_caps_and_releases():
+    sim = Simulator(seed=1)
+    net, inbox = wire(sim)
+    FaultScript().bandwidth_cap(1.0, 2.0, 2.0).apply(sim, net)
+
+    def send():
+        net.send("a", "b", "x")
+
+    # five sends inside one capped second, two after the window closes
+    for t in (1.1, 1.2, 1.3, 1.4, 1.5, 3.5, 3.6):
+        sim.schedule_at(t, send)
+    sim.run()
+    assert net.stats.capped == 3  # 2 of 5 fit under the 2 msg/s cap
+    assert len(inbox) == 4
+
+
+def test_crash_window_requires_cluster():
+    sim = Simulator(seed=1)
+    net, _ = wire(sim)
+    with pytest.raises(ValueError, match="crash"):
+        FaultScript().crash(1.0, [3]).apply(sim, net)
+
+
+def test_crash_window_crashes_and_restarts_nodes():
+    from repro.gossip.config import SystemConfig
+    from repro.workload.cluster import SimCluster
+
+    cluster = SimCluster(
+        n_nodes=10,
+        system=SystemConfig(buffer_capacity=40, dedup_capacity=400),
+        seed=3,
+    )
+    cluster.apply_faults(FaultScript().crash(5.0, [8, 9], restart_at=12.0))
+    cluster.run(until=4.0)
+    assert cluster.group_size == 10
+    cluster.run(until=8.0)
+    assert cluster.group_size == 8
+    assert 8 not in cluster.nodes and 9 not in cluster.nodes
+    cluster.run(until=15.0)
+    # restarted under the old identities, as fresh processes
+    assert cluster.group_size == 10
+    assert cluster.protocol_of(8).stats.events_delivered == 0
 
 
 def test_gossip_survives_partition_window():
