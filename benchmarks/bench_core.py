@@ -274,6 +274,12 @@ def main(argv=None) -> int:
 
     doc = {
         "benchmark": "core-dispatch",
+        # comparable-schema tag: full runs and --quick smoke runs emit the
+        # same shape, so compare_bench.py can diff any two documents
+        # (CI's bench-regression step diffs the smoke JSON against the
+        # checked-in BENCH_core.json reference)
+        "schema": "bench-core/v2",
+        "quick": args.quick,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "scenario": {

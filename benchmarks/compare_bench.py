@@ -1,0 +1,101 @@
+"""Compare a bench_core JSON document against a reference.
+
+CI's bench-regression step runs this after the bench-smoke job::
+
+    python benchmarks/compare_bench.py bench-core-quick.json BENCH_core.json
+
+Only the ``micro_hot_paths`` section is compared: micro timings are
+size-independent, so a ``--quick`` smoke document (n=100) is directly
+comparable to the full checked-in reference (n=250..1000), while the
+end-to-end wall times are not (different node counts, different
+machines). Every micro benchmark whose current/reference ratio exceeds
+``--threshold`` (default 1.5x) produces a warning — emitted as a GitHub
+Actions ``::warning::`` annotation when running under CI — but the exit
+code stays 0 unless ``--fail`` is passed: CI machines are noisy, so
+bench regressions warn rather than gate (hard micro gates live in
+``benchmarks/test_micro_hotpaths.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+#: Micro timings that are pure cache hits wobble by nanoseconds; skip
+#: ratio talk below this floor to avoid "0.2us vs 0.3us = 1.5x" noise.
+ABSOLUTE_FLOOR_US = 1.0
+
+
+def compare_micro(
+    current: dict, reference: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """(report lines, regression warnings) for the micro sections."""
+    cur = current.get("micro_hot_paths", {})
+    ref = reference.get("micro_hot_paths", {})
+    lines: list[str] = []
+    warnings: list[str] = []
+    for name in sorted(set(cur) & set(ref)):
+        cur_us, ref_us = cur[name], ref[name]
+        if not ref_us:
+            continue
+        ratio = cur_us / ref_us
+        verdict = "ok"
+        if ratio > threshold and cur_us > ABSOLUTE_FLOOR_US:
+            verdict = "SLOWDOWN"
+            warnings.append(
+                f"micro {name} slowed {ratio:.2f}x over reference "
+                f"({ref_us:.3f}us -> {cur_us:.3f}us, threshold {threshold:.2f}x)"
+            )
+        lines.append(
+            f"  {name:36s} ref {ref_us:9.3f}us  cur {cur_us:9.3f}us  "
+            f"ratio {ratio:5.2f}x  {verdict}"
+        )
+    missing = sorted(set(ref) - set(cur))
+    for name in missing:
+        lines.append(f"  {name:36s} missing from current document")
+        warnings.append(f"micro {name} missing from current document")
+    return lines, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly produced bench_core JSON")
+    parser.add_argument("reference", help="reference JSON (e.g. BENCH_core.json)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="warn when current/reference exceeds this ratio (default 1.5)",
+    )
+    parser.add_argument(
+        "--fail",
+        action="store_true",
+        help="exit nonzero on regressions instead of warning only",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(pathlib.Path(args.current).read_text(encoding="utf-8"))
+    reference = json.loads(pathlib.Path(args.reference).read_text(encoding="utf-8"))
+    for doc, path in ((current, args.current), (reference, args.reference)):
+        schema = doc.get("schema")
+        if schema is not None and not str(schema).startswith("bench-core/"):
+            raise SystemExit(f"{path}: unexpected schema {schema!r}")
+
+    lines, warnings = compare_micro(current, reference, args.threshold)
+    print(f"bench comparison: {args.current} vs {args.reference}")
+    print("\n".join(lines) if lines else "  (no comparable micro benchmarks)")
+    annotate = os.environ.get("GITHUB_ACTIONS") == "true"
+    for warning in warnings:
+        print(f"::warning ::{warning}" if annotate else f"WARNING: {warning}")
+    if warnings:
+        print(f"{len(warnings)} regression warning(s) at {args.threshold:.2f}x")
+    else:
+        print(f"no micro benchmark slower than {args.threshold:.2f}x the reference")
+    return 1 if warnings and args.fail else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ writing code::
     python -m repro.experiments run-scenario correlated-loss flash-crowd
     python -m repro.experiments run-scenario --all --jobs 8
     python -m repro.experiments run-scenario rolling-churn --driver both --quick
+    python -m repro.experiments check-scenarios --all --quick
+    python -m repro.experiments check-scenarios --all --quick --update-baselines
+    python -m repro.experiments check-scenarios flash-crowd --quick
 
 ``--jobs N`` shards sweep-based figures and scenario matrices across N
 worker processes; the numbers are identical to a serial run (every
@@ -25,6 +28,14 @@ Figures 6/7/8 share a buffer sweep; invoking several of them in one
 process reuses it. ``run-scenario --quick`` shrinks the profile to a
 smoke scale (small group, short horizon) so any scenario answers in
 seconds.
+
+``check-scenarios`` is the regression gate: it runs scenarios, evaluates
+their registered expectations (``ReliabilityAtLeast`` & co.), diffs the
+metrics against the checked-in baselines under ``baselines/scenarios/``
+(exact for the sim driver, tolerance-banded for threaded) and exits
+nonzero on a violated expectation, unexplained drift, or a missing
+baseline. ``--update-baselines`` re-captures the snapshots instead —
+that is the blessing workflow after an intentional behaviour change.
 """
 
 from __future__ import annotations
@@ -202,25 +213,11 @@ def _scenario_result_rows(results):
 
 
 def _run_run_scenario(profile, args):
-    from repro.scenarios.registry import scenario_names
     from repro.scenarios.runner import run_scenario, smoke_profile
 
     if args.quick:
         profile = smoke_profile(profile)
-    if args.all and args.names:
-        raise SystemExit(
-            "run-scenario: pass scenario names or --all, not both "
-            f"(--all would ignore {args.names})"
-        )
-    if args.all:
-        names = scenario_names()
-    elif args.names:
-        names = list(args.names)
-    else:
-        raise SystemExit(
-            "run-scenario needs scenario names (or --all); "
-            "see `python -m repro.experiments list-scenarios`"
-        )
+    names = _resolve_scenario_names(args, "run-scenario")
     chunks = []
     payload: dict = {"profile": profile.name, "scenarios": list(names)}
     if args.driver in ("sim", "both"):
@@ -252,13 +249,138 @@ def _run_run_scenario(profile, args):
             lines.append(
                 f"  {report.scenario}: {report.wall_seconds:.1f}s wall, "
                 f"offers={report.offers} admitted={report.admitted} "
-                f"delivered/node={report.delivered_min}..{report.delivered_max}"
+                f"delivered/node={report.delivered_min}..{report.delivered_max} "
+                f"skipped={report.skipped_count}"
             )
             for item in report.skipped:
                 lines.append(f"    skipped: {item}")
         chunks.append("\n".join(lines))
         payload["threaded"] = reports
     return "\n\n".join(chunks), payload
+
+
+def _resolve_scenario_names(args, command: str) -> list[str]:
+    from repro.scenarios.registry import scenario_names
+
+    if args.all and args.names:
+        raise SystemExit(
+            f"{command}: pass scenario names or --all, not both "
+            f"(--all would ignore {args.names})"
+        )
+    if args.all:
+        return scenario_names()
+    if args.names:
+        return list(args.names)
+    raise SystemExit(
+        f"{command} needs scenario names (or --all); "
+        "see `python -m repro.experiments list-scenarios`"
+    )
+
+
+def _run_check_scenarios(profile, args) -> tuple[str, dict, int]:
+    """The regression gate. Returns (report text, JSON payload, exit code)."""
+    from pathlib import Path
+
+    from repro.scenarios.baselines import (
+        compare_to_baseline,
+        render_report,
+        update_baseline,
+    )
+    from repro.scenarios.expectations import (
+        ScenarioResult,
+        evaluate_expectations,
+    )
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.runner import run_scenario, smoke_profile
+    from repro.experiments.sweep import run_scenario_checks
+
+    if args.quick:
+        profile = smoke_profile(profile)
+    names = _resolve_scenario_names(args, "check-scenarios")
+    root = Path(args.baseline_dir) if args.baseline_dir else None
+    tolerance = args.tolerance
+
+    # (scenario, checks, result) triples, one per run performed; when
+    # only re-capturing baselines, skip companion runs and evaluation —
+    # their checks would be discarded
+    runs: list[tuple[str, tuple, ScenarioResult]] = []
+    if args.driver in ("sim", "both"):
+        for check in run_scenario_checks(
+            names,
+            profile=profile,
+            jobs=args.jobs,
+            dispatch=args.dispatch,
+            horizon=args.horizon,
+            evaluate=not args.update_baselines,
+        ):
+            runs.append((check.scenario, check.checks, check.result))
+    if args.driver in ("threaded", "both"):
+        for name in names:
+            # resolve once (the expectations live on the spec), then share
+            # run-scenario's threaded path
+            spec = get_scenario(name, profile)
+            report = run_scenario(spec, driver="threaded", horizon=args.horizon)
+            result = ScenarioResult.from_threaded(report, profile=profile.name)
+            checks = (
+                ()
+                if args.update_baselines
+                else evaluate_expectations(spec.expectations, result)
+            )
+            runs.append((name, checks, result))
+
+    if args.update_baselines:
+        lines = [f"Baselines updated — profile {profile.name}, driver {args.driver}"]
+        written = 0
+        for name, _, result in runs:
+            path, changed = update_baseline(
+                result, root, horizon=args.horizon, dispatch=args.dispatch
+            )
+            written += changed
+            state = "updated" if changed else "unchanged"
+            lines.append(f"  {name} [{result.driver}]: {path} {state}")
+        lines.append(f"{written} entr{'y' if written == 1 else 'ies'} rewritten")
+        payload = {
+            "profile": profile.name,
+            "driver": args.driver,
+            "updated": written,
+            "scenarios": names,
+        }
+        return "\n".join(lines), payload, 0
+
+    run_rows = []
+    for name, checks, result in runs:
+        # --tolerance loosens the threaded band only: sim's exact
+        # comparison is the determinism contract and stays exact
+        tol = tolerance if result.driver == "threaded" else None
+        diff = compare_to_baseline(result, root, horizon=args.horizon, tolerance=tol)
+        run_rows.append((name, result.driver, checks, diff))
+    rows = [
+        (name if driver == "sim" else f"{name} [{driver}]", checks, diff)
+        for name, driver, checks, diff in run_rows
+    ]
+    title = (
+        f"Scenario expectations & baselines — profile {profile.name}, "
+        f"driver {args.driver}, {args.dispatch} dispatch"
+    )
+    text = render_report(title, rows)
+    violations = sum(
+        1 for _, checks, _ in rows for c in checks if not c.passed and not c.skipped
+    )
+    drifted = sum(1 for _, _, diff in rows if not diff.clean)
+    code = 1 if violations or drifted else 0
+    payload = {
+        "profile": profile.name,
+        "driver": args.driver,
+        "scenarios": names,
+        "violations": violations,
+        "baseline_failures": drifted,
+        "exit_code": code,
+        "runs": [
+            {"scenario": name, "driver": driver, "checks": checks, "baseline": diff}
+            for name, driver, checks, diff in run_rows
+        ],
+    }
+    return text, payload, code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -315,37 +437,65 @@ def build_parser() -> argparse.ArgumentParser:
                 else "measure tau and per-buffer max rates"
             ),
         )
+    def scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("names", nargs="*", help="registered scenario names")
+        p.add_argument(
+            "--all", action="store_true", help="run every registered scenario"
+        )
+        p.add_argument(
+            "--driver",
+            choices=["sim", "threaded", "both"],
+            default="sim",
+            help="execution driver (default sim)",
+        )
+        p.add_argument(
+            "--dispatch",
+            choices=["batched", "timers"],
+            default="batched",
+            help="sim round-dispatch mode (results are byte-identical)",
+        )
+        p.add_argument(
+            "--horizon",
+            type=float,
+            default=None,
+            help="shrink each scenario to this many simulated seconds",
+        )
+        p.add_argument(
+            "--quick",
+            action="store_true",
+            help="smoke scale: small group, short horizon, light load",
+        )
+
     runner = sub.add_parser(
         "run-scenario",
         parents=[common],
         help="run named scenarios from the registry (sim and/or threaded driver)",
     )
-    runner.add_argument("names", nargs="*", help="registered scenario names")
-    runner.add_argument(
-        "--all", action="store_true", help="run every registered scenario"
+    scenario_args(runner)
+    checker = sub.add_parser(
+        "check-scenarios",
+        parents=[common],
+        help="evaluate scenario expectations and diff metrics against the "
+        "checked-in baselines; nonzero exit on violation or drift",
     )
-    runner.add_argument(
-        "--driver",
-        choices=["sim", "threaded", "both"],
-        default="sim",
-        help="execution driver (default sim)",
+    scenario_args(checker)
+    checker.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="re-capture the baseline snapshots instead of diffing (the "
+        "blessing workflow after an intentional behaviour change)",
     )
-    runner.add_argument(
-        "--dispatch",
-        choices=["batched", "timers"],
-        default="batched",
-        help="sim round-dispatch mode (results are byte-identical)",
+    checker.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="baseline directory (default baselines/scenarios/)",
     )
-    runner.add_argument(
-        "--horizon",
+    checker.add_argument(
+        "--tolerance",
         type=float,
         default=None,
-        help="shrink each scenario to this many simulated seconds",
-    )
-    runner.add_argument(
-        "--quick",
-        action="store_true",
-        help="smoke scale: small group, short horizon, light load",
+        help="relative drift band for *threaded* comparisons (default 0.5); "
+        "sim always compares exactly — that is the determinism contract",
     )
     sub.add_parser(
         "list-scenarios",
@@ -358,7 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     profile = get_profile(args.profile)
-    if args.command == "run-scenario":
+    code = 0
+    if args.command == "check-scenarios":
+        text, payload, code = _run_check_scenarios(profile, args)
+        payloads = {"check-scenarios": payload}
+    elif args.command == "run-scenario":
         text, payload = _run_run_scenario(profile, args)
         payloads = {"run-scenario": payload}
     elif args.command == "list-scenarios":
@@ -386,4 +540,4 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
-    return 0
+    return code

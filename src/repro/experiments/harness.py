@@ -32,6 +32,7 @@ from repro.gossip.config import SystemConfig
 from repro.membership.views import ViewConfig
 from repro.metrics.delivery import DeliveryStats, analyze_delivery
 from repro.scenarios.spec import ScenarioSpec, SenderSpec, build_latency
+from repro.sim.faults import CrashWindow
 from repro.workload.cluster import SimCluster
 from repro.workload.dynamics import ResourceScript
 
@@ -120,6 +121,12 @@ class RunResult:
     min_buff_mean: float  # mean minBuff estimate across nodes (NaN for lpbcast)
     drops_overflow: float
     drops_age_out: float
+    senders_total: int = 0  # senders configured in the spec
+    senders_reached: int = 0  # senders with >=1 window message heard beyond them
+    # gossip-level duplicate pressure over the whole run: summaries
+    # received for events already seen, per unique protocol delivery —
+    # the cost axis RedundancyAtMost expectations bound
+    gossip_redundancy: float = math.nan
 
     @property
     def loss_rate(self) -> float:
@@ -250,13 +257,25 @@ def run_once(spec: RunSpec) -> RunResult:
     m = cluster.metrics
     # Under churn/crash schedules the group size moves mid-window; judge
     # each message against the group it was broadcast into, not the
-    # end-of-run directory (see analyze_delivery's size_at).
-    moving_membership = spec.churn is not None or spec.faults is not None
+    # end-of-run directory (see analyze_delivery's size_at). Loss/
+    # partition/bandwidth fault windows never change membership, so they
+    # keep the cheap fixed-denominator path.
+    moving_membership = spec.churn is not None or (
+        spec.faults is not None
+        and any(isinstance(f, CrashWindow) for f in spec.faults.faults)
+    )
+    window_messages = m.messages_in_window(since, until)
     delivery = analyze_delivery(
-        m.messages_in_window(since, until),
+        window_messages,
         cluster.group_size,
         size_at=cluster.group_size_at if moving_membership else None,
     )
+    # a sender "reached the group" if any of its window messages was
+    # delivered beyond the sender itself (NoDroppedSenders expectations)
+    reached = {r.origin for r in window_messages if len(r.receivers) >= 2}
+    stats = [node.protocol.stats for node in cluster.nodes.values()]
+    duplicates_seen = sum(getattr(s, "duplicates_seen", 0) for s in stats)
+    protocol_delivered = sum(getattr(s, "events_delivered", 0) for s in stats)
     window_len = until - since
     senders = list(spec.sender_ids)
     allowed_each = m.gauge_mean_over("allowed_rate", senders, since, until)
@@ -274,4 +293,9 @@ def run_once(spec: RunSpec) -> RunResult:
         min_buff_mean=m.gauge_mean("min_buff", since, until),
         drops_overflow=m.drops_overflow.count(since, until),
         drops_age_out=m.drops_age_out.count(since, until),
+        senders_total=len(senders),
+        senders_reached=sum(1 for node in senders if node in reached),
+        gossip_redundancy=(
+            duplicates_seen / protocol_delivered if protocol_delivered else math.nan
+        ),
     )

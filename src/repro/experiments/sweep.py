@@ -34,6 +34,7 @@ from repro.metrics.collector import MetricsCollector
 __all__ = [
     "run_specs",
     "run_scenario_matrix",
+    "run_scenario_checks",
     "merged_metrics",
     "to_jsonable",
     "results_to_jsonable",
@@ -83,6 +84,90 @@ def run_scenario_matrix(
         for name in names
     ]
     return run_specs(specs, jobs=jobs)
+
+
+@dataclasses.dataclass(frozen=True)
+class _CheckJob:
+    """One shard of a scenario check matrix (picklable)."""
+
+    spec: Any  # ScenarioSpec, expectations attached
+    profile_name: str
+    dispatch: str = "batched"
+    horizon: Optional[float] = None
+    evaluate: bool = True  # False: result capture only (baseline updates)
+
+
+def _check_one(job: _CheckJob):
+    """Run one scenario, its static companion if an expectation demands
+    one, and evaluate the expectations — all inside the shard, so only
+    the small distilled results cross the process boundary."""
+    from repro.scenarios.expectations import (
+        ScenarioCheck,
+        ScenarioResult,
+        evaluate_expectations,
+        needs_companion,
+    )
+
+    spec = job.spec
+    run = run_once(spec_for_scenario(spec, dispatch=job.dispatch, horizon=job.horizon))
+    result = ScenarioResult.from_sim(run, profile=job.profile_name)
+    if not job.evaluate:
+        return ScenarioCheck(scenario=spec.name, result=result)
+    companion = None
+    protocol = needs_companion(spec.expectations)
+    if protocol is not None:
+        static_spec = spec.replace(protocol=protocol, adaptive=None, rate_limit=None)
+        static_run = run_once(
+            spec_for_scenario(static_spec, dispatch=job.dispatch, horizon=job.horizon)
+        )
+        companion = ScenarioResult.from_sim(static_run, profile=job.profile_name)
+    return ScenarioCheck(
+        scenario=spec.name,
+        result=result,
+        checks=evaluate_expectations(spec.expectations, result, companion),
+        companion=companion,
+    )
+
+
+def run_scenario_checks(
+    names: Optional[Sequence[str]] = None,
+    profile: Any = None,
+    jobs: int = 1,
+    dispatch: str = "batched",
+    horizon: Optional[float] = None,
+    evaluate: bool = True,
+) -> list:
+    """Run a scenario matrix *with expectation evaluation per shard*.
+
+    Like :func:`run_scenario_matrix`, but each shard also runs the
+    static companion any :class:`AdaptiveBeatsStatic`-style expectation
+    needs and evaluates the spec's expectations in the worker, returning
+    :class:`~repro.scenarios.expectations.ScenarioCheck`s in name order.
+    Determinism carries over: the checks are identical whatever the job
+    count or dispatch mode. ``evaluate=False`` captures results only —
+    baseline updates use it to skip companion runs whose checks would be
+    discarded.
+    """
+    from repro.experiments.profiles import get_profile
+    from repro.scenarios.registry import get_scenario, scenario_names
+
+    if names is None:
+        names = scenario_names()
+    resolved = profile if profile is not None else get_profile()
+    jobs_list = [
+        _CheckJob(
+            spec=get_scenario(name, resolved),
+            profile_name=resolved.name,
+            dispatch=dispatch,
+            horizon=horizon,
+            evaluate=evaluate,
+        )
+        for name in names
+    ]
+    if jobs is None or jobs <= 1 or len(jobs_list) <= 1:
+        return [_check_one(job) for job in jobs_list]
+    with _pool(min(jobs, len(jobs_list))) as pool:
+        return pool.map(_check_one, jobs_list, chunksize=1)
 
 
 def _collect_once(spec: RunSpec) -> MetricsCollector:

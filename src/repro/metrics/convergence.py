@@ -22,7 +22,27 @@ from typing import Optional, Sequence
 
 from repro.metrics.stats import mean
 
-__all__ = ["StepResponse", "settling_time", "step_response"]
+__all__ = [
+    "StepResponse",
+    "settling_time",
+    "step_response",
+    "convergence_rounds",
+]
+
+
+def convergence_rounds(mean_latency: float, gossip_period: float) -> float:
+    """Dissemination latency expressed in gossip rounds.
+
+    The round count is the scale-free reading of convergence speed — it
+    is what ``ConvergenceWithin`` expectations bound, because it is
+    invariant under the horizon scaling smoke runs apply and under the
+    threaded driver's shortened gossip period. NaN in, NaN out.
+    """
+    if gossip_period <= 0:
+        raise ValueError("gossip_period must be > 0")
+    if math.isnan(mean_latency):
+        return math.nan
+    return mean_latency / gossip_period
 
 
 @dataclass(frozen=True, slots=True)

@@ -34,6 +34,8 @@ class DeliveryStats:
     atomicity: float  # Figure 8(b): share of messages reaching >95%
     complete_fraction: float  # share reaching 100% (strict atomicity)
     mean_latency: float  # broadcast -> last delivery, mean over messages
+    unique_deliveries: int = 0  # total first-time deliveries
+    duplicates: int = 0  # total re-deliveries suppressed by dedup
 
     @property
     def avg_receiver_pct(self) -> float:
@@ -42,6 +44,14 @@ class DeliveryStats:
     @property
     def atomicity_pct(self) -> float:
         return 100.0 * self.atomicity
+
+    @property
+    def redundancy(self) -> float:
+        """Duplicate deliveries per unique delivery — the cost gossip
+        pays for its reliability (the expectation layer bounds it)."""
+        if self.unique_deliveries == 0:
+            return math.nan
+        return self.duplicates / self.unique_deliveries
 
 
 def analyze_delivery(
@@ -71,8 +81,12 @@ def analyze_delivery(
     complete = 0
     latency_sum = 0.0
     latency_count = 0
+    unique = 0
+    duplicates = 0
     for record in records:
         n_messages += 1
+        unique += len(record.receivers)
+        duplicates += record.duplicate_deliveries
         if size_at is None:
             denom = group_size
             fraction = len(record.receivers) / denom
@@ -100,6 +114,8 @@ def analyze_delivery(
         atomicity=atomic / n_messages,
         complete_fraction=complete / n_messages,
         mean_latency=latency_sum / latency_count if latency_count else math.nan,
+        unique_deliveries=unique,
+        duplicates=duplicates,
     )
 
 

@@ -146,9 +146,13 @@ class ThreadedCluster(Driver):
             **overrides,
         )
         # conditions present from t=0 (e.g. slow receivers) apply before
-        # the threads start, directly on the still-unshared protocols
+        # the threads start, directly on the still-unshared protocols.
+        # Must stay the exact complement of the timed-action queue in
+        # run_scenario_threaded, which excludes t=0 CapacityChanges.
+        from repro.workload.dynamics import CapacityChange
+
         for change in spec.resources.changes:
-            if change.time == 0.0 and hasattr(change, "capacity"):
+            if change.time == 0.0 and isinstance(change, CapacityChange):
                 for node in change.nodes:
                     if node in cluster.nodes:
                         cluster.nodes[node].protocol.set_buffer_capacity(

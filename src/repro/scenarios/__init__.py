@@ -10,7 +10,12 @@ The subsystem has four parts:
 * :mod:`repro.scenarios.registry` / :mod:`~repro.scenarios.library` —
   the ``@scenario("name")`` registry and the shipped named scenarios;
 * :mod:`repro.scenarios.runner` — execution on either driver
-  (simulator or threads), plus the sharded scenario matrix.
+  (simulator or threads), plus the sharded scenario matrix;
+* :mod:`repro.scenarios.expectations` /
+  :mod:`~repro.scenarios.baselines` — the regression layer: declarative
+  per-scenario expectations (``ReliabilityAtLeast(0.95)``, ...)
+  evaluated against a unified :class:`ScenarioResult`, and checked-in
+  metric baselines diffed by ``check-scenarios`` in CI.
 
 Quickstart::
 
@@ -28,6 +33,19 @@ from repro.scenarios.conditions import (
     Partition,
     RollingChurn,
     SlowReceivers,
+)
+from repro.scenarios.expectations import (
+    AdaptiveBeatsStatic,
+    ConvergenceWithin,
+    Expectation,
+    ExpectationCheck,
+    MetricValue,
+    NoDroppedSenders,
+    RedundancyAtMost,
+    ReliabilityAtLeast,
+    ScenarioCheck,
+    ScenarioResult,
+    evaluate_expectations,
 )
 from repro.scenarios.registry import (
     get_scenario,
@@ -66,6 +84,17 @@ __all__ = [
     "run_scenario",
     "run_scenario_matrix",
     "run_scenario_threaded",
+    "Expectation",
+    "ExpectationCheck",
+    "MetricValue",
+    "ScenarioResult",
+    "ScenarioCheck",
+    "ReliabilityAtLeast",
+    "RedundancyAtMost",
+    "ConvergenceWithin",
+    "NoDroppedSenders",
+    "AdaptiveBeatsStatic",
+    "evaluate_expectations",
 ]
 
 

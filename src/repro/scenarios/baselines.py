@@ -1,0 +1,359 @@
+"""Scenario metric baselines: capture, compare, report.
+
+A baseline is a checked-in snapshot of one scenario's
+:class:`~repro.scenarios.expectations.ScenarioResult` metrics, stored
+under ``baselines/scenarios/<scenario>.json``. Each file keys its
+entries by ``profile/driver`` (one scenario may have snapshots at smoke
+scale, quick scale, on either driver), so a comparison always matches
+like against like and a paper-scale run can never be judged against a
+smoke baseline.
+
+Comparison policy follows the drivers' guarantees:
+
+* **sim** — byte-identical determinism (PR 1/PR 3) makes *exact*
+  comparison correct: any difference, however small, is a behaviour
+  change someone must either explain or bless with
+  ``check-scenarios --update-baselines``.
+* **threaded** — wall-clock pacing makes counts wobble run to run, so
+  threaded entries compare inside a tolerance band shaped by each
+  metric's declared :attr:`~repro.scenarios.expectations.MetricValue.kind`:
+  counts get a relative band plus a small absolute slack (near-zero
+  wobble), fractions get an absolute band (a relative band on [0, 1]
+  would be vacuous), ratios get the plain relative band.
+
+Float snapshots go through JSON as ``repr``-round-trip doubles, so an
+exact sim comparison survives the file round trip bit for bit; NaN is
+stored as ``null`` and compares equal to itself.
+
+The CLI surface is ``python -m repro.experiments check-scenarios``; CI
+runs it over the whole registry and fails on violated expectations or
+unexplained drift.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.scenarios.expectations import ExpectationCheck, ScenarioResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_BASELINE_DIR",
+    "THREADED_TOLERANCE",
+    "baseline_key",
+    "baseline_path",
+    "load_baseline",
+    "update_baseline",
+    "MetricDrift",
+    "BaselineDiff",
+    "compare_to_baseline",
+    "render_report",
+]
+
+SCHEMA_VERSION = 1
+
+#: Home of the checked-in snapshots, anchored to the repo root (three
+#: levels above this module in the src layout) so check-scenarios finds
+#: them from any working directory; installed-package users point
+#: ``--baseline-dir`` somewhere writable instead.
+DEFAULT_BASELINE_DIR = (
+    Path(__file__).resolve().parents[3] / "baselines" / "scenarios"
+)
+
+#: Relative band for threaded comparisons (sim compares exactly).
+THREADED_TOLERANCE = 0.5
+
+#: Absolute slack so near-zero threaded counts don't flap.
+THREADED_ABSOLUTE_SLACK = 5.0
+
+
+def baseline_key(result: ScenarioResult, horizon: Optional[float] = None) -> str:
+    """The entry key a result snapshots under: ``profile/driver`` (plus
+    the horizon override when one was applied — a shrunk run is a
+    different population than the full one)."""
+    key = f"{result.profile or 'default'}/{result.driver}"
+    if horizon is not None:
+        key += f"@{horizon:g}"
+    return key
+
+
+def baseline_path(scenario: str, root: Optional[Path] = None) -> Path:
+    return Path(root if root is not None else DEFAULT_BASELINE_DIR) / f"{scenario}.json"
+
+
+def _snap(value: float) -> Optional[float]:
+    # JSON has no NaN/inf; store null and treat null == null on compare
+    return None if not math.isfinite(value) else value
+
+
+def load_baseline(scenario: str, root: Optional[Path] = None) -> Optional[dict]:
+    """The scenario's baseline document, or None if never captured."""
+    path = baseline_path(scenario, root)
+    if not path.exists():
+        return None
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema {doc.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION} — re-capture with --update-baselines"
+        )
+    return doc
+
+
+def update_baseline(
+    result: ScenarioResult,
+    root: Optional[Path] = None,
+    horizon: Optional[float] = None,
+    dispatch: str = "batched",
+) -> tuple[Path, bool]:
+    """Record ``result`` as the baseline for its ``profile/driver`` entry.
+
+    Other entries in the scenario's file are preserved. Returns the path
+    and whether anything changed on disk (deterministic serialisation:
+    an identical re-capture is a no-op, so ``--update-baselines`` twice
+    in a row leaves a clean git tree).
+    """
+    path = baseline_path(result.scenario, root)
+    try:
+        doc = load_baseline(result.scenario, root)
+    except ValueError:
+        # stale/foreign schema: --update-baselines is the documented
+        # remedy, so re-capturing must start fresh rather than re-raise
+        doc = None
+    doc = doc or {
+        "schema": SCHEMA_VERSION,
+        "scenario": result.scenario,
+        "entries": {},
+    }
+    entry = {
+        "driver": result.driver,
+        "profile": result.profile,
+        "n_nodes": result.n_nodes,
+        "captured": {"dispatch": dispatch, "horizon": horizon},
+        "metrics": {
+            name: {
+                "value": _snap(metric.value),
+                "source": metric.source,
+                "kind": metric.kind,
+            }
+            for name, metric in sorted(result.metrics.items())
+        },
+    }
+    key = baseline_key(result, horizon)
+    changed = doc["entries"].get(key) != entry
+    if changed:
+        doc["entries"][key] = entry
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    return path, changed
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class MetricDrift:
+    """One metric that moved away from its baseline."""
+
+    metric: str
+    baseline: Optional[float]  # None = NaN (recorded as null)
+    current: Optional[float]
+    source: str = ""
+    # "" = value drift; "baseline"/"current" = the metric is absent on
+    # that side entirely (a schema change, not a NaN measurement)
+    missing_side: str = ""
+
+    def describe(self) -> str:
+        def show(v):
+            return "NaN" if v is None else f"{v:.6g}"
+
+        if self.missing_side == "baseline":
+            return (
+                f"{self.metric}: not in baseline -> current "
+                f"{show(self.current)} (new metric; re-capture to bless it)"
+            )
+        if self.missing_side == "current":
+            return (
+                f"{self.metric}: baseline {show(self.baseline)} -> "
+                "absent from current run"
+            )
+        if self.baseline is not None and self.current is not None:
+            delta = self.current - self.baseline
+            return (
+                f"{self.metric}: baseline {show(self.baseline)} -> current "
+                f"{show(self.current)} (delta {delta:+.6g})"
+            )
+        return f"{self.metric}: baseline {show(self.baseline)} -> current {show(self.current)}"
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineDiff:
+    """How one result compares to its recorded baseline entry."""
+
+    scenario: str
+    key: str
+    missing: bool = False  # no baseline entry recorded for this key
+    drifts: tuple[MetricDrift, ...] = ()
+    tolerance: float = 0.0
+    compared: int = 0  # metrics compared
+    error: str = ""  # unreadable/stale baseline file (counts as missing)
+
+    @property
+    def clean(self) -> bool:
+        return not self.missing and not self.drifts
+
+    def describe(self) -> str:
+        if self.error:
+            return f"UNREADABLE baseline: {self.error}"
+        if self.missing:
+            return (
+                f"no baseline recorded under {self.key!r} — "
+                "capture one with check-scenarios --update-baselines"
+            )
+        if not self.drifts:
+            mode = "exact" if self.tolerance == 0.0 else f"±{self.tolerance:.0%}"
+            return f"clean ({self.compared} metrics, {mode})"
+        return f"DRIFT in {len(self.drifts)} of {self.compared} metrics"
+
+
+def _within(
+    baseline: Optional[float],
+    current: Optional[float],
+    tolerance: float,
+    slack: float,
+    kind: str,
+) -> bool:
+    if baseline is None or current is None:
+        return baseline is None and current is None  # NaN == NaN
+    # JSON may hand back ints (hand-edited snapshots); compare as floats
+    baseline, current = float(baseline), float(current)
+    if tolerance == 0.0:
+        return baseline == current
+    diff = abs(current - baseline)
+    if kind == "fraction":
+        # bounded [0, 1]: an absolute band of half the relative
+        # tolerance — a relative band would be vacuous here, and the
+        # count slack would hide a total collapse (1.0 -> 0.0)
+        return diff <= tolerance / 2
+    band = tolerance * max(abs(baseline), abs(current))
+    if kind == "count":
+        # the absolute slack keeps near-zero counts (delivered_min
+        # 0 vs 3) from flapping; ratios get no slack — a 1.5 -> 4.9
+        # redundancy regression must not hide inside it
+        band = max(band, slack)
+    return diff <= band
+
+
+def compare_to_baseline(
+    result: ScenarioResult,
+    root: Optional[Path] = None,
+    horizon: Optional[float] = None,
+    tolerance: Optional[float] = None,
+) -> BaselineDiff:
+    """Diff ``result`` against its recorded entry.
+
+    ``tolerance`` defaults by driver: 0 (exact) for sim,
+    :data:`THREADED_TOLERANCE` for threaded. A missing file or entry is
+    reported as ``missing`` — the caller decides whether that fails the
+    run (CI does) or prompts a capture.
+    """
+    if tolerance is None:
+        tolerance = 0.0 if result.driver == "sim" else THREADED_TOLERANCE
+    slack = 0.0 if tolerance == 0.0 else THREADED_ABSOLUTE_SLACK
+    key = baseline_key(result, horizon)
+    try:
+        doc = load_baseline(result.scenario, root)
+    except ValueError as exc:
+        # a stale-schema file must fail the gate *with the readable
+        # report* (CI uploads it), not kill the run with a traceback
+        return BaselineDiff(
+            scenario=result.scenario, key=key, missing=True, error=str(exc)
+        )
+    entry = None if doc is None else doc["entries"].get(key)
+    if entry is None:
+        return BaselineDiff(scenario=result.scenario, key=key, missing=True)
+    recorded = entry["metrics"]
+    drifts = []
+    names = sorted(set(recorded) | set(result.metrics))
+    for name in names:
+        base = recorded.get(name, {}).get("value") if name in recorded else None
+        cur = _snap(result.metrics[name].value) if name in result.metrics else None
+        if name not in recorded or name not in result.metrics:
+            # a metric appearing or disappearing is drift by definition
+            drifts.append(
+                MetricDrift(
+                    metric=name,
+                    baseline=base,
+                    current=cur,
+                    source=result.source(name)
+                    or recorded.get(name, {}).get("source", ""),
+                    missing_side="baseline" if name not in recorded else "current",
+                )
+            )
+            continue
+        # the current run's kind is authoritative (older snapshots may
+        # predate kind metadata)
+        kind = result.metrics[name].kind
+        if not _within(base, cur, tolerance, slack, kind):
+            drifts.append(
+                MetricDrift(
+                    metric=name, baseline=base, current=cur,
+                    source=result.metrics[name].source,
+                )
+            )
+    return BaselineDiff(
+        scenario=result.scenario,
+        key=key,
+        drifts=tuple(drifts),
+        tolerance=tolerance,
+        compared=len(names),
+    )
+
+
+# ----------------------------------------------------------------------
+# the human-readable report
+# ----------------------------------------------------------------------
+def render_report(
+    title: str,
+    rows: Sequence[tuple[str, Sequence[ExpectationCheck], Optional[BaselineDiff]]],
+) -> str:
+    """One readable report block per scenario: expectation verdicts first,
+    then the baseline comparison with per-metric drift lines."""
+    lines = [title, "=" * len(title), ""]
+    failed = skipped = passed = 0
+    drifted = missing = clean = 0
+    for scenario, checks, diff in rows:
+        lines.append(scenario)
+        for check in checks:
+            lines.append(f"  {check.verdict:4s} {check.expectation}: {check.detail}")
+            if check.skipped:
+                skipped += 1
+            elif check.passed:
+                passed += 1
+            else:
+                failed += 1
+        if not checks:
+            lines.append("  (no expectations attached)")
+        if diff is not None:
+            lines.append(f"  baseline {diff.key}: {diff.describe()}")
+            for drift in diff.drifts:
+                lines.append(f"    {drift.describe()}")
+            if diff.missing:
+                missing += 1
+            elif diff.drifts:
+                drifted += 1
+            else:
+                clean += 1
+        lines.append("")
+    lines.append(
+        f"summary: {len(rows)} scenario(s); expectations {passed} pass, "
+        f"{failed} fail, {skipped} skipped; baselines {clean} clean, "
+        f"{drifted} drifted, {missing} missing"
+    )
+    return "\n".join(lines)

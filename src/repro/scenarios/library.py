@@ -29,11 +29,25 @@ from repro.scenarios.conditions import (
     RollingChurn,
     SlowReceivers,
 )
+from repro.scenarios.expectations import (
+    AdaptiveBeatsStatic,
+    ConvergenceWithin,
+    NoDroppedSenders,
+    RedundancyAtMost,
+    ReliabilityAtLeast,
+)
 from repro.scenarios.registry import scenario
 from repro.scenarios.spec import ScenarioSpec, SenderSpec, WanClusters
 from repro.sim.network import BernoulliLoss
 
 __all__ = []  # scenarios are consumed through the registry, not imports
+
+# Expectation thresholds are regression *floors*, not aspirations: each
+# sits below the metric observed at both the smoke and the quick scale
+# (see check-scenarios) with enough margin that only a behaviour change
+# — not profile scaling — can trip it. Exact values are pinned by the
+# baselines; these gates catch qualitative collapses (reliability
+# cratering, redundancy exploding, a sender silenced).
 
 
 def _adaptive(profile: Profile, initial_rate: float = 8.0) -> AdaptiveConfig:
@@ -77,7 +91,15 @@ def _base(profile: Profile, name: str, summary: str, seed_offset: int, **kw) -> 
     return ScenarioSpec(**params)
 
 
-@scenario("overload-baseline")
+@scenario(
+    "overload-baseline",
+    expectations=(
+        ReliabilityAtLeast(0.80),
+        AdaptiveBeatsStatic(0.10),
+        RedundancyAtMost(8.0),
+        NoDroppedSenders(),
+    ),
+)
 def overload_baseline(profile: Profile) -> ScenarioSpec:
     """The paper's core setting: offered load exceeds buffer capacity."""
     return _base(
@@ -88,7 +110,14 @@ def overload_baseline(profile: Profile) -> ScenarioSpec:
     )
 
 
-@scenario("wan-clustered")
+@scenario(
+    "wan-clustered",
+    expectations=(
+        ReliabilityAtLeast(0.80),
+        ConvergenceWithin(5.0),
+        NoDroppedSenders(),
+    ),
+)
 def wan_clustered(profile: Profile) -> ScenarioSpec:
     """Three WAN sites: cheap intra-site links, expensive cross-site links."""
     return _base(
@@ -101,7 +130,14 @@ def wan_clustered(profile: Profile) -> ScenarioSpec:
     )
 
 
-@scenario("flash-crowd")
+@scenario(
+    "flash-crowd",
+    expectations=(
+        ReliabilityAtLeast(0.90),
+        AdaptiveBeatsStatic(0.15),
+        NoDroppedSenders(),
+    ),
+)
 def flash_crowd(profile: Profile) -> ScenarioSpec:
     """A 4x load spike hits a comfortably-loaded group mid-run."""
     d = profile.duration
@@ -114,7 +150,14 @@ def flash_crowd(profile: Profile) -> ScenarioSpec:
     ).stressed(LoadSpike(time=0.4 * d, duration=0.25 * d, factor=4.0))
 
 
-@scenario("correlated-loss")
+@scenario(
+    "correlated-loss",
+    expectations=(
+        ReliabilityAtLeast(0.90, metric="avg_receiver_fraction"),
+        ConvergenceWithin(6.0),
+        NoDroppedSenders(),
+    ),
+)
 def correlated_loss(profile: Profile) -> ScenarioSpec:
     """The §5 caveat: a heavy correlated-loss burst on a healthy group."""
     d = profile.duration
@@ -130,7 +173,14 @@ def correlated_loss(profile: Profile) -> ScenarioSpec:
     ).stressed(CorrelatedLoss(time=0.45 * d, duration=0.2 * d, p=0.75))
 
 
-@scenario("rolling-churn")
+@scenario(
+    "rolling-churn",
+    expectations=(
+        ReliabilityAtLeast(0.70),
+        ReliabilityAtLeast(0.90, metric="avg_receiver_fraction"),
+        NoDroppedSenders(),
+    ),
+)
 def rolling_churn(profile: Profile) -> ScenarioSpec:
     """Rolling crash/rejoin over partial membership views."""
     d = profile.duration
@@ -154,7 +204,14 @@ def rolling_churn(profile: Profile) -> ScenarioSpec:
     )
 
 
-@scenario("partition-heal")
+@scenario(
+    "partition-heal",
+    expectations=(
+        ReliabilityAtLeast(0.95),
+        RedundancyAtMost(25.0),
+        NoDroppedSenders(),
+    ),
+)
 def partition_heal(profile: Profile) -> ScenarioSpec:
     """The network splits in two mid-run, then heals."""
     d = profile.duration
@@ -172,7 +229,14 @@ def partition_heal(profile: Profile) -> ScenarioSpec:
     ).stressed(Partition(time=0.3 * d, duration=0.2 * d, n_groups=2))
 
 
-@scenario("slow-receivers")
+@scenario(
+    "slow-receivers",
+    expectations=(
+        ReliabilityAtLeast(0.95),
+        RedundancyAtMost(8.0),
+        NoDroppedSenders(),
+    ),
+)
 def slow_receivers(profile: Profile) -> ScenarioSpec:
     """A fifth of the group is quietly under-provisioned from the start."""
     return _base(
@@ -185,7 +249,14 @@ def slow_receivers(profile: Profile) -> ScenarioSpec:
     )
 
 
-@scenario("buffer-flap")
+@scenario(
+    "buffer-flap",
+    expectations=(
+        ReliabilityAtLeast(0.95),
+        ConvergenceWithin(5.0),
+        NoDroppedSenders(),
+    ),
+)
 def buffer_flap(profile: Profile) -> ScenarioSpec:
     """The Figure 9 dynamic: buffers shrink mid-run, partially recover."""
     d = profile.duration
@@ -207,7 +278,13 @@ def buffer_flap(profile: Profile) -> ScenarioSpec:
     )
 
 
-@scenario("pubsub-hotspot")
+@scenario(
+    "pubsub-hotspot",
+    expectations=(
+        ReliabilityAtLeast(0.95),
+        NoDroppedSenders(),
+    ),
+)
 def pubsub_hotspot(profile: Profile) -> ScenarioSpec:
     """One hot publisher; 40% of members silently split their buffer
     budget across extra topics mid-run (the §1 pub/sub motivation)."""
@@ -233,7 +310,13 @@ def pubsub_hotspot(profile: Profile) -> ScenarioSpec:
     )
 
 
-@scenario("catastrophic-crash")
+@scenario(
+    "catastrophic-crash",
+    expectations=(
+        ReliabilityAtLeast(0.80),
+        NoDroppedSenders(),
+    ),
+)
 def catastrophic_crash(profile: Profile) -> ScenarioSpec:
     """A quarter of the group crashes at one instant; restarts later."""
     d = profile.duration
@@ -249,7 +332,14 @@ def catastrophic_crash(profile: Profile) -> ScenarioSpec:
     )
 
 
-@scenario("congested-switch")
+@scenario(
+    "congested-switch",
+    expectations=(
+        ReliabilityAtLeast(0.85),
+        ConvergenceWithin(6.0),
+        NoDroppedSenders(),
+    ),
+)
 def congested_switch(profile: Profile) -> ScenarioSpec:
     """A bandwidth cap throttles the whole fabric for a window, on top of
     a lightly lossy LAN — resource exhaustion below the protocol."""
@@ -266,7 +356,14 @@ def congested_switch(profile: Profile) -> ScenarioSpec:
     ).stressed(BandwidthCap(time=0.4 * d, duration=0.2 * d, rate=cap))
 
 
-@scenario("bursty-onoff")
+@scenario(
+    "bursty-onoff",
+    expectations=(
+        ReliabilityAtLeast(0.75),
+        RedundancyAtMost(8.0),
+        NoDroppedSenders(),
+    ),
+)
 def bursty_onoff(profile: Profile) -> ScenarioSpec:
     """On/off senders: bursts at twice the sustainable rate, then silence
     (exercises the unused-grant decay of Figure 5(c))."""

@@ -26,14 +26,20 @@ __all__ = ["scenario", "get_scenario", "list_scenarios", "scenario_names"]
 
 ScenarioBuilder = Callable[[Profile], ScenarioSpec]
 
-_REGISTRY: dict[str, tuple[ScenarioBuilder, str]] = {}
+_REGISTRY: dict[str, tuple[ScenarioBuilder, str, tuple]] = {}
 
 
-def scenario(name: str, summary: Optional[str] = None):
+def scenario(name: str, summary: Optional[str] = None, expectations: tuple = ()):
     """Register a scenario builder under ``name``.
 
     ``summary`` defaults to the first line of the builder's docstring and
-    is what ``list-scenarios`` prints.
+    is what ``list-scenarios`` prints. ``expectations`` are the
+    scenario's regression gates (see
+    :mod:`repro.scenarios.expectations`): :func:`get_scenario` attaches
+    them to the built spec, so ``check-scenarios`` and
+    :func:`~repro.experiments.sweep.run_scenario_checks` evaluate them
+    on every run of the scenario — a builder may also set its own on the
+    spec, which then take precedence.
     """
 
     def register(builder: ScenarioBuilder) -> ScenarioBuilder:
@@ -43,7 +49,7 @@ def scenario(name: str, summary: Optional[str] = None):
         if text is None:
             doc = (builder.__doc__ or "").strip()
             text = doc.splitlines()[0] if doc else ""
-        _REGISTRY[name] = (builder, text)
+        _REGISTRY[name] = (builder, text, tuple(expectations))
         return builder
 
     return register
@@ -62,7 +68,7 @@ def get_scenario(name: str, profile: Optional[Profile] = None) -> ScenarioSpec:
     :func:`~repro.experiments.profiles.get_profile`)."""
     _ensure_library()
     try:
-        builder, _ = _REGISTRY[name]
+        builder, _, expectations = _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; choose from {scenario_names()}"
@@ -72,6 +78,8 @@ def get_scenario(name: str, profile: Optional[Profile] = None) -> ScenarioSpec:
         raise ValueError(
             f"builder for {name!r} produced a spec named {spec.name!r}"
         )
+    if expectations and not spec.expectations:
+        spec = spec.replace(expectations=expectations)
     return spec
 
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import dataclasses
 import time
-import zlib
 from dataclasses import dataclass
 from random import Random
 from typing import Optional, Union
@@ -110,6 +109,14 @@ class ThreadedScenarioReport:
     delivered_min: int
     delivered_max: int
     skipped: tuple[str, ...]  # sim-only conditions this driver cannot impose
+    # surfaced as a count so CLI output and JSON payloads can report
+    # partial coverage without string-matching the skip reasons; a real
+    # field (so it serialises) but always derived — see __post_init__
+    skipped_count: int = 0
+    duplicates_seen: int = 0  # gossip-level duplicate summaries, all nodes
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "skipped_count", len(self.skipped))
 
 
 class _Feeder:
@@ -118,12 +125,8 @@ class _Feeder:
     def __init__(self, sender, scale: float, seed: int) -> None:
         self.node = sender.node
         self.arrivals = sender.build_arrivals()
-        node_key = (
-            sender.node
-            if isinstance(sender.node, int)
-            else zlib.crc32(str(sender.node).encode())
-        )
-        self.rng = Random(seed * 1_000_003 + node_key)
+        # sender nodes are ints by ScenarioSpec validation
+        self.rng = Random(seed * 1_000_003 + sender.node)
         self.scale = scale
         self.stop = None if sender.stop is None else sender.stop * scale
         self.next = sender.start * scale + self.arrivals.next_interval(self.rng) * scale
@@ -222,6 +225,10 @@ def run_scenario_threaded(
     delivered = [
         cluster.protocol_of(node).stats.events_delivered for node in range(spec.n_nodes)
     ]
+    duplicates = sum(
+        getattr(cluster.protocol_of(node).stats, "duplicates_seen", 0)
+        for node in range(spec.n_nodes)
+    )
     admitted = sum(node.offers_admitted for node in cluster.nodes.values())
     return ThreadedScenarioReport(
         scenario=spec.name,
@@ -234,4 +241,5 @@ def run_scenario_threaded(
         delivered_min=min(delivered),
         delivered_max=max(delivered),
         skipped=skipped,
+        duplicates_seen=duplicates,
     )

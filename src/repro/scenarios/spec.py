@@ -229,6 +229,11 @@ class ScenarioSpec:
     drain: float = 15.0
     seed: int = 0
     bucket_width: float = 1.0
+    # regression gates: Expectation values evaluated against the run's
+    # ScenarioResult by check-scenarios and run_scenario_checks; scale-
+    # free (thresholds on fractions/ratios/rounds), so they survive
+    # with_horizon. Usually attached by the registry decorator.
+    expectations: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -248,6 +253,11 @@ class ScenarioSpec:
                 raise ValueError(
                     f"sender node {sender.node!r} outside the initial group "
                     f"of {self.n_nodes}"
+                )
+        for expectation in self.expectations:
+            if not callable(getattr(expectation, "check", None)):
+                raise ValueError(
+                    f"expectation {expectation!r} has no check() method"
                 )
         self.faults.validate()
 
@@ -321,3 +331,7 @@ class ScenarioSpec:
         for condition in conditions:
             spec = condition.apply_to(spec)
         return spec
+
+    def expecting(self, *expectations) -> "ScenarioSpec":
+        """A copy with these expectations appended, in order."""
+        return self.replace(expectations=self.expectations + tuple(expectations))

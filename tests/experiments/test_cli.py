@@ -128,6 +128,104 @@ def test_run_scenario_both_drivers(tiny_profile, capsys):
     assert "threaded driver" in out
 
 
+def test_run_scenario_threaded_prints_skipped_count(tiny_profile, capsys):
+    # wan-clustered has a topology, which the threaded driver cannot
+    # impose: the summary line must surface the skip count
+    out = run_cli(
+        capsys, "run-scenario", "wan-clustered", "--profile", "tiny",
+        "--horizon", "8", "--driver", "threaded",
+    )
+    assert "skipped=1" in out
+    assert "skipped: topology/latency model" in out
+
+
+# ----------------------------------------------------------------------
+# check-scenarios: the regression gate
+# ----------------------------------------------------------------------
+def check_cli(capsys, tmp_path, *argv, scenario="slow-receivers", horizon="12"):
+    code = cli.main([
+        "check-scenarios", scenario, "--profile", "tiny",
+        "--horizon", horizon, "--baseline-dir", str(tmp_path / "baselines"),
+        *argv,
+    ])
+    return code, capsys.readouterr().out
+
+
+def test_check_scenarios_baseline_round_trip(tiny_profile, capsys, tmp_path):
+    # no baseline yet: missing counts as a failure
+    code, out = check_cli(capsys, tmp_path)
+    assert code == 1
+    assert "no baseline recorded" in out
+    # capture, then check — clean on the capturing dispatch mode...
+    code, out = check_cli(capsys, tmp_path, "--update-baselines")
+    assert code == 0
+    assert "updated" in out
+    code, out = check_cli(capsys, tmp_path)
+    assert code == 0
+    assert "clean" in out and "exact" in out
+    # ...and byte-identical on the other dispatch mode (PR 1's guarantee
+    # carried through the baseline layer)
+    code, out = check_cli(capsys, tmp_path, "--dispatch", "timers")
+    assert code == 0
+    assert "clean" in out
+
+
+def test_check_scenarios_detects_drift(tiny_profile, capsys, tmp_path):
+    import json
+
+    check_cli(capsys, tmp_path, "--update-baselines")
+    path = tmp_path / "baselines" / "slow-receivers.json"
+    doc = json.loads(path.read_text())
+    doc["entries"]["tiny/sim@12"]["metrics"]["atomicity"]["value"] = 0.123
+    path.write_text(json.dumps(doc))
+    code, out = check_cli(capsys, tmp_path)
+    assert code == 1
+    assert "DRIFT" in out
+    assert "atomicity: baseline 0.123" in out
+
+
+def test_check_scenarios_fails_on_violated_expectation(tiny_profile, capsys, tmp_path):
+    # at tiny scale the static companion barely degrades, so flash-crowd's
+    # AdaptiveBeatsStatic margin is a genuinely violated expectation
+    check_cli(capsys, tmp_path, "--update-baselines", scenario="flash-crowd")
+    code, out = check_cli(capsys, tmp_path, scenario="flash-crowd")
+    assert code == 1
+    assert "FAIL AdaptiveBeatsStatic" in out
+    assert "baseline" in out and "clean" in out  # baselines clean, gate still red
+
+
+def test_check_scenarios_tolerance_never_loosens_sim(tiny_profile, capsys, tmp_path):
+    import json
+
+    check_cli(capsys, tmp_path, "--update-baselines")
+    path = tmp_path / "baselines" / "slow-receivers.json"
+    doc = json.loads(path.read_text())
+    entry = doc["entries"]["tiny/sim@12"]["metrics"]["atomicity"]
+    entry["value"] = entry["value"] * 0.99  # within any reasonable band
+    path.write_text(json.dumps(doc))
+    # a huge --tolerance must not relax the sim driver's exact contract
+    code, out = check_cli(capsys, tmp_path, "--tolerance", "10.0")
+    assert code == 1
+    assert "DRIFT" in out
+
+
+def test_check_scenarios_json_payload(tiny_profile, capsys, tmp_path):
+    check_cli(capsys, tmp_path, "--update-baselines")
+    target = tmp_path / "check.json"
+    code, _ = check_cli(capsys, tmp_path, "--json", str(target))
+    assert code == 0
+    import json
+
+    doc = json.loads(target.read_text())
+    payload = doc["results"]["check-scenarios"]
+    assert payload["violations"] == 0
+    assert payload["baseline_failures"] == 0
+    run = payload["runs"][0]
+    assert run["scenario"] == "slow-receivers"
+    assert run["baseline"]["missing"] is False
+    assert run["checks"][0]["passed"] is True
+
+
 def test_all_command_runs_every_figure(tiny_profile, capsys, monkeypatch):
     # stub the slow calibration-based figure to keep the test quick
     monkeypatch.setattr(

@@ -126,3 +126,33 @@ def test_jsonable_results_round_trip():
 def test_jsonable_sanitises_nan():
     assert to_jsonable(math.nan) is None
     assert to_jsonable({"x": (1, math.inf)}) == {"x": [1, None]}
+
+
+# ----------------------------------------------------------------------
+# per-shard expectation evaluation
+# ----------------------------------------------------------------------
+def test_run_scenario_checks_sharded_matches_serial():
+    from repro.experiments.sweep import run_scenario_checks
+    from repro.scenarios.runner import smoke_profile
+
+    names = ["flash-crowd", "slow-receivers", "wan-clustered"]
+    profile = smoke_profile()
+    serial = run_scenario_checks(names, profile=profile, jobs=1, horizon=12.0)
+    sharded = run_scenario_checks(names, profile=profile, jobs=3, horizon=12.0)
+    assert [c.scenario for c in serial] == names  # name order preserved
+    assert to_jsonable(serial) == to_jsonable(sharded)
+    # expectations came from the registry and were evaluated in-shard
+    assert all(c.checks for c in serial)
+    # flash-crowd's AdaptiveBeatsStatic ran its static companion in-shard
+    flash = serial[0]
+    assert flash.companion is not None
+    assert flash.companion.get("atomicity") is not None
+    others = [c for c in serial[1:]]
+    assert all(c.companion is None for c in others)
+    # capture-only mode (baseline updates) skips companions and checks
+    # but distils the identical result
+    captured = run_scenario_checks(
+        ["flash-crowd"], profile=profile, jobs=1, horizon=12.0, evaluate=False
+    )[0]
+    assert captured.checks == () and captured.companion is None
+    assert to_jsonable(captured.result) == to_jsonable(flash.result)

@@ -74,6 +74,13 @@ def test_threaded_run_reports_sim_only_conditions():
     report = run_scenario_threaded(spec, wall_seconds=0.4)
     assert any("fault" in item for item in report.skipped)
     assert any("partial membership" in item for item in report.skipped)
+    # the count is surfaced structurally, not by string-matching reasons
+    assert report.skipped_count == len(report.skipped) == 2
+
+
+def test_threaded_full_coverage_reports_zero_skips():
+    report = run_scenario_threaded(tiny_spec(), wall_seconds=0.3)
+    assert report.skipped_count == 0
 
 
 def test_threaded_run_applies_timed_capacity_changes():
