@@ -190,12 +190,46 @@ _COMMANDS = {
 
 
 def _run_list_scenarios(profile, args):
-    from repro.scenarios.registry import list_scenarios
+    """Names, summaries, and per-driver condition coverage.
+
+    The simulator models every condition a spec can carry by
+    construction; the threaded driver's injected-vs-skipped split comes
+    from :func:`repro.scenarios.runner.threaded_coverage`, so a parity
+    regression (a condition the runtime stops lowering) is visible
+    right here without running anything.
+    """
+    from repro.scenarios.registry import get_scenario, list_scenarios
+    from repro.scenarios.runner import threaded_coverage
 
     rows = list_scenarios()
     width = max(len(name) for name, _ in rows)
-    lines = [f"{name:<{width}}  {summary}" for name, summary in rows]
-    return "\n".join(lines), {"scenarios": [name for name, _ in rows]}
+    lines = []
+    scenarios = []
+    for name, summary in rows:
+        spec = get_scenario(name, profile)
+        injected, skipped = threaded_coverage(spec)
+        total = len(injected) + len(skipped)
+        lines.append(f"{name:<{width}}  {summary}")
+        if total == 0:
+            coverage = "conditions: none (clean network, workload only)"
+        else:
+            threaded = f"threaded injects {len(injected)}/{total}"
+            if skipped:
+                threaded += f", skips {len(skipped)}"
+            coverage = f"conditions: {total} | sim injects all | {threaded}"
+        lines.append(f"{'':<{width}}  {coverage}")
+        for item in skipped:
+            lines.append(f"{'':<{width}}    threaded skips: {item}")
+        scenarios.append(
+            {
+                "name": name,
+                "summary": summary,
+                "conditions": total,
+                "threaded_injected": list(injected),
+                "threaded_skipped": list(skipped),
+            }
+        )
+    return "\n".join(lines), {"scenarios": scenarios}
 
 
 def _scenario_result_rows(results):
@@ -250,8 +284,10 @@ def _run_run_scenario(profile, args):
                 f"  {report.scenario}: {report.wall_seconds:.1f}s wall, "
                 f"offers={report.offers} admitted={report.admitted} "
                 f"delivered/node={report.delivered_min}..{report.delivered_max} "
-                f"skipped={report.skipped_count}"
+                f"injected={report.injected_count} skipped={report.skipped_count}"
             )
+            for item in report.injected:
+                lines.append(f"    injected: {item}")
             for item in report.skipped:
                 lines.append(f"    skipped: {item}")
         chunks.append("\n".join(lines))

@@ -8,6 +8,7 @@ uniform gossip targets among the other alive nodes.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Optional
 
 from repro.gossip.protocol import NodeId
@@ -17,11 +18,21 @@ __all__ = ["Directory", "FullMembershipView"]
 
 
 class Directory:
-    """Registry of alive node ids with cheap change detection."""
+    """Registry of alive node ids with cheap change detection.
+
+    Thread-safe: the threaded runtime's fault scheduler joins and
+    removes members from its own thread while every node thread reads
+    the directory through its view, so mutation and the snapshot in
+    :meth:`alive` are serialised behind a lock. The hot path — views
+    polling :attr:`version` to validate their cached peer list — is a
+    lockless int read, so the simulator's single-threaded runs pay
+    nothing for this.
+    """
 
     def __init__(self, members: Optional[Iterable[NodeId]] = None) -> None:
         self._alive: dict[NodeId, None] = {}
         self._version = 0
+        self._lock = threading.Lock()
         for m in members or ():
             self.join(m)
 
@@ -32,15 +43,17 @@ class Directory:
 
     def join(self, node: NodeId) -> None:
         """Add a member (idempotent)."""
-        if node not in self._alive:
-            self._alive[node] = None
-            self._version += 1
+        with self._lock:
+            if node not in self._alive:
+                self._alive[node] = None
+                self._version += 1
 
     def leave(self, node: NodeId) -> None:
         """Remove a member (idempotent)."""
-        if node in self._alive:
-            del self._alive[node]
-            self._version += 1
+        with self._lock:
+            if node in self._alive:
+                del self._alive[node]
+                self._version += 1
 
     def is_alive(self, node: NodeId) -> bool:
         """Whether ``node`` is currently a member."""
@@ -48,7 +61,8 @@ class Directory:
 
     def alive(self) -> list[NodeId]:
         """All current members, in join order."""
-        return list(self._alive)
+        with self._lock:
+            return list(self._alive)
 
     def __len__(self) -> int:
         return len(self._alive)
@@ -71,9 +85,13 @@ class FullMembershipView:
         self._cache: list[NodeId] = []
 
     def _peers(self) -> list[NodeId]:
-        if self._cache_version != self._directory.version:
+        # read the version before the snapshot: a concurrent change then
+        # at worst stamps fresher data with an older version, and the
+        # next call re-validates (stamping after could mask the change)
+        version = self._directory.version
+        if self._cache_version != version:
             self._cache = [n for n in self._directory.alive() if n != self._owner]
-            self._cache_version = self._directory.version
+            self._cache_version = version
         return self._cache
 
     def size(self) -> int:

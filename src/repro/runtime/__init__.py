@@ -17,15 +17,27 @@ the simulator, driven by wall-clock threads over a real transport.
 from repro.runtime.codec import BinaryCodec, CodecError, JsonCodec
 from repro.runtime.cluster import ThreadedCluster
 from repro.runtime.node import RuntimeNode
-from repro.runtime.transport import InMemoryHub, InMemoryTransport, UdpTransport
+from repro.runtime.transport import (
+    ChaosRules,
+    ChaosStats,
+    ChaosTransport,
+    InMemoryHub,
+    InMemoryTransport,
+    Transport,
+    UdpTransport,
+)
 
 __all__ = [
     "BinaryCodec",
     "JsonCodec",
     "CodecError",
+    "Transport",
     "InMemoryHub",
     "InMemoryTransport",
     "UdpTransport",
+    "ChaosRules",
+    "ChaosStats",
+    "ChaosTransport",
     "RuntimeNode",
     "ThreadedCluster",
 ]

@@ -133,6 +133,12 @@ class RuntimeNode(threading.Thread):
             packet = self.transport.recv(wait)
             if packet is not None:
                 self._handle_packets(packet)
+        # final drain: a command queued just before shutdown (e.g. the
+        # graceful-leave unsubscribe of a scenario churn script) must
+        # still reach the protocol before the thread dies — shutdown()
+        # joins us and then closes the transport, so this is the last
+        # moment the protocol is legally touchable from this thread.
+        self._drain_commands(self.clock())
 
     def _fire_round(self, now: float) -> None:
         for dests, message in self.protocol.on_round_batch(now):

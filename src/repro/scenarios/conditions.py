@@ -42,9 +42,18 @@ __all__ = [
 def _resolve_nodes(
     spec: ScenarioSpec, nodes: Optional[Sequence], fraction: Optional[float]
 ) -> tuple:
-    """A deterministic node set: explicit ``nodes``, or the last
-    ``fraction`` of the group (senders sit at the front by convention,
-    so the tail is the least disruptive default)."""
+    """A deterministic node set: explicit ``nodes``, or the highest-id
+    ``fraction`` of the group *among non-sender nodes*.
+
+    The spec knows its senders, and profiles stride them across the id
+    space, so a naive "last N ids" can land on a sender — crashing the
+    workload driver or squeezing a sender's buffer is never what a
+    fraction-shaped condition means. The count is still a fraction of
+    the whole group (``fraction=0.2`` stresses 20% of the nodes); only
+    the *selection* skips senders, taking the highest non-sender ids so
+    the resolution stays deterministic and, when senders sit at the
+    front by convention, identical to the historical tail.
+    """
     if nodes is not None:
         return tuple(nodes)
     if fraction is None:
@@ -52,7 +61,15 @@ def _resolve_nodes(
     if not 0 < fraction <= 1:
         raise ValueError("fraction must be in (0, 1]")
     count = max(1, int(round(spec.n_nodes * fraction)))
-    return tuple(range(spec.n_nodes - count, spec.n_nodes))
+    senders = set(spec.sender_ids)
+    pool = [n for n in range(spec.n_nodes) if n not in senders]
+    if count > len(pool):
+        raise ValueError(
+            f"fraction={fraction} asks for {count} nodes but only "
+            f"{len(pool)} non-sender nodes exist (senders drive the "
+            "workload and are never picked by fraction)"
+        )
+    return tuple(sorted(pool[-count:]))
 
 
 def _copy_churn(spec: ScenarioSpec) -> ChurnScript:
@@ -152,6 +169,12 @@ class RollingChurn:
 
     def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
         churned = _resolve_nodes(spec, self.nodes, self.fraction)
+        sender_victims = set(churned) & set(spec.sender_ids)
+        if sender_victims:
+            raise ValueError(
+                f"RollingChurn would churn sender nodes {sorted(sender_victims)}; "
+                "point it at non-sender nodes (senders drive the workload)"
+            )
         script = _copy_churn(spec)
         script.rolling(
             self.start,

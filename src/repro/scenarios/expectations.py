@@ -98,6 +98,7 @@ class ScenarioResult:
     n_nodes: int = 0
     metrics: Mapping[str, MetricValue] = field(default_factory=dict)
     skipped: tuple[str, ...] = ()  # conditions the driver could not impose
+    injected: tuple[str, ...] = ()  # conditions the driver lowered (threaded)
 
     def get(self, name: str) -> Optional[float]:
         """The metric's value, or None if this driver did not report it."""
@@ -197,6 +198,7 @@ class ScenarioResult:
             n_nodes=report.n_nodes,
             metrics=metrics,
             skipped=tuple(report.skipped),
+            injected=tuple(getattr(report, "injected", ())),
         )
 
 

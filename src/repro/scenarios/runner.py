@@ -4,17 +4,25 @@ The simulator path lowers a :class:`~repro.scenarios.spec.ScenarioSpec`
 to a :class:`~repro.experiments.harness.RunSpec` and reuses the whole
 experiment harness (so scenario runs sweep, shard and serialise exactly
 like figure runs). The threaded path drives the same spec on real
-threads: workload offers are paced from the spec's sender shapes, timed
-capacity changes are queued onto the owning node threads, and the
-conditions only a simulator can impose (loss models, partitions, churn,
-topologies) are *reported as skipped* rather than silently dropped —
-the threaded driver exists to validate the simulator, not to replace it.
+threads with *full condition parity*: workload offers are paced from
+the spec's sender shapes, timed capacity changes are queued onto the
+owning node threads, loss/partition/bandwidth windows and the
+topology/latency environment are injected through the
+:class:`~repro.runtime.transport.ChaosTransport` layer, crash windows
+stop and restart real node threads, churn scripts join and leave
+members through the live membership layer, and partial views gossip
+over the actual wire. Conditions the threaded driver cannot lower
+(unknown fault kinds) are still *reported as skipped* rather than
+silently dropped; :func:`threaded_coverage` computes the injected/
+skipped split without running anything, so the CLI and the parity tests
+can audit coverage cheaply.
 
 Virtual-to-wall time mapping: threaded runs use a short gossip period
 (default 0.1 s vs the spec's 1 s), so one spec second maps to
-``gossip_period / spec.system.gossip_period`` wall seconds and offer
-intervals shrink by the same factor — the load:capacity regime of the
-scenario is preserved, only the clock changes.
+``gossip_period / spec.system.gossip_period`` wall seconds; offer
+intervals, fault/churn offsets and link latencies shrink by the same
+factor and bandwidth caps grow by its inverse — the load:capacity
+regime of the scenario is preserved, only the clock changes.
 """
 
 from __future__ import annotations
@@ -31,6 +39,13 @@ from repro.experiments.sweep import run_scenario_matrix
 from repro.runtime.cluster import ThreadedCluster
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.sim.faults import (
+    BandwidthCapWindow,
+    CrashWindow,
+    LossWindow,
+    PartitionWindow,
+)
+from repro.sim.network import BernoulliLoss
 from repro.workload.dynamics import CapacityChange
 
 __all__ = [
@@ -39,6 +54,7 @@ __all__ = [
     "run_scenario",
     "run_scenario_threaded",
     "run_scenario_matrix",
+    "threaded_coverage",
 ]
 
 
@@ -97,7 +113,7 @@ def run_scenario(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ThreadedScenarioReport:
-    """What a threaded scenario run did and what it could not model."""
+    """What a threaded scenario run did, injected, and could not model."""
 
     scenario: str
     n_nodes: int
@@ -108,15 +124,20 @@ class ThreadedScenarioReport:
     delivered_total: int
     delivered_min: int
     delivered_max: int
-    skipped: tuple[str, ...]  # sim-only conditions this driver cannot impose
+    skipped: tuple[str, ...]  # conditions this driver could not lower
     # surfaced as a count so CLI output and JSON payloads can report
     # partial coverage without string-matching the skip reasons; a real
     # field (so it serialises) but always derived — see __post_init__
     skipped_count: int = 0
     duplicates_seen: int = 0  # gossip-level duplicate summaries, all nodes
+    injected: tuple[str, ...] = ()  # conditions lowered onto the runtime
+    injected_count: int = 0  # derived, like skipped_count
+    chaos_eaten: int = 0  # datagrams the chaos layer dropped/capped/blocked
+    chaos_delayed: int = 0  # datagrams forwarded late through the delay line
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "skipped_count", len(self.skipped))
+        object.__setattr__(self, "injected_count", len(self.injected))
 
 
 class _Feeder:
@@ -140,19 +161,127 @@ class _Feeder:
         self.next += self.arrivals.next_interval(self.rng) * self.scale
 
 
-def _skipped_conditions(spec: ScenarioSpec) -> tuple[str, ...]:
-    skipped = []
-    if len(spec.faults):
-        skipped.append(f"{len(spec.faults)} fault window(s): sim-only")
+_KNOWN_FAULTS = (LossWindow, PartitionWindow, BandwidthCapWindow, CrashWindow)
+
+
+def threaded_coverage(spec: ScenarioSpec) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """The ``(injected, skipped)`` condition split for the threaded driver.
+
+    Pure classification — no cluster is built, so the CLI's coverage
+    listing and the registry-wide parity test can audit every scenario
+    in microseconds. ``run_scenario_threaded`` derives its report's
+    ``injected``/``skipped`` tuples from this same function, so the
+    audit can never drift from what a run actually does.
+    """
+    injected: list[str] = []
+    skipped: list[str] = []
+
+    def count(kind) -> int:
+        return sum(1 for f in spec.faults.faults if isinstance(f, kind))
+
+    losses, partitions = count(LossWindow), count(PartitionWindow)
+    caps, crashes = count(BandwidthCapWindow), count(CrashWindow)
+    if losses:
+        injected.append(f"{losses} loss window(s): chaos transport")
+    if partitions:
+        injected.append(f"{partitions} partition window(s): chaos transport")
+    if caps:
+        injected.append(f"{caps} bandwidth cap window(s): chaos transport")
+    if crashes:
+        injected.append(f"{crashes} crash window(s): real node stop/restart")
+    unknown = sum(1 for f in spec.faults.faults if not isinstance(f, _KNOWN_FAULTS))
+    if unknown:
+        skipped.append(f"{unknown} unrecognised fault window(s): no threaded lowering")
     if len(spec.churn):
-        skipped.append(f"{len(spec.churn)} churn event(s): sim-only")
+        injected.append(f"{len(spec.churn)} churn event(s): live join/leave")
     if spec.topology is not None:
-        skipped.append("topology/latency model: transport has real timing")
+        injected.append("topology/latency model: chaos link delays")
     if spec.baseline_loss is not None:
-        skipped.append("baseline loss model: transport has real loss")
+        injected.append("baseline loss model: chaos transport")
     if spec.membership == "partial":
-        skipped.append("partial membership: threaded group runs the full directory")
-    return tuple(skipped)
+        injected.append("partial membership: live partial views on the wire")
+    return tuple(injected), tuple(skipped)
+
+
+def _threaded_actions(spec: ScenarioSpec, cluster, scale: float, feeders) -> list:
+    """Lower every timed condition onto ``(wall_time, seq, thunk)`` triples.
+
+    The complement of the t=0 work ``ThreadedCluster.from_scenario``
+    already did (t=0 capacity overrides, baseline loss/latency on the
+    chaos rules): resource changes go through the node command queues,
+    loss/partition/bandwidth windows mutate the shared chaos rule set,
+    crash windows and churn events stop/start real node threads.
+    """
+    actions: list[tuple[float, int, object]] = []
+
+    def add(spec_time: float, thunk) -> None:
+        actions.append((spec_time * scale, len(actions), thunk))
+
+    for change in spec.resources.changes:
+        if change.time == 0.0 and isinstance(change, CapacityChange):
+            continue  # applied pre-start by from_scenario
+        if isinstance(change, CapacityChange):
+
+            def apply_capacity(c=change):
+                for node in c.nodes:
+                    if node in cluster.nodes:
+                        cluster.set_capacity(node, c.capacity)
+
+            add(change.time, apply_capacity)
+        else:  # OfferedRateChange — repace the affected feeders
+
+            def repace(c=change):
+                for feeder in feeders:
+                    if feeder.node in c.nodes:
+                        feeder.arrivals.rate = c.rate
+
+            add(change.time, repace)
+
+    chaos = cluster.chaos
+    baseline = spec.baseline_loss
+    for fault in spec.faults.faults:
+        if isinstance(fault, LossWindow):
+            add(fault.time, lambda f=fault: chaos.set_loss(BernoulliLoss(f.p)))
+            add(fault.time + fault.duration, lambda: chaos.set_loss(baseline))
+        elif isinstance(fault, PartitionWindow):
+            add(
+                fault.time,
+                lambda f=fault: chaos.partition([list(g) for g in f.groups]),
+            )
+            add(fault.time + fault.duration, chaos.heal)
+        elif isinstance(fault, BandwidthCapWindow):
+            # the chaos cap clock ticks in spec seconds (bound by
+            # from_scenario), so the spec's msg-per-spec-second rate
+            # applies unchanged — same per-second budget granularity as
+            # the simulator's network, not just the same average
+            add(fault.time, lambda f=fault: chaos.set_bandwidth_cap(f.rate))
+            add(fault.time + fault.duration, lambda: chaos.set_bandwidth_cap(None))
+        elif isinstance(fault, CrashWindow):
+
+            def crash(f=fault):
+                for node in f.nodes:
+                    cluster.crash_node(node)
+
+            add(fault.time, crash)
+            if fault.restart_at is not None:
+
+                def restart(f=fault):
+                    for node in f.nodes:
+                        cluster.join_node(node)
+
+                add(fault.restart_at, restart)
+        # unknown kinds are reported by threaded_coverage as skipped
+
+    dispatch = {
+        "join": cluster.join_node,
+        "leave": cluster.leave_node,
+        "crash": cluster.crash_node,
+    }
+    for event in spec.churn.sorted_events():
+        add(event.time, lambda fn=dispatch[event.action], n=event.node: fn(n))
+
+    actions.sort(key=lambda entry: (entry[0], entry[1]))
+    return actions
 
 
 def run_scenario_threaded(
@@ -164,26 +293,26 @@ def run_scenario_threaded(
     """Drive a scenario on :class:`~repro.runtime.cluster.ThreadedCluster`.
 
     ``wall_seconds`` bounds the run (default: the whole scenario at the
-    scaled clock). The feeder loop runs on the calling thread: it paces
-    offers through each sender node's admission queue and applies timed
-    capacity changes via the nodes' command queues at their scaled
-    offsets.
+    scaled clock). The feeder-and-fault loop runs on the calling thread:
+    it paces offers through each sender node's admission queue and fires
+    every scheduled condition — capacity/rate changes, chaos-rule
+    updates, node crash/restart, churn — at its scaled offset.
     """
     scale = gossip_period / spec.system.gossip_period
     wall = spec.duration * scale if wall_seconds is None else wall_seconds
+    # the sim path validates inside FaultScript.apply; this path opens/
+    # closes windows itself, so it must reject ambiguous overlapping
+    # same-kind windows just as loudly (specs validate at construction,
+    # but FaultScript is a mutable value that may have grown since) —
+    # and before any thread or transport exists
+    spec.faults.validate()
     cluster = ThreadedCluster.from_scenario(
         spec, gossip_period=gossip_period, transport=transport
     )
-    skipped = _skipped_conditions(spec)
+    injected, skipped = threaded_coverage(spec)
 
-    # timed resource actions at scaled offsets (t=0 capacity overrides
-    # were already applied by from_scenario, before any thread starts)
-    actions = [
-        (change.time * scale, change)
-        for change in sorted(spec.resources.changes, key=lambda c: c.time)
-        if not (change.time == 0.0 and isinstance(change, CapacityChange))
-    ]
     feeders = [_Feeder(sender, scale, spec.seed) for sender in spec.senders]
+    actions = _threaded_actions(spec, cluster, scale, feeders)
     offers = 0
     next_action = 0
 
@@ -195,16 +324,9 @@ def run_scenario_threaded(
             if now >= wall:
                 break
             while next_action < len(actions) and actions[next_action][0] <= now:
-                _, change = actions[next_action]
+                _, _, fire = actions[next_action]
                 next_action += 1
-                if isinstance(change, CapacityChange):
-                    for node in change.nodes:
-                        if node in cluster.nodes:
-                            cluster.set_capacity(node, change.capacity)
-                else:  # OfferedRateChange — repace the affected feeders
-                    for feeder in feeders:
-                        if feeder.node in change.nodes:
-                            feeder.arrivals.rate = change.rate
+                fire()
             wake = t0 + now + 0.02
             for feeder in feeders:
                 while feeder.due(now):
@@ -221,15 +343,19 @@ def run_scenario_threaded(
     finally:
         cluster.stop()
 
-    # threads are joined: protocol state is safe to read now
+    # threads are joined: protocol state is safe to read now (restarted
+    # nodes report their current incarnation — a fresh process's counts,
+    # exactly what a real redeploy would show)
+    member_ids = sorted(cluster.nodes)
     delivered = [
-        cluster.protocol_of(node).stats.events_delivered for node in range(spec.n_nodes)
+        cluster.protocol_of(node).stats.events_delivered for node in member_ids
     ]
     duplicates = sum(
         getattr(cluster.protocol_of(node).stats, "duplicates_seen", 0)
-        for node in range(spec.n_nodes)
+        for node in member_ids
     )
     admitted = sum(node.offers_admitted for node in cluster.nodes.values())
+    chaos = cluster.chaos
     return ThreadedScenarioReport(
         scenario=spec.name,
         n_nodes=spec.n_nodes,
@@ -242,4 +368,7 @@ def run_scenario_threaded(
         delivered_max=max(delivered),
         skipped=skipped,
         duplicates_seen=duplicates,
+        injected=injected,
+        chaos_eaten=0 if chaos is None else chaos.stats.eaten,
+        chaos_delayed=0 if chaos is None else chaos.stats.delayed,
     )

@@ -281,6 +281,21 @@ class ScenarioSpec:
         """The latency model, materialised (None keeps the driver default)."""
         return build_latency(self.topology, self.n_nodes)
 
+    @property
+    def wire_conditions(self) -> bool:
+        """Whether this scenario shapes the wire itself.
+
+        True when a topology/latency model, a baseline loss model, or
+        any network fault window (loss/partition/bandwidth — anything
+        but a pure crash schedule) is present. The threaded driver uses
+        this to decide whether endpoints need the
+        :class:`~repro.runtime.transport.ChaosTransport` wrapper; crash
+        windows and churn act on nodes, not the wire, and need none.
+        """
+        if self.topology is not None or self.baseline_loss is not None:
+            return True
+        return any(not isinstance(f, CrashWindow) for f in self.faults.faults)
+
     # ------------------------------------------------------------------
     # functional updates
     # ------------------------------------------------------------------

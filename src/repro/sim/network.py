@@ -31,10 +31,74 @@ __all__ = [
     "BurstLoss",
     "NetworkStats",
     "Network",
+    "RateWindow",
+    "build_partition_map",
+    "crosses_partition",
 ]
 
 Address = Hashable
 Handler = Callable[[Any, Address, float], None]
+
+
+# ----------------------------------------------------------------------
+# shared network-rule building blocks
+#
+# The threaded runtime's ChaosTransport injects the same conditions this
+# simulated network models; partition semantics and bandwidth-window
+# accounting live here, once, so the two drivers cannot silently
+# diverge (driver parity is asserted scenario-by-scenario in CI).
+# ----------------------------------------------------------------------
+def build_partition_map(groups) -> dict:
+    """``address -> group id`` for a partition; unmentioned addresses
+    share the implicit group ``-1`` and can still talk to each other."""
+    partition_of: dict = {}
+    for gid, group in enumerate(groups):
+        for addr in group:
+            partition_of[addr] = gid
+    return partition_of
+
+
+def crosses_partition(partition_of: dict, src, dst) -> bool:
+    """Whether a (src, dst) message crosses an open partition."""
+    if not partition_of:
+        return False
+    return partition_of.get(src, -1) != partition_of.get(dst, -1)
+
+
+class RateWindow:
+    """A bandwidth cap accounted in one-second windows.
+
+    Once ``rate`` messages have entered within a window, further sends
+    in that window are refused — a blunt but deterministic model of a
+    saturated link or switch. ``rate=None`` disables the cap. The clock
+    is the caller's (virtual time for the simulator, wall time for the
+    chaos transport); only window identity ``int(now)`` matters.
+    """
+
+    __slots__ = ("rate", "_window", "_used")
+
+    def __init__(self) -> None:
+        self.rate: Optional[float] = None
+        self._window = -1
+        self._used = 0
+
+    def set(self, rate: Optional[float]) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("bandwidth cap must be > 0 msg/s (or None)")
+        self.rate = rate
+        self._window = -1
+        self._used = 0
+
+    def exceeded(self, now: float) -> bool:
+        """Account one send at time ``now``; True if over budget."""
+        window = int(now)
+        if window != self._window:
+            self._window = window
+            self._used = 0
+        if self._used >= self.rate:
+            return True
+        self._used += 1
+        return False
 
 
 class LatencyModel(Protocol):
@@ -191,11 +255,9 @@ class Network:
         self._handlers: dict[Address, Handler] = {}
         self._batch_handlers: dict[Address, Callable] = {}
         self._partition_of: dict[Address, int] = {}
-        # Bandwidth cap: at most _cap_rate messages may enter the network
+        # Bandwidth cap: at most _cap.rate messages may enter the network
         # per one-second window; None disables the cap entirely.
-        self._cap_rate: Optional[float] = None
-        self._cap_window = -1
-        self._cap_used = 0
+        self._cap = RateWindow()
         # (message, src) pairs queued per destination for the current
         # instant, drained by one _flush_pending event per timestamp.
         self._pending: dict[Address, list] = {}
@@ -252,19 +314,14 @@ class Network:
         Addresses not mentioned in any group remain in the implicit group
         ``-1`` and can still talk to each other.
         """
-        self._partition_of = {}
-        for gid, group in enumerate(groups):
-            for addr in group:
-                self._partition_of[addr] = gid
+        self._partition_of = build_partition_map(groups)
 
     def heal(self) -> None:
         """Remove any partition."""
         self._partition_of = {}
 
     def _crosses_partition(self, src: Address, dst: Address) -> bool:
-        if not self._partition_of:
-            return False
-        return self._partition_of.get(src, -1) != self._partition_of.get(dst, -1)
+        return crosses_partition(self._partition_of, src, dst)
 
     # ------------------------------------------------------------------
     # bandwidth cap
@@ -278,24 +335,15 @@ class Network:
         ``stats.capped``) — a blunt but deterministic model of a
         saturated link or switch. ``None`` removes the cap.
         """
-        if rate is not None and rate <= 0:
-            raise ValueError("bandwidth cap must be > 0 msg/s (or None)")
-        self._cap_rate = rate
-        self._cap_window = -1
-        self._cap_used = 0
+        self._cap.set(rate)
 
     def _cap_exceeded(self) -> bool:
         # Only called while a cap is set; checked after partition/route
         # filtering and *before* the loss model so the RNG stream of an
         # uncapped run is untouched by this feature.
-        window = int(self._sim.now)
-        if window != self._cap_window:
-            self._cap_window = window
-            self._cap_used = 0
-        if self._cap_used >= self._cap_rate:
+        if self._cap.exceeded(self._sim.now):
             self.stats.capped += 1
             return True
-        self._cap_used += 1
         return False
 
     # ------------------------------------------------------------------
@@ -317,7 +365,7 @@ class Network:
         if dst not in self._handlers:
             self.stats.no_route += 1
             return False
-        if self._cap_rate is not None and self._cap_exceeded():
+        if self._cap.rate is not None and self._cap_exceeded():
             return False
         if self._loss.is_lost(src, dst, self._rng):
             self.stats.lost += 1
@@ -353,7 +401,7 @@ class Network:
         rng = self._rng
         latency = self._latency
         fixed_delay = latency.delay if type(latency) is ConstantLatency else None
-        cap_rate = self._cap_rate
+        cap_rate = self._cap.rate
         if (
             fixed_delay is not None
             and lossless

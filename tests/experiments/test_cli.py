@@ -128,15 +128,15 @@ def test_run_scenario_both_drivers(tiny_profile, capsys):
     assert "threaded driver" in out
 
 
-def test_run_scenario_threaded_prints_skipped_count(tiny_profile, capsys):
-    # wan-clustered has a topology, which the threaded driver cannot
-    # impose: the summary line must surface the skip count
+def test_run_scenario_threaded_prints_condition_coverage(tiny_profile, capsys):
+    # wan-clustered has a topology, which the chaos transport now lowers
+    # onto real sends: the summary line must surface injected coverage
     out = run_cli(
         capsys, "run-scenario", "wan-clustered", "--profile", "tiny",
         "--horizon", "8", "--driver", "threaded",
     )
-    assert "skipped=1" in out
-    assert "skipped: topology/latency model" in out
+    assert "injected=1 skipped=0" in out
+    assert "injected: topology/latency model" in out
 
 
 # ----------------------------------------------------------------------

@@ -128,3 +128,31 @@ def test_fraction_validation():
         base().stressed(SlowReceivers(capacity=5, fraction=1.5))
     with pytest.raises(ValueError):
         base().stressed(SlowReceivers(capacity=5))
+
+
+def test_fraction_resolution_skips_senders_in_the_tail():
+    # senders at 0 and 9: a naive "last 30% of ids" would squeeze sender
+    # 9's buffer; resolution must take the highest *non-sender* ids
+    spec = base(senders=(SenderSpec(0, 4.0), SenderSpec(9, 6.0))).stressed(
+        SlowReceivers(capacity=5, fraction=0.3)
+    )
+    (change,) = spec.resources.changes
+    assert change.nodes == (6, 7, 8)
+
+
+def test_fraction_larger_than_non_sender_pool_is_rejected():
+    spec = base(
+        n_nodes=3, senders=(SenderSpec(0, 4.0), SenderSpec(1, 6.0))
+    )
+    with pytest.raises(ValueError, match="non-sender"):
+        spec.stressed(SlowReceivers(capacity=5, fraction=1.0))
+
+
+def test_rolling_churn_protects_senders_like_crash_group():
+    with pytest.raises(ValueError, match="sender"):
+        base().stressed(RollingChurn(start=10.0, interval=2.0, nodes=(5, 8)))
+    # fraction resolution never lands on a sender in the first place
+    spec = base(senders=(SenderSpec(0, 4.0), SenderSpec(9, 6.0))).stressed(
+        RollingChurn(start=10.0, interval=2.0, fraction=0.2)
+    )
+    assert {e.node for e in spec.churn.events} == {7, 8}

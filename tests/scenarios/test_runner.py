@@ -67,15 +67,45 @@ def test_threaded_run_delivers_and_reports():
     assert report.skipped == ()
 
 
-def test_threaded_run_reports_sim_only_conditions():
+def test_threaded_run_injects_former_sim_only_conditions():
+    # loss windows and partial membership used to be reported as skipped;
+    # the chaos transport and live views now lower both
     spec = tiny_spec(membership="partial", view_size=4).stressed(
         CorrelatedLoss(time=5.0, duration=3.0, p=0.5)
     )
     report = run_scenario_threaded(spec, wall_seconds=0.4)
-    assert any("fault" in item for item in report.skipped)
-    assert any("partial membership" in item for item in report.skipped)
+    assert report.skipped == () and report.skipped_count == 0
+    assert any("loss window" in item for item in report.injected)
+    assert any("partial membership" in item for item in report.injected)
     # the count is surfaced structurally, not by string-matching reasons
-    assert report.skipped_count == len(report.skipped) == 2
+    assert report.injected_count == len(report.injected) == 2
+
+
+def test_threaded_path_rejects_overlapping_windows_like_sim():
+    # specs validate at construction, but FaultScript is mutable: the
+    # threaded lowering must re-validate just as FaultScript.apply does
+    from repro.sim.faults import OverlappingFaultsError
+
+    spec = tiny_spec().stressed(CorrelatedLoss(time=5.0, duration=10.0, p=0.5))
+    spec.faults.loss(8.0, 2.0, 0.9)  # sneak in an overlap post-validation
+    with pytest.raises(OverlappingFaultsError):
+        run_scenario_threaded(spec, wall_seconds=0.2)
+
+
+def test_threaded_run_still_reports_unknown_conditions_as_skipped():
+    from dataclasses import dataclass
+
+    from repro.sim.faults import FaultScript
+
+    @dataclass(frozen=True)
+    class AlienWindow:  # a fault kind no driver lowering knows about
+        time: float = 1.0
+        duration: float = 1.0
+
+    spec = tiny_spec().replace(faults=FaultScript([AlienWindow()]))
+    report = run_scenario_threaded(spec, wall_seconds=0.3)
+    assert report.skipped_count == 1
+    assert "unrecognised fault" in report.skipped[0]
 
 
 def test_threaded_full_coverage_reports_zero_skips():
