@@ -13,6 +13,12 @@ path fires each cluster round from one heap pop and multicasts each
 node's fanout in one network call; the per-node path is the seed's
 timer-per-node, send-per-emission implementation, kept as the reference.
 
+A second ``mega_scaling`` tier runs the same scenario at the paper's
+fanout (4) through the columnar vector executor
+(:mod:`repro.sim.vector`, ``--dispatch vector``) at 10k and 50k nodes,
+with a one-shot batched run at the smallest size proving the columnar
+path byte-identical in-regime.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_core.py            # full (writes BENCH_core.json)
@@ -65,6 +71,38 @@ def build(n_nodes: int, dispatch: str) -> SimCluster:
     return cluster
 
 
+def build_mega(n_nodes: int, dispatch: str) -> SimCluster:
+    """The mega-tier regime: the bench scenario at the paper's fanout.
+
+    Differs from :func:`build` in exactly the ways a 10k+-node run
+    needs: fanout stays at the paper's 4 (the log2 formula would
+    triple per-round work without changing what the tier measures),
+    and the collector runs aggregate-only (per-event receiver counts,
+    no per-node sets or gauges) so memory stays flat in n.
+    """
+    system = SystemConfig(
+        fanout=4,
+        gossip_period=1.0,
+        buffer_capacity=30,
+        dedup_capacity=max(4000, 8 * n_nodes),
+        max_age=8,
+        round_jitter=0.0,
+        round_phase=0.0,
+    )
+    cluster = SimCluster(
+        n_nodes=n_nodes,
+        system=system,
+        protocol="lpbcast",
+        seed=2003,
+        latency=ConstantLatency(0.01),
+        dispatch=dispatch,
+        sample_gauges=False,
+        aggregate_metrics=True,
+    )
+    cluster.add_senders([0, n_nodes // 2], rate_each=0.5)
+    return cluster
+
+
 def fingerprint(cluster: SimCluster) -> tuple:
     m = cluster.metrics
     return (
@@ -77,7 +115,13 @@ def fingerprint(cluster: SimCluster) -> tuple:
     )
 
 
-def run_one(n_nodes: int, dispatch: str, duration: float, repeats: int = 3) -> dict:
+def run_one(
+    n_nodes: int,
+    dispatch: str,
+    duration: float,
+    repeats: int = 3,
+    builder=build,
+) -> dict:
     """Best-of-``repeats`` wall time (identical runs; min rejects noise).
 
     Garbage from previous measurements is collected before each timed
@@ -88,7 +132,7 @@ def run_one(n_nodes: int, dispatch: str, duration: float, repeats: int = 3) -> d
     cluster = None
     for _ in range(repeats):
         del cluster
-        cluster = build(n_nodes, dispatch)
+        cluster = builder(n_nodes, dispatch)
         gc.collect()
         t0 = time.perf_counter()
         cluster.run(until=duration)
@@ -101,6 +145,58 @@ def run_one(n_nodes: int, dispatch: str, duration: float, repeats: int = 3) -> d
         "heap_events": cluster.sim.events_dispatched,
         "deliveries": cluster.metrics.deliveries.total,
         "_fingerprint": fingerprint(cluster),
+    }
+
+
+def run_mega(sizes: list, duration: float) -> dict:
+    """The ``mega_scaling`` tier: columnar vector dispatch at 10k+ nodes.
+
+    Every size runs under ``--dispatch vector``; the smallest size also
+    runs once under ``batched`` dispatch (one repeat — at this scale a
+    single per-node run costs more than the whole vector sweep) both as
+    the in-regime speedup denominator and as a live parity check: the
+    two runs must be byte-identical or the tier is invalid.
+    """
+    from repro.sim.vector import HAVE_NUMPY
+
+    entries = []
+    parity_n = min(sizes)
+    speedup = None
+    for n in sizes:
+        row = run_one(n, "vector", duration, repeats=2, builder=build_mega)
+        vec_fp = row.pop("_fingerprint")
+        entries.append(row)
+        print(
+            f"mega n={n:6d}  vector {row['wall_seconds']:7.2f}s "
+            f"({row['deliveries']:.0f} deliveries)"
+        )
+        if n == parity_n:
+            batched = run_one(n, "batched", duration, repeats=1, builder=build_mega)
+            if batched.pop("_fingerprint") != vec_fp:
+                raise SystemExit(
+                    f"vector dispatch diverged from batched at n={n}: "
+                    "mega tier invalid"
+                )
+            entries.append(batched)
+            speedup = round(batched["wall_seconds"] / row["wall_seconds"], 3)
+            print(
+                f"mega n={n:6d}  batched {batched['wall_seconds']:6.2f}s "
+                f"(parity OK, vector speedup {speedup:.1f}x)"
+            )
+    return {
+        "regime": {
+            "protocol": "lpbcast",
+            "round_synchronous": True,
+            "latency": "constant 10ms",
+            "buffer_capacity": 30,
+            "senders": 2,
+            "offered_load_msgs_per_s": 1.0,
+            "fanout": 4,
+            "aggregate_metrics": True,
+        },
+        "numpy": HAVE_NUMPY,
+        "entries": entries,
+        "vector_vs_batched_same_n": speedup,
     }
 
 
@@ -228,6 +324,14 @@ def scenario_overhead(n_nodes: int, duration: float) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="*", default=[250, 500, 1000])
+    parser.add_argument(
+        "--mega-sizes",
+        type=int,
+        nargs="*",
+        default=[10_000, 50_000],
+        help="node counts for the vector-dispatch mega_scaling tier "
+        "(pass nothing after the flag to skip the tier)",
+    )
     parser.add_argument("--duration", type=float, default=60.0)
     parser.add_argument(
         "--out",
@@ -240,6 +344,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     sizes = [100] if args.quick else args.sizes
+    mega_sizes = [2000] if args.quick else args.mega_sizes
     duration = 20.0 if args.quick else args.duration
 
     scaling = []
@@ -258,6 +363,32 @@ def main(argv=None) -> int:
             f"{batched['wall_seconds']:7.2f}s ({batched['heap_events']} events)  "
             f"speedup {speedup:.2f}x"
         )
+
+    mega = run_mega(mega_sizes, duration) if mega_sizes else None
+    if mega is not None:
+        # the tier's headline claim: 10k nodes under vector dispatch cost
+        # less wall time than 1000 under batched, in the same process
+        ref = max(
+            (r for r in scaling if r["dispatch"] == "batched"),
+            key=lambda r: r["n_nodes"],
+            default=None,
+        )
+        vec = min(
+            (r for r in mega["entries"] if r["dispatch"] == "vector"),
+            key=lambda r: r["n_nodes"],
+        )
+        if ref is not None:
+            mega["vector_vs_batched_smaller_n"] = {
+                "batched_n": ref["n_nodes"],
+                "batched_wall_seconds": ref["wall_seconds"],
+                "vector_n": vec["n_nodes"],
+                "vector_wall_seconds": vec["wall_seconds"],
+            }
+            print(
+                f"mega headline: n={vec['n_nodes']} vector "
+                f"{vec['wall_seconds']:.2f}s vs n={ref['n_nodes']} batched "
+                f"{ref['wall_seconds']:.2f}s"
+            )
 
     micro = micro_timings()
     for name, value in micro.items():
@@ -292,6 +423,7 @@ def main(argv=None) -> int:
             "fanout": "max(4, log2(n))",
         },
         "scaling": scaling,
+        "mega_scaling": mega,
         "speedup_batched_vs_timers": speedups,
         "micro_hot_paths": micro,
         "scenario_overhead": overhead,

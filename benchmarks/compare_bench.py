@@ -57,7 +57,30 @@ def compare_micro(
     for name in missing:
         lines.append(f"  {name:36s} missing from current document")
         warnings.append(f"micro {name} missing from current document")
+    # the other direction is growth, not rot: a freshly added micro
+    # benchmark has no reference yet, so note it and move on
+    for name in sorted(set(cur) - set(ref)):
+        lines.append(f"  {name:36s} new (no reference yet; informational)")
     return lines, warnings
+
+
+def note_new_tiers(current: dict, reference: dict) -> list[str]:
+    """Document sections present only in the newer JSON.
+
+    Bench documents grow tiers over time (``mega_scaling`` arrived after
+    ``scaling``); comparing a new document against an older reference
+    must report those as *new*, never as drift — no warning, no nonzero
+    exit. Scalar metadata (schema, python, machine) is skipped: only
+    dict/list sections are tiers.
+    """
+    lines = []
+    for key in sorted(set(current) - set(reference)):
+        if isinstance(current[key], (dict, list)):
+            lines.append(
+                f"  new tier {key!r} in current document "
+                "(no reference yet; informational)"
+            )
+    return lines
 
 
 def main(argv=None) -> int:
@@ -87,6 +110,8 @@ def main(argv=None) -> int:
     lines, warnings = compare_micro(current, reference, args.threshold)
     print(f"bench comparison: {args.current} vs {args.reference}")
     print("\n".join(lines) if lines else "  (no comparable micro benchmarks)")
+    for line in note_new_tiers(current, reference):
+        print(line)
     annotate = os.environ.get("GITHUB_ACTIONS") == "true"
     for warning in warnings:
         print(f"::warning ::{warning}" if annotate else f"WARNING: {warning}")

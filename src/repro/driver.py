@@ -155,6 +155,9 @@ class Driver(abc.ABC):
         Metrics time-bucket width in seconds; ``None`` asks the subclass
         (:meth:`_default_bucket_width`, which may depend on the resolved
         system config).
+    aggregate_metrics:
+        Run the collector in aggregate-only mode (per-event counts, no
+        per-node receiver sets or gauges) — for very large groups.
     """
 
     def __init__(
@@ -166,13 +169,16 @@ class Driver(abc.ABC):
         rate_limit: Optional[float] = None,
         aggregate: Optional[Aggregate] = None,
         bucket_width: Optional[float] = None,
+        aggregate_metrics: bool = False,
     ) -> None:
         if n_nodes < 2:
             raise ValueError("need at least 2 nodes")
         self.system = system if system is not None else self._default_system()
         if bucket_width is None:
             bucket_width = self._default_bucket_width()
-        self.metrics = MetricsCollector(bucket_width=bucket_width)
+        self.metrics = MetricsCollector(
+            bucket_width=bucket_width, aggregate=aggregate_metrics
+        )
         self.directory = Directory(range(n_nodes))
         if callable(protocol):
             self._factory: ProtocolFactory = protocol

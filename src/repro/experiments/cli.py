@@ -486,7 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--dispatch",
-            choices=["batched", "timers"],
+            choices=["batched", "timers", "vector"],
             default="batched",
             help="sim round-dispatch mode (results are byte-identical)",
         )

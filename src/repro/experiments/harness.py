@@ -80,6 +80,9 @@ class RunSpec:
     aggregate: Optional[Any] = None
     scenario: Optional[str] = None
     sample_gauges: bool = True
+    # aggregate-only metrics: receiver counts instead of receiver sets,
+    # no per-node gauges — the memory mode for 10k+-node runs
+    aggregate_metrics: bool = False
 
     def __post_init__(self) -> None:
         if not self.sender_ids:
@@ -226,6 +229,10 @@ def build_cluster(spec: RunSpec) -> SimCluster:
         bucket_width=spec.bucket_width,
         dispatch=spec.dispatch,
         sample_gauges=spec.sample_gauges,
+        aggregate_metrics=spec.aggregate_metrics,
+        # the columnar mega lane cannot honour fault/churn schedules, so
+        # specs carrying them always materialise per-node protocols
+        allow_mega=spec.faults is None and spec.churn is None,
     )
     if spec.senders is not None:
         for sender in spec.senders:
@@ -272,7 +279,7 @@ def run_once(spec: RunSpec) -> RunResult:
     )
     # a sender "reached the group" if any of its window messages was
     # delivered beyond the sender itself (NoDroppedSenders expectations)
-    reached = {r.origin for r in window_messages if len(r.receivers) >= 2}
+    reached = {r.origin for r in window_messages if r.receiver_count >= 2}
     stats = [node.protocol.stats for node in cluster.nodes.values()]
     duplicates_seen = sum(getattr(s, "duplicates_seen", 0) for s in stats)
     protocol_delivered = sum(getattr(s, "events_delivered", 0) for s in stats)

@@ -23,7 +23,7 @@ from repro.gossip.events import EventId
 from repro.gossip.protocol import NodeId
 from repro.metrics.rates import BucketSeries, GaugeSeries
 
-__all__ = ["MessageRecord", "MetricsCollector"]
+__all__ = ["CountingMessageRecord", "MessageRecord", "MetricsCollector"]
 
 
 @dataclass(slots=True)
@@ -37,6 +37,11 @@ class MessageRecord:
     first_delivery: Optional[float] = None
     last_delivery: Optional[float] = None
 
+    @property
+    def receiver_count(self) -> int:
+        """How many distinct nodes delivered this message."""
+        return len(self.receivers)
+
     def note_delivery(self, node: NodeId, time: float) -> bool:
         """Record a delivery; returns True if this receiver was new."""
         if node in self.receivers:
@@ -47,6 +52,16 @@ class MessageRecord:
             self.first_delivery = time
         self.last_delivery = time
         return True
+
+    def copy(self) -> "MessageRecord":
+        return MessageRecord(
+            origin=self.origin,
+            broadcast_time=self.broadcast_time,
+            receivers=set(self.receivers),
+            duplicate_deliveries=self.duplicate_deliveries,
+            first_delivery=self.first_delivery,
+            last_delivery=self.last_delivery,
+        )
 
     def merge(self, other: "MessageRecord") -> None:
         """Fold another shard's view of the same message into this one."""
@@ -60,11 +75,76 @@ class MessageRecord:
                 self.last_delivery = other.last_delivery
 
 
-class MetricsCollector:
-    """Records everything the experiments measure."""
+@dataclass(slots=True)
+class CountingMessageRecord:
+    """Aggregate-mode message lifecycle: a receiver *count*, not a set.
 
-    def __init__(self, bucket_width: float = 1.0) -> None:
+    Used when the collector runs with ``aggregate=True`` so 10k–100k-node
+    runs don't allocate one set entry per (message, receiver). It trusts
+    the protocol layer's per-receiver deduplication — every delivery it
+    is told about counts as a new receiver. (The one place that dedup can
+    lie is an undersized dedup store re-admitting an event a node already
+    saw; sized per the paper's guidance this does not occur, and the
+    exact per-receiver mode remains the reference.)
+    """
+
+    origin: NodeId
+    broadcast_time: float
+    receiver_count: int = 0
+    duplicate_deliveries: int = 0
+    first_delivery: Optional[float] = None
+    last_delivery: Optional[float] = None
+
+    def note_delivery(self, node: NodeId, time: float) -> bool:
+        self.receiver_count += 1
+        if self.first_delivery is None:
+            self.first_delivery = time
+        self.last_delivery = time
+        return True
+
+    def note_bulk(self, count: int, time: float) -> None:
+        """Record ``count`` first deliveries happening at one instant."""
+        self.receiver_count += count
+        if self.first_delivery is None:
+            self.first_delivery = time
+        self.last_delivery = time
+
+    def copy(self) -> "CountingMessageRecord":
+        return CountingMessageRecord(
+            origin=self.origin,
+            broadcast_time=self.broadcast_time,
+            receiver_count=self.receiver_count,
+            duplicate_deliveries=self.duplicate_deliveries,
+            first_delivery=self.first_delivery,
+            last_delivery=self.last_delivery,
+        )
+
+    def merge(self, other: "CountingMessageRecord") -> None:
+        self.receiver_count += other.receiver_count
+        self.duplicate_deliveries += other.duplicate_deliveries
+        if other.first_delivery is not None:
+            if self.first_delivery is None or other.first_delivery < self.first_delivery:
+                self.first_delivery = other.first_delivery
+        if other.last_delivery is not None:
+            if self.last_delivery is None or other.last_delivery > self.last_delivery:
+                self.last_delivery = other.last_delivery
+
+
+class MetricsCollector:
+    """Records everything the experiments measure.
+
+    ``aggregate=True`` selects the aggregate-only mode for very large
+    groups: message records count receivers instead of holding sets
+    (:class:`CountingMessageRecord`), per-node gauges are not recorded
+    (``sample_gauge`` is a no-op), and bulk deliveries can be folded in
+    one call (:meth:`on_deliver_bulk`). Everything else — admission
+    series, drop series, pickling, and merging shards of the *same* mode
+    — behaves identically.
+    """
+
+    def __init__(self, bucket_width: float = 1.0, aggregate: bool = False) -> None:
         self.bucket_width = bucket_width
+        self.aggregate = aggregate
         self.messages: dict[EventId, MessageRecord] = {}
         # point-event series
         self.offered = BucketSeries(bucket_width)
@@ -100,7 +180,8 @@ class MetricsCollector:
         """A broadcast passed admission control; start its record."""
         self.admitted.add(time)
         if event_id not in self.messages:
-            self.messages[event_id] = MessageRecord(origin=node, broadcast_time=time)
+            record_cls = CountingMessageRecord if self.aggregate else MessageRecord
+            self.messages[event_id] = record_cls(origin=node, broadcast_time=time)
         for early_node, early_time in self._early.pop(event_id, ()):
             self.on_deliver(early_node, event_id, early_time)
 
@@ -125,6 +206,19 @@ class MetricsCollector:
         else:
             self.duplicate_deliveries += 1
 
+    def on_deliver_bulk(self, event_id: EventId, count: int, time: float) -> None:
+        """``count`` first deliveries of one event at one instant.
+
+        Aggregate-mode fast path for bulk executors: one call per
+        (event, instant) instead of one per receiver.
+        """
+        record = self.messages.get(event_id)
+        if record is None:
+            self._early.setdefault(event_id, []).extend([(None, time)] * count)
+            return
+        record.note_bulk(count, time)
+        self.deliveries.add(time, count)
+
     def on_drop(self, node: NodeId, event_id: EventId, age: int, reason: str, time: float) -> None:
         """A buffer dropped an event; overflow drops feed the age signal."""
         if reason == "age_out":
@@ -145,6 +239,8 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def sample_gauge(self, name: str, node: NodeId, time: float, value: float) -> None:
         """Record one sample of a named per-node gauge."""
+        if self.aggregate:
+            return
         by_node = self._gauges.get(name)
         if by_node is None:
             by_node = self._gauges[name] = {}
@@ -219,6 +315,11 @@ class MetricsCollector:
         """
         if other.bucket_width != self.bucket_width:
             raise ValueError("cannot merge collectors with different bucket widths")
+        if other.aggregate != self.aggregate:
+            raise ValueError(
+                "cannot merge an aggregate-mode collector with a per-receiver "
+                "one (receiver sets and counts are not reconcilable)"
+            )
         for event_id, record in other.messages.items():
             mine = self.messages.get(event_id)
             if mine is not None and (
@@ -231,14 +332,7 @@ class MetricsCollector:
                     "with the same senders); refusing to merge them"
                 )
             if mine is None:
-                self.messages[event_id] = MessageRecord(
-                    origin=record.origin,
-                    broadcast_time=record.broadcast_time,
-                    receivers=set(record.receivers),
-                    duplicate_deliveries=record.duplicate_deliveries,
-                    first_delivery=record.first_delivery,
-                    last_delivery=record.last_delivery,
-                )
+                self.messages[event_id] = record.copy()
             else:
                 mine.merge(record)
         self.offered.merge(other.offered)

@@ -85,21 +85,23 @@ def analyze_delivery(
     duplicates = 0
     for record in records:
         n_messages += 1
-        unique += len(record.receivers)
+        # receiver_count rather than len(record.receivers): aggregate-mode
+        # collectors carry CountingMessageRecord, which has no receiver set
+        unique += record.receiver_count
         duplicates += record.duplicate_deliveries
         if size_at is None:
             denom = group_size
-            fraction = len(record.receivers) / denom
+            fraction = record.receiver_count / denom
         else:
             denom = max(1, size_at(record.broadcast_time))
             # nodes that crash and later restart may still catch a copy,
             # pushing receivers past the broadcast-time group: that is
             # "everyone alive got it, plus returners" — cap at 100%
-            fraction = min(1.0, len(record.receivers) / denom)
+            fraction = min(1.0, record.receiver_count / denom)
         frac_sum += fraction
         if fraction > threshold:
             atomic += 1
-        if len(record.receivers) >= denom:
+        if record.receiver_count >= denom:
             complete += 1
         if record.last_delivery is not None:
             latency_sum += record.last_delivery - record.broadcast_time
@@ -141,7 +143,7 @@ def atomicity_series(
         if not since <= t < until:
             continue
         b = int(t // bucket_width)
-        buckets.setdefault(b, []).append(len(record.receivers))
+        buckets.setdefault(b, []).append(record.receiver_count)
     series: list[tuple[float, float]] = []
     b = int(since // bucket_width)
     while b * bucket_width < until:

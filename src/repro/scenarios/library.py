@@ -37,7 +37,7 @@ from repro.scenarios.expectations import (
     ReliabilityAtLeast,
 )
 from repro.scenarios.registry import scenario
-from repro.scenarios.spec import ScenarioSpec, SenderSpec, WanClusters
+from repro.scenarios.spec import FixedLinks, ScenarioSpec, SenderSpec, WanClusters
 from repro.sim.network import BernoulliLoss
 
 __all__ = []  # scenarios are consumed through the registry, not imports
@@ -354,6 +354,41 @@ def congested_switch(profile: Profile) -> ScenarioSpec:
         baseline_loss=BernoulliLoss(0.01),
         senders=_senders(profile, load=0.3 * profile.offered_load),
     ).stressed(BandwidthCap(time=0.4 * d, duration=0.2 * d, rate=cap))
+
+
+@scenario(
+    "mega-flood",
+    expectations=(
+        # atomicity collapses during the spike at quick scale (plain
+        # lpbcast has no admission control to throttle it), so the gate
+        # rides the Figure 8(a) axis, which stays high at every scale
+        ReliabilityAtLeast(0.80, metric="avg_receiver_fraction"),
+        RedundancyAtMost(10.0),
+        NoDroppedSenders(),
+    ),
+)
+def mega_flood(profile: Profile) -> ScenarioSpec:
+    """A flash crowd on the round-synchronous lossless regime the
+    columnar vector executor (:mod:`repro.sim.vector`) accelerates:
+    plain lpbcast, fixed round phase, constant sub-period link delay.
+    Run it at scale with ``REPRO_PROFILE=mega run-scenario mega-flood
+    --dispatch vector``; at any other profile it behaves like a
+    jitter-free flash-crowd and stays byte-identical across dispatch
+    modes."""
+    d = profile.duration
+    return _base(
+        profile,
+        "mega-flood",
+        "flash crowd on the round-synchronous regime, vector-accelerable",
+        seed_offset=13,
+        protocol="lpbcast",
+        system=dataclasses.replace(
+            profile.system(), round_phase=0.0, round_jitter=0.0
+        ),
+        adaptive=None,
+        topology=FixedLinks(0.01),
+        senders=_senders(profile, load=0.3 * profile.offered_load),
+    ).stressed(LoadSpike(time=0.4 * d, duration=0.25 * d, factor=4.0))
 
 
 @scenario(

@@ -1,0 +1,728 @@
+"""Whole-population columnar round execution (the mega-sim lane).
+
+:class:`VectorRoundExecutor` advances *all* nodes of a round-synchronous
+lpbcast group in bulk: one registered round member per cluster (not one
+per node), population-level columns indexed by node id (buffer contents,
+dedup membership, per-node counters), one batched target-sampling pass
+per round, and one delivery fold per instant. It is a drop-in third
+dispatch mode for :class:`~repro.workload.cluster.SimCluster`
+(``dispatch="vector"``): scenarios, sweeps and expectations lower onto it
+unchanged, and a run is **byte-identical** to the per-node ``"batched"``
+path — the same RNG streams are consumed draw for draw, so the
+determinism/parity suites compare entire runs, exactly as
+``on_receive_reference`` proves the per-node fast paths.
+
+Why this can be exact
+---------------------
+The vectorized lane only engages for configurations where the per-node
+semantics provably collapse (see :func:`vector_eligible`): the baseline
+``lpbcast`` protocol, full membership, a fixed round phase with zero
+jitter, constant lossless latency shorter than the gossip period, and no
+fault/churn schedules. In that regime:
+
+* every copy of an event carries ``anchor == birth round`` (all buffers
+  advance their round counter at the same instants, broadcasts stage at
+  age 0, and receivers fold at the same global round) — so
+  ``sync_ages`` is a global no-op, age-out is simultaneous everywhere,
+  and per-(node, event) age state reduces to membership plus an arrival
+  sequence;
+* target sampling is the only RNG consumer, and
+  :func:`~repro.sim.rng.uniform_sample` over a full view is replicated
+  here index-only, draw for draw, against the same per-node
+  ``("protocol", i)`` streams;
+* the network's draw-free multicast fast path consumes no RNG and
+  applies one constant delay, so its statistics can be replicated
+  without routing messages through the heap.
+
+Anything outside that envelope (the adaptive variant, partial views,
+loss, jitter, churn, ...) transparently falls back to materialising real
+per-node protocol instances — ``dispatch="vector"`` then equals
+``"batched"`` by construction.
+
+The optional ``numpy`` fast path (``pip install .[accel]``) vectorises
+the per-instant delivery fold; it is auto-detected and produces results
+identical to the stdlib path (a property test asserts this). Per-message
+sequential folding remains as the in-module reference and handles the
+rare instants the batched fold cannot prove safe (dedup-store pressure,
+mid-instant evictions).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Optional
+
+from repro.gossip.events import EventId
+from repro.gossip.lpbcast import ProtocolStats
+from repro.sim.network import ConstantLatency, Network, NoLoss
+from repro.sim.engine import RoundDispatcher, Simulator
+
+try:  # optional accelerator — stdlib-only installs work unchanged
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on stdlib-only installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+__all__ = ["HAVE_NUMPY", "VectorNodeProtocol", "VectorRoundExecutor", "vector_eligible"]
+
+
+def vector_eligible(
+    *,
+    protocol: Any,
+    membership: str,
+    system,
+    latency,
+    loss,
+    trace: bool,
+    aggregate,
+    rate_limit,
+    n_nodes: int,
+    allow_mega: bool = True,
+) -> bool:
+    """Whether a configuration may run on the columnar mega lane.
+
+    ``allow_mega`` is the caller's veto for conditions the constructor
+    cannot see (fault/churn schedules are applied after construction —
+    the experiment harness passes ``False`` when a spec carries them).
+    """
+    if not allow_mega:
+        return False
+    if protocol != "lpbcast" or membership != "full":
+        return False
+    if system.round_phase is None or system.round_jitter:
+        return False
+    if type(latency) is not ConstantLatency:
+        return False
+    # delay must be inside one round: exactly one instant is in flight
+    # between consecutive ticks, which is what makes anchors global
+    if not latency.delay < system.gossip_period:
+        return False
+    if loss is not None and type(loss) is not NoLoss:
+        return False
+    if trace or aggregate is not None or rate_limit is not None:
+        return False
+    return n_nodes >= 2
+
+
+class _VectorBuffer:
+    """``len()``/capacity view over one node's column of the executor."""
+
+    __slots__ = ("_ex", "_node")
+
+    def __init__(self, ex: "VectorRoundExecutor", node: int) -> None:
+        self._ex = ex
+        self._node = node
+
+    def __len__(self) -> int:
+        return len(self._ex._buf[self._node])
+
+    @property
+    def capacity(self) -> int:
+        return self._ex._cap[self._node]
+
+
+class VectorNodeProtocol:
+    """Per-node facade over the executor's columns.
+
+    Quacks like :class:`~repro.gossip.lpbcast.LpbcastProtocol` for
+    everything the drivers, senders, resource scripts and the harness
+    touch: admission, capacity changes, buffer occupancy and ``stats``.
+    """
+
+    may_reply = False
+
+    __slots__ = ("node_id", "buffer", "_ex")
+
+    def __init__(self, ex: "VectorRoundExecutor", node_id: int) -> None:
+        self.node_id = node_id
+        self.buffer = _VectorBuffer(ex, node_id)
+        self._ex = ex
+
+    def broadcast(self, payload: Any, now: float) -> EventId:
+        return self._ex._broadcast(self.node_id, payload, now)
+
+    def try_broadcast(self, payload: Any, now: float) -> Optional[EventId]:
+        return self._ex._broadcast(self.node_id, payload, now)
+
+    def time_until_admission(self, now: float) -> float:
+        return 0.0
+
+    @property
+    def allowed_rate(self) -> Optional[float]:
+        return None
+
+    def set_buffer_capacity(self, capacity: int, now: float) -> None:
+        self._ex._set_capacity(self.node_id, capacity, now)
+
+    @property
+    def buffer_capacity(self) -> int:
+        return self._ex._cap[self.node_id]
+
+    @property
+    def stats(self) -> ProtocolStats:
+        return self._ex._stats_of(self.node_id)
+
+
+class _VectorNode:
+    """What ``cluster.nodes[i]`` holds on the mega lane."""
+
+    __slots__ = ("node_id", "protocol")
+
+    def __init__(self, node_id: int, protocol: VectorNodeProtocol) -> None:
+        self.node_id = node_id
+        self.protocol = protocol
+
+
+class VectorRoundExecutor:
+    """Advance an entire round-synchronous lpbcast group per round.
+
+    State is columnar: one entry per node id in flat lists/arrays, one
+    row per live event. Per round the executor ages out expired events
+    globally, samples every node's gossip targets in one pass (consuming
+    each node's own RNG stream exactly as the per-node path would),
+    replicates the network's draw-free multicast accounting, and folds
+    the whole instant's deliveries in bulk when it reaches the wire.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        collector,
+        system,
+        n_nodes: int,
+        latency: ConstantLatency,
+        rounds: RoundDispatcher,
+        sample_gauges: bool = True,
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        if use_numpy is None:
+            use_numpy = HAVE_NUMPY
+        elif use_numpy and not HAVE_NUMPY:
+            raise RuntimeError("numpy requested but not installed (pip install .[accel])")
+        self.sim = sim
+        self.collector = collector
+        self.system = system
+        self.n = n_nodes
+        self.net_stats = network.stats
+        self._np = _np if use_numpy else None
+        self._delay = latency.delay
+        self._sample_gauges = sample_gauges and not getattr(collector, "aggregate", False)
+        self._fanout = system.fanout
+        self._max_age = system.max_age
+        self._dedup_cap = system.dedup_capacity
+        self._tlen = min(system.fanout, n_nodes - 1)
+        self._cap = [system.buffer_capacity] * n_nodes
+        self._round = 0
+        self._next_seq = [0] * n_nodes
+        # the same per-node streams the per-node path draws from
+        self._getrandbits = [
+            sim.rngs.stream("protocol", i).getrandbits for i in range(n_nodes)
+        ]
+        # global event columns (index = event ordinal)
+        self._eids: list[EventId] = []
+        self._birth: list[int] = []
+        self._by_birth: dict[int, list[int]] = {}
+        # per-node columns
+        self._buf: list[dict[int, int]] = [{} for _ in range(n_nodes)]
+        self._arrival = [0] * n_nodes
+        self._known: list[dict[int, None]] = [{} for _ in range(n_nodes)]
+        self._known_peak = 0
+        # numpy mirrors (live events only; rows freed on age-out)
+        if self._np is not None:
+            self._K: dict[int, Any] = {}  # event -> bool row: known by node d
+            self._H: dict[int, Any] = {}  # event -> bool row: buffered at node d
+            self._nknown: dict[int, int] = {}
+            self._unsat: dict[int, None] = {}  # live events known by < n nodes
+        else:
+            self._holders: dict[int, list[int]] = {}
+        # per-node protocol counters
+        z = self._zeros
+        self._st_broadcasts = z()
+        self._st_received = z()
+        self._st_delivered = z()
+        self._st_dups = z()
+        self._st_drop_over = z()
+        self._st_drop_age = z()
+        self._st_drop_resize = z()
+        # mutation tracking between a tick and its delivery fold: the
+        # log reconstructs tick-time buffer snapshots, the flag tells
+        # the batched fold whether any eviction invalidated its
+        # captured holder rows
+        self._tick_log: list[tuple] = []
+        self._evicted_since_tick = False
+        self._snap_cache: dict[int, tuple] = {}
+        self.nodes: dict[int, _VectorNode] = {
+            i: _VectorNode(i, VectorNodeProtocol(self, i)) for i in range(n_nodes)
+        }
+        self._member = rounds.add(
+            self._on_round,
+            system.gossip_period,
+            phase=system.round_phase,
+            jitter=system.round_jitter,
+        )
+
+    def _zeros(self):
+        if self._np is not None:
+            return self._np.zeros(self.n, dtype=self._np.int64)
+        return [0] * self.n
+
+    # ------------------------------------------------------------------
+    # the round tick
+    # ------------------------------------------------------------------
+    def _on_round(self) -> None:
+        sim = self.sim
+        now = sim.now
+        self._round += 1
+        self._age_out(now)
+        self._tick_log = []
+        self._evicted_since_tick = False
+        n = self.n
+        k = self._tlen
+        buf = self._buf
+        # --- one sampling pass for the whole population -------------------
+        # Index-only replica of uniform_sample over each node's full view:
+        # peers are [0..n-1] minus the owner, so peer index j maps to node
+        # id j (j < i) or j + 1 (j >= i). Draws match rng.sample exactly.
+        getrandbits = self._getrandbits
+        rows: list[list[int]] = [[]] * n
+        m = n - 1
+        if k >= m:
+            # count >= len(peers): the full view returns every peer,
+            # consuming no draws at all
+            all_ids = list(range(n))
+            for i in range(n):
+                rows[i] = all_ids[:i] + all_ids[i + 1 :]
+        else:
+            setsize = 21  # stdlib heuristic: set cost vs copying the pool
+            if k > 5:
+                setsize += 4 ** math.ceil(math.log(k * 3, 4))
+            if m <= setsize:
+                base_pool = list(range(m))
+                for i in range(n):
+                    grb = getrandbits[i]
+                    pool = base_pool.copy()
+                    row = [0] * k
+                    for t in range(k):
+                        bound = m - t
+                        bits = bound.bit_length()
+                        j = grb(bits)
+                        while j >= bound:
+                            j = grb(bits)
+                        v = pool[j]
+                        pool[j] = pool[bound - 1]
+                        row[t] = v if v < i else v + 1
+                    rows[i] = row
+            else:
+                bits = m.bit_length()
+                for i in range(n):
+                    grb = getrandbits[i]
+                    selected: set[int] = set()
+                    add = selected.add
+                    row = [0] * k
+                    for t in range(k):
+                        j = grb(bits)
+                        while j >= m or j in selected:
+                            j = grb(bits)
+                        add(j)
+                        row[t] = j if j < i else j + 1
+                    rows[i] = row
+        # --- emission accounting (the draw-free multicast fast path) ------
+        sizes = [len(b) for b in buf]
+        ns = self.net_stats
+        ns.sent += n * k
+        ns.payload_items += sum(sizes) * k
+        if self._sample_gauges:
+            sample_gauge = self.collector.sample_gauge
+            for i in range(n):
+                sample_gauge("buffer_len", i, now, sizes[i])
+        # holder rows of unsaturated live events, captured at tick time —
+        # these are the only events anyone can still receive for the
+        # first time this instant
+        unsat_snap: list[tuple] = []
+        if self._np is not None:
+            flatnonzero = self._np.flatnonzero
+            H = self._H
+            for e in self._unsat:
+                em = flatnonzero(H[e])
+                if em.size:
+                    unsat_snap.append((e, em))
+        sim.post(self._delay, self._deliver_instant, rows, sizes, unsat_snap)
+
+    def _age_out(self, now: float) -> None:
+        expired = self._by_birth.pop(self._round - self._max_age - 1, None)
+        if not expired:
+            return
+        buf = self._buf
+        drops = self._st_drop_age
+        np_ = self._np
+        total = 0
+        for e in expired:
+            if np_ is not None:
+                hs = np_.flatnonzero(self._H[e])
+                drops[hs] += 1  # holder sets are duplicate-free
+                holders = hs.tolist()
+                for d in holders:
+                    del buf[d][e]
+                del self._K[e], self._H[e], self._nknown[e]
+                self._unsat.pop(e, None)
+            else:
+                holders = [
+                    d for d in dict.fromkeys(self._holders.pop(e, ())) if e in buf[d]
+                ]
+                for d in holders:
+                    del buf[d][e]
+                    drops[d] += 1
+            total += len(holders)
+        # age-out accounting is population-wide and carries no per-node
+        # payload (unlike overflow's drop-age signal), so one weighted
+        # series add replaces len(holders) identical on_drop calls —
+        # integer-valued float adds, exactly equal either way
+        if total:
+            self.collector.drops_age_out.add(now, total)
+
+    # ------------------------------------------------------------------
+    # the delivery instant
+    # ------------------------------------------------------------------
+    def _deliver_instant(self, rows, sizes, unsat_snap) -> None:
+        # Mirrors Network._deliver_batch: arrivals land first, and one
+        # same-instant re-post orders the fold after every event already
+        # scheduled for this timestamp (sender ticks included).
+        self.sim.post(0.0, self._fold_instant, rows, sizes, unsat_snap)
+
+    def _fold_instant(self, rows, sizes, unsat_snap) -> None:
+        now = self.sim.now
+        self.net_stats.delivered += self.n * self._tlen
+        self._snap_cache = {}
+        # The batched fold assumes tick-time holder rows are still holders
+        # and that no dedup store can overflow this instant; otherwise the
+        # per-message reference fold replays the exact sequential semantics.
+        if (
+            self._np is not None
+            and not self._evicted_since_tick
+            and self._known_peak + len(unsat_snap) <= self._dedup_cap
+        ):
+            self._fold_batched(rows, sizes, unsat_snap, now)
+        else:
+            self._fold_sequential(rows, now)
+
+    def _fold_batched(self, rows, sizes, unsat_snap, now: float) -> None:
+        np_ = self._np
+        n = self.n
+        k = self._tlen
+        tflat = np_.fromiter(
+            itertools.chain.from_iterable(rows), dtype=np_.intp, count=n * k
+        )
+        counts = np_.bincount(tflat, minlength=n)
+        items = np_.bincount(
+            tflat, weights=np_.repeat(np_.asarray(sizes, dtype=np_.float64), k), minlength=n
+        )
+        self._st_received += counts
+        T = tflat.reshape(n, k)
+        K = self._K
+        H = self._H
+        buf = self._buf
+        nknown = self._nknown
+        unsat = self._unsat
+        # first receipts: for each still-spreading event, the lowest
+        # emitter that holds it and targeted a node unaware of it wins.
+        # The (s, position-at-s) ordering keys are read here, *before*
+        # any staging/eviction mutates a buffer — nothing has been
+        # evicted since tick, so buf[s][e] is still the position e held
+        # in s's emitted summary.
+        d_parts: list = []
+        s_parts: list = []
+        p_parts: list = []
+        deliveries: list[tuple[int, int]] = []  # (event, receiver count)
+        for e, emitters in unsat_snap:
+            cand = T[emitters].ravel()
+            mask = ~K[e][cand]
+            if not mask.any():
+                continue
+            cd = cand[mask]
+            cs = np_.repeat(emitters, k)[mask]
+            order = np_.lexsort((cs, cd))
+            cd = cd[order]
+            cs = cs[order]
+            keep = np_.ones(cd.shape[0], dtype=bool)
+            keep[1:] = cd[1:] != cd[:-1]
+            cd = cd[keep]
+            cs = cs[keep]
+            be = buf.__getitem__
+            pos = np_.fromiter(
+                (be(s)[e] for s in cs.tolist()), dtype=np_.int64, count=cd.shape[0]
+            )
+            K[e][cd] = True
+            H[e][cd] = True
+            nk = nknown[e] + cd.shape[0]
+            nknown[e] = nk
+            if nk >= n:
+                unsat.pop(e, None)
+            d_parts.append(cd)
+            s_parts.append(cs)
+            p_parts.append(pos)
+            deliveries.append((e, cd.shape[0]))
+        collector = self.collector
+        aggregate = getattr(collector, "aggregate", False)
+        eids = self._eids
+        known = self._known
+        cap = self._cap
+        arrival = self._arrival
+        new_counts = np_.zeros(n, dtype=np_.int64)
+        if d_parts:
+            D = np_.concatenate(d_parts)
+            S = np_.concatenate(s_parts)
+            P = np_.concatenate(p_parts)
+            E = np_.concatenate(
+                [np_.full(c, e, dtype=np_.int64) for e, c in deliveries]
+            )
+            # one global sort gives every receiver its fold order:
+            # emitter id, then the event's position in that emitter's
+            # summary — exactly the sequential per-message order
+            order = np_.lexsort((P, S, D))
+            new_counts += np_.bincount(D, minlength=n)
+            peak = self._known_peak
+            prev_d = -1
+            kd = bd = None
+            arr = 0
+            for d, e in zip(D[order].tolist(), E[order].tolist()):
+                if d != prev_d:
+                    if prev_d >= 0:
+                        arrival[prev_d] = arr
+                        if len(kd) > peak:
+                            peak = len(kd)
+                        if len(bd) > cap[prev_d]:
+                            self._evict_overflow(prev_d, now, "overflow")
+                    prev_d = d
+                    kd = known[d]
+                    bd = buf[d]
+                    arr = arrival[d]
+                kd[e] = None
+                bd[e] = arr
+                arr += 1
+                if not aggregate:
+                    collector.on_deliver(d, eids[e], now)
+            arrival[prev_d] = arr
+            if len(kd) > peak:
+                peak = len(kd)
+            if len(bd) > cap[prev_d]:
+                self._evict_overflow(prev_d, now, "overflow")
+            self._known_peak = peak
+            self._st_delivered += new_counts
+            if aggregate:
+                bulk = collector.on_deliver_bulk
+                for e, c in deliveries:
+                    bulk(eids[e], c, now)
+        self._st_dups += items.astype(np_.int64) - new_counts
+
+    def _fold_sequential(self, rows, now: float) -> None:
+        """Per-message reference fold: exactly ``_receive_many`` per node."""
+        inbox: dict[int, list[int]] = {}
+        for s, row in enumerate(rows):
+            for d in row:
+                q = inbox.get(d)
+                if q is None:
+                    inbox[d] = [s]
+                else:
+                    q.append(s)
+        known = self._known
+        buf = self._buf
+        st_received = self._st_received
+        st_delivered = self._st_delivered
+        st_dups = self._st_dups
+        collector = self.collector
+        eids = self._eids
+        np_ = self._np
+        log = self._tick_log
+        dedup_cap = self._dedup_cap
+        for d, emitters in inbox.items():
+            st_received[d] += len(emitters)
+            kd = known[d]
+            kd_keys = kd.keys()
+            bd = buf[d]
+            dups_d = 0
+            for s in emitters:
+                ids, idset = self._tick_snapshot(s)
+                if not ids:
+                    continue
+                if kd_keys >= idset:
+                    # steady state: every summary a duplicate — nothing
+                    # staged, no overflow possible, ages already global
+                    dups_d += len(ids)
+                    continue
+                arr = self._arrival[d]
+                for e in ids:
+                    if e in kd:
+                        dups_d += 1
+                        continue
+                    kd[e] = None
+                    st_delivered[d] += 1
+                    collector.on_deliver(d, eids[e], now)
+                    if e in bd:
+                        raise ValueError(f"event {eids[e]!r} already buffered")
+                    bd[e] = arr
+                    arr += 1
+                    log.append(("stage", d, e))
+                    if np_ is not None:
+                        self._K[e][d] = True
+                        self._H[e][d] = True
+                        nk = self._nknown[e] + 1
+                        self._nknown[e] = nk
+                        if nk >= self.n:
+                            self._unsat.pop(e, None)
+                    else:
+                        hl = self._holders.get(e)
+                        if hl is None:
+                            self._holders[e] = [d]
+                        else:
+                            hl.append(d)
+                self._arrival[d] = arr
+                if len(kd) > dedup_cap:
+                    self._trim_known(d)
+                elif len(kd) > self._known_peak:
+                    self._known_peak = len(kd)
+                if len(bd) > self._cap[d]:
+                    self._evict_overflow(d, now, "overflow")
+            if dups_d:
+                st_dups[d] += dups_d
+
+    def _tick_snapshot(self, s: int) -> tuple[tuple, frozenset]:
+        """What node ``s`` emitted this instant: its buffer at tick time.
+
+        Reconstructed from the live buffer by undoing the stage/evict log
+        in reverse — zero copies on the common no-mutation instants.
+        """
+        snap = self._snap_cache.get(s)
+        if snap is not None:
+            return snap
+        mutations = [entry for entry in self._tick_log if entry[1] == s]
+        if not mutations:
+            ids = tuple(self._buf[s])
+        else:
+            d = dict(self._buf[s])
+            for entry in reversed(mutations):
+                if entry[0] == "stage":
+                    d.pop(entry[2], None)
+                else:
+                    d[entry[2]] = entry[3]
+            ids = tuple(e for e, _arr in sorted(d.items(), key=lambda kv: kv[1]))
+        snap = (ids, frozenset(ids))
+        self._snap_cache[s] = snap
+        return snap
+
+    # ------------------------------------------------------------------
+    # facade entry points
+    # ------------------------------------------------------------------
+    def _broadcast(self, i: int, payload: Any, now: float) -> EventId:
+        e = len(self._eids)
+        eid = EventId(i, self._next_seq[i])
+        self._next_seq[i] += 1
+        self._eids.append(eid)
+        birth = self._round
+        self._birth.append(birth)
+        bb = self._by_birth.get(birth)
+        if bb is None:
+            self._by_birth[birth] = [e]
+        else:
+            bb.append(e)
+        kd = self._known[i]
+        kd[e] = None
+        if len(kd) > self._dedup_cap:
+            self._trim_known(i)
+        elif len(kd) > self._known_peak:
+            self._known_peak = len(kd)
+        self._st_broadcasts[i] += 1
+        self._st_delivered[i] += 1
+        # parked by the collector until the sender's on_admitted lands
+        self.collector.on_deliver(i, eid, now)
+        np_ = self._np
+        if np_ is not None:
+            row = np_.zeros(self.n, dtype=bool)
+            row[i] = True
+            self._K[e] = row
+            self._H[e] = row.copy()
+            self._nknown[e] = 1
+            if self.n > 1:
+                self._unsat[e] = None
+        else:
+            self._holders[e] = [i]
+        bd = self._buf[i]
+        bd[e] = self._arrival[i]
+        self._arrival[i] += 1
+        self._tick_log.append(("stage", i, e))
+        if len(bd) > self._cap[i]:
+            self._evict_overflow(i, now, "overflow")
+        return eid
+
+    def _set_capacity(self, i: int, capacity: int, now: float) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self._cap[i] = int(capacity)
+        self._evict_overflow(i, now, "resize")
+
+    # ------------------------------------------------------------------
+    # shared mutation helpers
+    # ------------------------------------------------------------------
+    def _evict_overflow(self, d: int, now: float, reason: str) -> None:
+        bd = self._buf[d]
+        excess = len(bd) - self._cap[d]
+        if excess <= 0:
+            return
+        self._evicted_since_tick = True
+        birth = self._birth
+        victims = heapq.nsmallest(
+            excess, ((birth[e], arr, e) for e, arr in bd.items())
+        )
+        st = self._st_drop_over if reason == "overflow" else self._st_drop_resize
+        eids = self._eids
+        collector = self.collector
+        log = self._tick_log
+        np_ = self._np
+        round_ = self._round
+        for b, arr, e in victims:
+            del bd[e]
+            log.append(("evict", d, e, arr))
+            if np_ is not None:
+                self._H[e][d] = False
+            st[d] += 1
+            collector.on_drop(d, eids[e], round_ - b, reason, now)
+
+    def _trim_known(self, d: int) -> None:
+        kd = self._known[d]
+        excess = len(kd) - self._dedup_cap
+        if excess <= 0:
+            return
+        np_ = self._np
+        for e in list(itertools.islice(iter(kd), excess)):
+            del kd[e]
+            if np_ is not None:
+                row = self._K.get(e)
+                if row is not None and row[d]:
+                    row[d] = False
+                    self._nknown[e] -= 1
+                    self._unsat[e] = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def _stats_of(self, i: int) -> ProtocolStats:
+        return ProtocolStats(
+            rounds=self._round,
+            broadcasts=int(self._st_broadcasts[i]),
+            messages_sent=self._round * self._tlen,
+            messages_received=int(self._st_received[i]),
+            events_delivered=int(self._st_delivered[i]),
+            duplicates_seen=int(self._st_dups[i]),
+            drops_overflow=int(self._st_drop_over[i]),
+            drops_age_out=int(self._st_drop_age[i]),
+            drops_resize=int(self._st_drop_resize[i]),
+            drops_obsolete=0,
+        )
+
+    @property
+    def live_events(self) -> int:
+        """Number of events still circulating (diagnostics)."""
+        return sum(len(v) for v in self._by_birth.values())

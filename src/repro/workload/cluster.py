@@ -45,6 +45,7 @@ from repro.sim.engine import RoundDispatcher, Simulator
 from repro.sim.network import LatencyModel, LossModel, Network, UniformLatency
 from repro.sim.process import SimProcess
 from repro.sim.trace import TraceLog
+from repro.sim.vector import VectorRoundExecutor, vector_eligible
 from repro.workload.senders import PeriodicArrivals, Sender
 
 __all__ = ["ClusterNode", "SimCluster", "make_protocol_factory", "ProtocolFactory"]
@@ -188,7 +189,19 @@ class SimCluster(Driver):
     trace:
         Enable the structured trace log (slower; for debugging/tests).
     dispatch:
-        ``"batched"`` (default) or ``"timers"`` — see the module docstring.
+        ``"batched"`` (default), ``"timers"``, or ``"vector"`` — see the
+        module docstring and :mod:`repro.sim.vector`.
+    aggregate_metrics:
+        Aggregate-only metrics (no per-node receiver sets or gauges) —
+        the memory mode for 10k+-node runs.
+    allow_mega:
+        Permission for ``dispatch="vector"`` to use the whole-population
+        columnar lane when the configuration qualifies. Callers that will
+        apply fault/churn schedules after construction pass ``False``
+        (the harness does this automatically).
+    vector_numpy:
+        Force the vector lane's numpy fast path on/off; ``None``
+        auto-detects. Results are identical either way.
     """
 
     def __init__(
@@ -208,6 +221,9 @@ class SimCluster(Driver):
         trace: bool = False,
         sample_gauges: bool = True,
         dispatch: str = "batched",
+        aggregate_metrics: bool = False,
+        allow_mega: bool = True,
+        vector_numpy: Optional[bool] = None,
     ) -> None:
         super().__init__(
             n_nodes,
@@ -217,17 +233,17 @@ class SimCluster(Driver):
             rate_limit=rate_limit,
             aggregate=aggregate,
             bucket_width=bucket_width,
+            aggregate_metrics=aggregate_metrics,
         )
-        if dispatch not in ("batched", "timers"):
+        if dispatch not in ("batched", "timers", "vector"):
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.dispatch = dispatch
         self.sim = Simulator(seed=seed, trace=TraceLog(enabled=trace))
-        self.network = Network(
-            self.sim,
-            latency=latency if latency is not None else UniformLatency(0.005, 0.05),
-            loss=loss,
+        resolved_latency = latency if latency is not None else UniformLatency(0.005, 0.05)
+        self.network = Network(self.sim, latency=resolved_latency, loss=loss)
+        self.rounds = (
+            RoundDispatcher(self.sim) if dispatch in ("batched", "vector") else None
         )
-        self.rounds = RoundDispatcher(self.sim) if dispatch == "batched" else None
         self.membership_kind = membership
         self.view_config = view_config
         self.nodes: dict[NodeId, ClusterNode] = {}
@@ -235,8 +251,39 @@ class SimCluster(Driver):
         self._sample_gauges = sample_gauges
         # group size over time, for delivery analysis under churn
         self._size_log: list[tuple[float, int]] = []
-        for node_id in range(n_nodes):
-            self._spawn_node(node_id)
+        # The vector dispatch mode routes qualifying configurations onto
+        # the whole-population columnar lane; everything else (and both
+        # classic modes) materialises real per-node protocol instances,
+        # for which vector dispatch is identical to batched.
+        self.vector: Optional[VectorRoundExecutor] = None
+        if dispatch == "vector" and vector_eligible(
+            protocol=protocol,
+            membership=membership,
+            system=self.system,
+            latency=resolved_latency,
+            loss=loss,
+            trace=trace,
+            aggregate=aggregate,
+            rate_limit=rate_limit,
+            n_nodes=n_nodes,
+            allow_mega=allow_mega,
+        ):
+            self.vector = VectorRoundExecutor(
+                self.sim,
+                self.network,
+                self.metrics,
+                self.system,
+                n_nodes,
+                resolved_latency,
+                self.rounds,
+                sample_gauges=sample_gauges,
+                use_numpy=vector_numpy,
+            )
+            self.nodes.update(self.vector.nodes)
+            self._log_size()
+        else:
+            for node_id in range(n_nodes):
+                self._spawn_node(node_id)
 
     # ------------------------------------------------------------------
     # construction
@@ -343,12 +390,22 @@ class SimCluster(Driver):
         """Schedule a scenario action at an absolute simulation time."""
         self.sim.schedule_at(time, fn)
 
+    def _require_dynamic(self, operation: str) -> None:
+        if self.vector is not None:
+            raise RuntimeError(
+                f"{operation} is not supported on the vectorized mega lane; "
+                "construct the cluster with allow_mega=False (the harness "
+                "does this for specs carrying fault/churn schedules)"
+            )
+
     def join_node(self, node_id: NodeId) -> ClusterNode:
         """Add a fresh node to the running group."""
+        self._require_dynamic("join_node")
         return self._spawn_node(node_id)
 
     def leave_node(self, node_id: NodeId) -> None:
         """Graceful departure: announce unsubscription, then stop."""
+        self._require_dynamic("leave_node")
         node = self.nodes.pop(node_id, None)
         if node is None:
             return
@@ -362,6 +419,7 @@ class SimCluster(Driver):
 
     def crash_node(self, node_id: NodeId) -> None:
         """Silent failure: the node just stops (no unsubscription)."""
+        self._require_dynamic("crash_node")
         node = self.nodes.pop(node_id, None)
         if node is None:
             return
@@ -372,6 +430,7 @@ class SimCluster(Driver):
 
     def apply_churn(self, script: ChurnScript) -> None:
         """Schedule a churn script's events on the simulator."""
+        self._require_dynamic("apply_churn")
         for event in script.sorted_events():
             action = {
                 "join": self.join_node,
@@ -387,6 +446,7 @@ class SimCluster(Driver):
         nodes; ``baseline_loss`` is what loss windows restore on close
         (defaults to a perfect network).
         """
+        self._require_dynamic("apply_faults")
         script.apply(self.sim, self.network, baseline_loss=baseline_loss, cluster=self)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,147 @@
+"""The collector's aggregate-only mode: the memory shape for 10k+ nodes.
+
+Aggregate mode swaps per-message receiver *sets* for receiver *counts*
+(:class:`CountingMessageRecord`), turns ``sample_gauge`` into a no-op,
+and accepts bulk delivery folds — while keeping the time-bucketed
+series, pickling, and shard merging contracts intact. The memory-guard
+test runs a real 10k-node vector simulation and checks nothing
+per-node leaked into the collector.
+"""
+
+import pickle
+
+import pytest
+
+from repro.gossip.config import SystemConfig
+from repro.gossip.events import EventId
+from repro.metrics.collector import (
+    CountingMessageRecord,
+    MessageRecord,
+    MetricsCollector,
+)
+from repro.metrics.delivery import analyze_delivery
+from repro.sim.network import ConstantLatency
+from repro.workload.cluster import SimCluster
+
+E = EventId(0, 0)
+
+
+def test_aggregate_records_count_receivers():
+    m = MetricsCollector(aggregate=True)
+    m.on_admitted(0, E, 1.0)
+    record = m.messages[E]
+    assert isinstance(record, CountingMessageRecord)
+    m.on_deliver(3, E, 1.5)
+    m.on_deliver(3, E, 1.6)  # aggregate mode cannot dedup — counts both
+    m.on_deliver_bulk(E, 40, 2.0)
+    assert record.receiver_count == 42
+    assert record.first_delivery == 1.5
+    assert record.last_delivery == 2.0
+    assert m.deliveries.total == 42.0
+
+
+def test_aggregate_bulk_deliveries_park_until_admission():
+    """Bulk counts arriving before the admission record must survive,
+    exactly like early per-node deliveries in the full mode."""
+    m = MetricsCollector(aggregate=True)
+    m.on_deliver_bulk(E, 7, 0.5)
+    m.on_admitted(0, E, 1.0)
+    assert m.messages[E].receiver_count == 7
+
+
+def test_aggregate_gauges_are_not_recorded():
+    m = MetricsCollector(aggregate=True)
+    m.sample_gauge("buffer_len", 3, 1.0, 12.0)
+    assert m.gauge("buffer_len", 3) is None
+    assert m.gauge_nodes("buffer_len") == []
+
+
+def test_aggregate_records_feed_delivery_analysis():
+    m = MetricsCollector(aggregate=True)
+    m.on_admitted(0, E, 1.0)
+    m.on_deliver_bulk(E, 9, 2.0)
+    stats = analyze_delivery(m.messages.values(), group_size=10)
+    assert stats.avg_receiver_fraction == pytest.approx(0.9)
+    assert stats.complete_fraction == 0.0
+    assert stats.unique_deliveries == 9
+
+
+def test_aggregate_shards_merge():
+    a = MetricsCollector(aggregate=True)
+    b = MetricsCollector(aggregate=True)
+    a.on_admitted(0, E, 1.0)
+    a.on_deliver_bulk(E, 5, 2.0)
+    b.on_admitted(0, E, 1.0)
+    b.on_deliver_bulk(E, 3, 1.5)
+    other = EventId(1, 0)
+    b.on_admitted(1, other, 2.5)
+    b.on_deliver(4, other, 3.0)
+    a.merge(b)
+    assert a.messages[E].receiver_count == 8
+    assert a.messages[E].first_delivery == 1.5
+    assert a.messages[other].receiver_count == 1
+    # merged-in records are copies: mutating the shard afterwards must
+    # not corrupt the merged collector
+    b.messages[other].note_bulk(10, 4.0)
+    assert a.messages[other].receiver_count == 1
+
+
+def test_merge_refuses_mixed_modes():
+    """Receiver sets and receiver counts are not reconcilable."""
+    full = MetricsCollector()
+    aggregate = MetricsCollector(aggregate=True)
+    with pytest.raises(ValueError, match="aggregate"):
+        full.merge(aggregate)
+    with pytest.raises(ValueError, match="aggregate"):
+        aggregate.merge(full)
+
+
+def test_aggregate_collector_pickles():
+    m = MetricsCollector(aggregate=True)
+    m.on_admitted(0, E, 1.0)
+    m.on_deliver_bulk(E, 5, 2.0)
+    clone = pickle.loads(pickle.dumps(m))
+    assert clone.aggregate is True
+    assert clone.messages[E].receiver_count == 5
+    clone.on_deliver_bulk(E, 2, 3.0)
+    assert clone.messages[E].receiver_count == 7
+
+
+def test_full_mode_record_exposes_receiver_count():
+    """The shared accessor the analysis layer uses in both modes."""
+    record = MessageRecord(origin=0, broadcast_time=1.0)
+    record.note_delivery(3, 2.0)
+    record.note_delivery(4, 2.5)
+    assert record.receiver_count == 2
+
+
+def test_ten_thousand_node_run_keeps_collector_aggregate():
+    """The memory guard: a real 10k-node vector run must leave no
+    per-node structure in the collector — counting records only, no
+    gauges, no receiver sets."""
+    cluster = SimCluster(
+        n_nodes=10_000,
+        system=SystemConfig(
+            fanout=4,
+            buffer_capacity=30,
+            dedup_capacity=80_000,
+            max_age=8,
+            round_phase=0.0,
+            round_jitter=0.0,
+        ),
+        protocol="lpbcast",
+        seed=2003,
+        latency=ConstantLatency(0.01),
+        dispatch="vector",
+        sample_gauges=False,
+        aggregate_metrics=True,
+    )
+    cluster.add_senders([0, 5000], rate_each=0.5)
+    cluster.run(until=8.0)
+    m = cluster.metrics
+    assert cluster.vector is not None
+    assert m.deliveries.total > 0
+    assert m._gauges == {}
+    for record in m.messages.values():
+        assert isinstance(record, CountingMessageRecord)
+        assert not hasattr(record, "receivers")

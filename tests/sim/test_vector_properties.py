@@ -1,0 +1,204 @@
+"""Property-based equivalence of the columnar vector executor.
+
+Hypothesis draws small gossip configurations and checks that
+``dispatch="vector"`` reproduces ``dispatch="batched"`` byte for byte,
+on both of the vector mode's lanes:
+
+* the round-synchronous lossless regime routes onto the columnar mega
+  lane (:class:`repro.sim.vector.VectorRoundExecutor`), which must
+  replicate the per-node protocol exactly — same RNG draws, same
+  buffer evictions, same metrics — with and without numpy;
+* every other configuration (jittered rounds, lossy links, churn)
+  falls back to real per-node protocols and must be identical by
+  construction.
+
+Drop *ages* are compared as multisets: within one delivery instant the
+per-node path evicts per message while the mega lane evicts once at
+the end of the instant — provably the same drop set, but possibly a
+different recording order.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AdaptiveConfig
+from repro.experiments.harness import RunSpec, run_once
+from repro.gossip.config import SystemConfig
+from repro.membership.churn import ChurnScript
+from repro.sim.network import BernoulliLoss, ConstantLatency, UniformLatency
+from repro.workload.cluster import SimCluster
+
+# ample dedup relative to the event rate: an undersized dedup table can
+# re-admit a still-buffered event (a known artefact of the real protocol,
+# not the executor), which is outside the equivalence under test
+DEDUP = 2000
+
+
+def _fingerprint(cluster: SimCluster) -> tuple:
+    m = cluster.metrics
+    records = tuple(
+        sorted(
+            (
+                repr(eid),
+                rec.broadcast_time,
+                rec.receiver_count,
+                rec.duplicate_deliveries,
+                rec.first_delivery,
+                rec.last_delivery,
+            )
+            for eid, rec in m.messages.items()
+        )
+    )
+    stats = tuple(repr(cluster.nodes[i].protocol.stats) for i in sorted(cluster.nodes))
+    net = cluster.network.stats
+    return (
+        m.admitted.total,
+        m.deliveries.total,
+        m.drops_overflow.total,
+        m.drops_age_out.total,
+        tuple(sorted(m.drop_ages)),
+        records,
+        stats,
+        (net.sent, net.delivered, net.payload_items),
+    )
+
+
+# ----------------------------------------------------------------------
+# lane 1: the columnar mega lane vs the real per-node protocols
+# ----------------------------------------------------------------------
+mega_configs = st.fixed_dictionaries(
+    {
+        "n_nodes": st.integers(2, 32),
+        "fanout": st.integers(1, 6),
+        "buffer_capacity": st.integers(3, 12),
+        "max_age": st.integers(2, 6),
+        "delay": st.floats(0.005, 0.9),
+        "rate": st.floats(2.0, 10.0),
+        "n_senders": st.integers(1, 3),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+def _mega_cluster(cfg: dict, dispatch: str, vector_numpy=None) -> SimCluster:
+    system = SystemConfig(
+        fanout=cfg["fanout"],
+        gossip_period=1.0,
+        buffer_capacity=cfg["buffer_capacity"],
+        dedup_capacity=DEDUP,
+        max_age=cfg["max_age"],
+        round_jitter=0.0,
+        round_phase=0.0,
+    )
+    cluster = SimCluster(
+        n_nodes=cfg["n_nodes"],
+        system=system,
+        protocol="lpbcast",
+        seed=cfg["seed"],
+        latency=ConstantLatency(cfg["delay"]),
+        dispatch=dispatch,
+        vector_numpy=vector_numpy,
+    )
+    senders = [i * (cfg["n_nodes"] // cfg["n_senders"] or 1) % cfg["n_nodes"]
+               for i in range(cfg["n_senders"])]
+    cluster.add_senders(sorted(set(senders)), rate_each=cfg["rate"])
+    cluster.run(until=12.0)
+    return cluster
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=mega_configs)
+def test_mega_lane_matches_batched(cfg):
+    batched = _mega_cluster(cfg, "batched")
+    vector = _mega_cluster(cfg, "vector")
+    assert vector.vector is not None, "config should route onto the mega lane"
+    assert _fingerprint(batched) == _fingerprint(vector)
+
+
+@settings(max_examples=8, deadline=None)
+@given(cfg=mega_configs)
+def test_mega_lane_numpy_matches_stdlib(cfg):
+    auto = _mega_cluster(cfg, "vector", vector_numpy=None)
+    stdlib = _mega_cluster(cfg, "vector", vector_numpy=False)
+    assert auto.vector is not None and stdlib.vector is not None
+    assert _fingerprint(auto) == _fingerprint(stdlib)
+
+
+# ----------------------------------------------------------------------
+# lane 2: ineligible configs fall back to per-node protocols
+# ----------------------------------------------------------------------
+fallback_specs = st.fixed_dictionaries(
+    {
+        "n_nodes": st.integers(4, 64),
+        "protocol": st.sampled_from(["lpbcast", "adaptive"]),
+        "loss_p": st.one_of(st.none(), st.floats(0.01, 0.25)),
+        "jittered": st.booleans(),
+        "churn": st.booleans(),
+        "uniform_latency": st.booleans(),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+def _fallback_spec(cfg: dict, dispatch: str) -> RunSpec:
+    # jitter-free configs stay ineligible through the latency model,
+    # the loss model, the protocol kind, or the churn veto
+    system = SystemConfig(
+        buffer_capacity=8,
+        dedup_capacity=DEDUP,
+        max_age=5,
+        round_jitter=0.05 if cfg["jittered"] else 0.0,
+        round_phase=None if cfg["jittered"] else 0.0,
+    )
+    latency = (
+        UniformLatency(0.005, 0.05)
+        if cfg["uniform_latency"]
+        else ConstantLatency(0.01)
+    )
+    churn = None
+    if cfg["churn"]:
+        churn = ChurnScript().crash(5.0, cfg["n_nodes"] - 1)
+    ineligible = (
+        cfg["protocol"] != "lpbcast"
+        or cfg["jittered"]
+        or cfg["loss_p"] is not None
+        or cfg["uniform_latency"]
+        or churn is not None
+    )
+    if not ineligible:
+        churn = ChurnScript().crash(5.0, cfg["n_nodes"] - 1)
+    return RunSpec(
+        protocol=cfg["protocol"],
+        system=system,
+        n_nodes=cfg["n_nodes"],
+        sender_ids=(0,),
+        offered_load=6.0,
+        duration=18.0,
+        warmup=6.0,
+        drain=4.0,
+        seed=cfg["seed"],
+        adaptive=AdaptiveConfig(age_critical=4.5),
+        loss=BernoulliLoss(cfg["loss_p"]) if cfg["loss_p"] is not None else None,
+        latency=latency,
+        churn=churn,
+        dispatch=dispatch,
+    )
+
+
+def _assert_results_identical(a, b):
+    for field in dataclasses.fields(a):
+        if field.name == "spec":
+            continue
+        va = getattr(a, field.name)
+        vb = getattr(b, field.name)
+        assert va == vb or (va != va and vb != vb), field.name
+
+
+@settings(max_examples=10, deadline=None)
+@given(cfg=fallback_specs)
+def test_fallback_lane_matches_batched(cfg):
+    batched = run_once(_fallback_spec(cfg, "batched"))
+    vector = run_once(_fallback_spec(cfg, "vector"))
+    _assert_results_identical(batched, vector)
