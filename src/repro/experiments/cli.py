@@ -17,6 +17,10 @@ writing code::
     python -m repro.experiments check-scenarios --all --quick
     python -m repro.experiments check-scenarios --all --quick --update-baselines
     python -m repro.experiments check-scenarios flash-crowd --quick
+    python -m repro.experiments fuzz-scenarios --seed 7 --count 50 --jobs 4
+    python -m repro.experiments fuzz-scenarios --seed 7 --only 12 --driver threaded
+    python -m repro.experiments bisect-scenario --fuzz-seed 7 --index 12
+    python -m repro.experiments bisect-scenario correlated-loss --quick
 
 ``--jobs N`` shards sweep-based figures and scenario matrices across N
 worker processes; the numbers are identical to a serial run (every
@@ -419,6 +423,139 @@ def _run_check_scenarios(profile, args) -> tuple[str, dict, int]:
     return text, payload, code
 
 
+def _run_fuzz_scenarios(profile, args) -> tuple[str, dict, int]:
+    """Seeded spec fuzzing. Returns (report text, JSON payload, exit code).
+
+    Cases run at the smoke frame of ``--profile`` (the fuzzer's scale
+    contract: a 200-case sweep answers in minutes). Every failure line
+    ends with a standalone repro command carrying the seed and index, so
+    a red nightly reproduces locally with a copy-paste.
+    """
+    from repro.scenarios.fuzz import run_fuzz
+
+    drivers = ["sim", "threaded"] if args.driver == "both" else [args.driver]
+    indices = args.only if args.only else None
+    chunks: list[str] = []
+    reports = []
+    failures = 0
+    for driver in drivers:
+        report = run_fuzz(
+            args.seed,
+            count=args.count,
+            profile=args.profile,  # base name (or None: active profile)
+            driver=driver,
+            jobs=args.jobs,
+            dispatch=args.dispatch,
+            horizon=args.horizon,
+            indices=indices,
+        )
+        reports.append(report)
+        failures += len(report.failing_indices)
+        passed = sum(1 for o in report.outcomes if o.passed)
+        lines = [
+            f"Fuzz sweep — seed {report.seed}, {report.count} case(s), "
+            f"{driver} driver ({report.profile})",
+            f"  {passed}/{report.count} passed",
+        ]
+        for o in report.outcomes:
+            if o.passed:
+                continue
+            lines.append(f"  FAIL case {o.index} ({o.name}): {o.summary}")
+            for c in o.checks:
+                if not c.passed and not c.skipped:
+                    lines.append(
+                        f"       {c.expectation}: observed {c.observed} "
+                        f"vs bound {c.bound}"
+                    )
+            lines.append(f"       repro: {o.repro}")
+        chunks.append("\n".join(lines))
+    payload = {
+        "seed": args.seed,
+        "drivers": drivers,
+        "failures": failures,
+        "reports": reports,
+    }
+    return "\n\n".join(chunks), payload, 1 if failures else 0
+
+
+def _run_bisect_scenario(profile, args) -> tuple[str, dict, int]:
+    """Drift bisection: shrink a failing scenario to its offending core.
+
+    Returns (report text, JSON payload, exit code): 0 when a minimal
+    subset was found, 2 when the spec does not fail (nothing to bisect).
+    """
+    from repro.scenarios.bisect import (
+        bisect_spec,
+        expectation_predicate,
+        git_bisect_command,
+    )
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.runner import smoke_profile
+
+    conditions = None
+    if args.fuzz_seed is not None:
+        from repro.scenarios.fuzz import ScenarioFuzzer
+
+        if args.index is None:
+            raise SystemExit("bisect-scenario --fuzz-seed needs --index")
+        fuzzer = ScenarioFuzzer(args.fuzz_seed, profile=smoke_profile(profile))
+        case = fuzzer.case(args.index)
+        spec, conditions = case.spec, case.conditions
+        run_profile = fuzzer.profile
+        subject = f"fuzz case {args.fuzz_seed}/{args.index} ({spec.name})"
+    elif args.names:
+        if len(args.names) != 1:
+            raise SystemExit("bisect-scenario takes exactly one scenario name")
+        if args.quick:
+            profile = smoke_profile(profile)
+        spec = get_scenario(args.names[0], profile)
+        run_profile = profile
+        subject = f"scenario {spec.name!r}"
+    else:
+        raise SystemExit(
+            "bisect-scenario needs a scenario name or --fuzz-seed/--index"
+        )
+    failing = expectation_predicate(
+        run_profile.name, dispatch=args.dispatch, horizon=args.horizon
+    )
+    try:
+        result = bisect_spec(spec, failing, conditions=conditions)
+    except ValueError as exc:
+        text = f"{subject}: {exc}"
+        return text, {"subject": subject, "reduced": False, "reason": str(exc)}, 2
+    lines = [f"Bisected {subject} in {result.tests} run(s):"]
+    if result.base_fails:
+        lines.append(
+            "  the failure persists with every condition removed — the base "
+            "spec (workload/topology/protocol) is the culprit, not a condition"
+        )
+    elif not result.minimal:
+        lines.append("  (empty subset)")
+    else:
+        lines.append(f"  minimal offending subset, {len(result.minimal)} unit(s):")
+        for label in result.labels:
+            lines.append(f"    - {label}")
+    if args.git_hint:
+        repro = (
+            f"PYTHONPATH=src python -m repro.experiments bisect-scenario "
+            + (
+                f"--fuzz-seed {args.fuzz_seed} --index {args.index}"
+                if args.fuzz_seed is not None
+                else args.names[0]
+            )
+        )
+        lines.append("  bisect over history instead:")
+        lines.append(f"    {git_bisect_command(repro, good=args.git_hint)}")
+    payload = {
+        "subject": subject,
+        "reduced": True,
+        "base_fails": result.base_fails,
+        "tests": result.tests,
+        "minimal": list(result.labels),
+    }
+    return "\n".join(lines), payload, 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -538,6 +675,83 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[common],
         help="list every registered scenario with its summary",
     )
+    fuzzer = sub.add_parser(
+        "fuzz-scenarios",
+        parents=[common],
+        help="run seeded random scenario compositions with property-style "
+        "expectations; nonzero exit on any failure, each with a repro command",
+    )
+    fuzzer.add_argument("--seed", type=int, required=True, help="fuzzer root seed")
+    fuzzer.add_argument(
+        "--count", type=int, default=20, help="cases to generate (default 20)"
+    )
+    fuzzer.add_argument(
+        "--only",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="INDEX",
+        help="run only these case indices (the repro path)",
+    )
+    fuzzer.add_argument(
+        "--driver",
+        choices=["sim", "threaded", "both"],
+        default="sim",
+        help="execution driver (default sim)",
+    )
+    fuzzer.add_argument(
+        "--dispatch",
+        choices=["batched", "timers", "vector"],
+        default="batched",
+        help="sim round-dispatch mode (results are byte-identical)",
+    )
+    fuzzer.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="shrink each case to this many simulated seconds",
+    )
+    bisecter = sub.add_parser(
+        "bisect-scenario",
+        parents=[common],
+        help="delta-debug a failing scenario (or fuzz case) down to the "
+        "minimal offending condition subset",
+    )
+    bisecter.add_argument(
+        "names", nargs="*", help="one registered scenario name (or use --fuzz-seed)"
+    )
+    bisecter.add_argument(
+        "--fuzz-seed",
+        type=int,
+        default=None,
+        help="bisect a fuzz case instead: the fuzzer root seed",
+    )
+    bisecter.add_argument(
+        "--index", type=int, default=None, help="the fuzz case index (with --fuzz-seed)"
+    )
+    bisecter.add_argument(
+        "--dispatch",
+        choices=["batched", "timers", "vector"],
+        default="batched",
+        help="sim round-dispatch mode for the predicate runs",
+    )
+    bisecter.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="shrink predicate runs to this many simulated seconds",
+    )
+    bisecter.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke scale for registry scenarios (fuzz cases always use it)",
+    )
+    bisecter.add_argument(
+        "--git-hint",
+        default=None,
+        metavar="GOOD_SHA",
+        help="also print the `git bisect run` recipe from this known-good sha",
+    )
     return parser
 
 
@@ -548,6 +762,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "check-scenarios":
         text, payload, code = _run_check_scenarios(profile, args)
         payloads = {"check-scenarios": payload}
+    elif args.command == "fuzz-scenarios":
+        text, payload, code = _run_fuzz_scenarios(profile, args)
+        payloads = {"fuzz-scenarios": payload}
+    elif args.command == "bisect-scenario":
+        text, payload, code = _run_bisect_scenario(profile, args)
+        payloads = {"bisect-scenario": payload}
     elif args.command == "run-scenario":
         text, payload = _run_run_scenario(profile, args)
         payloads = {"run-scenario": payload}

@@ -35,6 +35,7 @@ __all__ = [
     "run_specs",
     "run_scenario_matrix",
     "run_scenario_checks",
+    "run_spec_checks",
     "merged_metrics",
     "to_jsonable",
     "results_to_jsonable",
@@ -129,6 +130,38 @@ def _check_one(job: _CheckJob):
     )
 
 
+def run_spec_checks(
+    specs: Sequence[Any],
+    profile_name: str,
+    jobs: int = 1,
+    dispatch: str = "batched",
+    horizon: Optional[float] = None,
+    evaluate: bool = True,
+) -> list:
+    """Run *already-built* scenario specs with per-shard evaluation.
+
+    The shard layer under :func:`run_scenario_checks`, exposed directly
+    so callers that build specs themselves (the scenario fuzzer, ad-hoc
+    compositions) shard through the same pool with the same determinism
+    guarantee: checks are identical whatever the job count or dispatch
+    mode, in spec order.
+    """
+    jobs_list = [
+        _CheckJob(
+            spec=spec,
+            profile_name=profile_name,
+            dispatch=dispatch,
+            horizon=horizon,
+            evaluate=evaluate,
+        )
+        for spec in specs
+    ]
+    if jobs is None or jobs <= 1 or len(jobs_list) <= 1:
+        return [_check_one(job) for job in jobs_list]
+    with _pool(min(jobs, len(jobs_list))) as pool:
+        return pool.map(_check_one, jobs_list, chunksize=1)
+
+
 def run_scenario_checks(
     names: Optional[Sequence[str]] = None,
     profile: Any = None,
@@ -154,20 +187,14 @@ def run_scenario_checks(
     if names is None:
         names = scenario_names()
     resolved = profile if profile is not None else get_profile()
-    jobs_list = [
-        _CheckJob(
-            spec=get_scenario(name, resolved),
-            profile_name=resolved.name,
-            dispatch=dispatch,
-            horizon=horizon,
-            evaluate=evaluate,
-        )
-        for name in names
-    ]
-    if jobs is None or jobs <= 1 or len(jobs_list) <= 1:
-        return [_check_one(job) for job in jobs_list]
-    with _pool(min(jobs, len(jobs_list))) as pool:
-        return pool.map(_check_one, jobs_list, chunksize=1)
+    return run_spec_checks(
+        [get_scenario(name, resolved) for name in names],
+        profile_name=resolved.name,
+        jobs=jobs,
+        dispatch=dispatch,
+        horizon=horizon,
+        evaluate=evaluate,
+    )
 
 
 def _collect_once(spec: RunSpec) -> MetricsCollector:

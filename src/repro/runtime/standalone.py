@@ -35,7 +35,8 @@ from repro.gossip.config import SystemConfig
 from repro.membership.full import Directory, FullMembershipView
 from repro.runtime.codec import BinaryCodec
 from repro.runtime.node import RuntimeNode
-from repro.runtime.transport import UdpTransport
+from repro.runtime.transport import ChaosRules, ChaosTransport, UdpTransport
+from repro.sim.network import BernoulliLoss
 from repro.sim.rng import RngRegistry
 from repro.workload.cluster import make_protocol_factory
 
@@ -73,6 +74,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="application offers per second from this node (0 = silent)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    # chaos: the same fault vocabulary the other two drivers lower,
+    # injected at this process's own transport (each node decides the
+    # fate of its *outgoing* datagrams from its seeded chaos stream)
+    parser.add_argument(
+        "--chaos-loss", type=float, default=0.0, metavar="P",
+        help="Bernoulli loss probability on every outgoing datagram",
+    )
+    parser.add_argument(
+        "--chaos-link-loss", nargs="*", default=[], metavar="SRC:DST:P",
+        help="sparse per-link loss matrix entries, node ids (e.g. 0:3:0.5)",
+    )
+    parser.add_argument(
+        "--chaos-oneway", nargs="*", default=[], metavar="SRCS>DSTS",
+        help="directed cut: comma-separated node ids that cannot reach "
+             "the ids after '>' (e.g. '0,1>2,3'; reverse direction flows)",
+    )
     # launcher mode
     parser.add_argument("--launch", type=int, default=None, metavar="N",
                         help="spawn a local group of N node processes instead")
@@ -80,6 +97,58 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--senders", type=int, default=1,
                         help="how many of the launched nodes offer traffic")
     return parser
+
+
+def _parse_link_loss(entries: Sequence[str]) -> dict[tuple[int, int], float]:
+    matrix: dict[tuple[int, int], float] = {}
+    for entry in entries:
+        try:
+            src, dst, p = entry.split(":")
+            matrix[(int(src), int(dst))] = float(p)
+        except ValueError as exc:
+            raise SystemExit(f"bad --chaos-link-loss entry {entry!r}: {exc}")
+    return matrix
+
+
+def _parse_oneway(entries: Sequence[str]) -> tuple[list[list[int]], list[tuple[int, int]]]:
+    """``SRCS>DSTS`` entries -> (groups, blocked) for ``partition_oneway``."""
+    groups: list[list[int]] = []
+    blocked: list[tuple[int, int]] = []
+    index: dict[tuple[int, ...], int] = {}
+    for entry in entries:
+        try:
+            src_part, dst_part = entry.split(">", 1)
+            pair = []
+            for part in (src_part, dst_part):
+                members = tuple(sorted(int(x) for x in part.split(",") if x))
+                if not members:
+                    raise ValueError("empty node set")
+                if members not in index:
+                    index[members] = len(groups)
+                    groups.append(list(members))
+                pair.append(index[members])
+            blocked.append((pair[0], pair[1]))
+        except ValueError as exc:
+            raise SystemExit(f"bad --chaos-oneway entry {entry!r}: {exc}")
+    return groups, blocked
+
+
+def _build_chaos(args, peers: dict[int, tuple[str, int]]) -> Optional[ChaosRules]:
+    """A per-process rule set from the chaos flags, or None when unused."""
+    if not (args.chaos_loss > 0 or args.chaos_link_loss or args.chaos_oneway):
+        return None
+    addr_to_node = {addr: node for node, addr in peers.items()}
+    rules = ChaosRules(
+        loss=BernoulliLoss(args.chaos_loss) if args.chaos_loss > 0 else None,
+        node_of=lambda addr: addr_to_node.get(addr, addr),
+    )
+    matrix = _parse_link_loss(args.chaos_link_loss)
+    if matrix:
+        rules.set_link_loss(matrix)
+    if args.chaos_oneway:
+        groups, blocked = _parse_oneway(args.chaos_oneway)
+        rules.partition_oneway(groups, blocked)
+    return rules
 
 
 def _parse_peers(entries: Sequence[str]) -> dict[int, tuple[str, int]]:
@@ -115,6 +184,9 @@ def run_node(args) -> dict:
     directory = Directory([args.node_id, *peers])
     rngs = RngRegistry(args.seed)
     transport = UdpTransport(port=args.port)
+    chaos = _build_chaos(args, peers)
+    if chaos is not None:
+        transport = ChaosTransport(transport, chaos, args.node_id, seed=args.seed)
     protocol = factory(
         args.node_id,
         system,
@@ -138,6 +210,8 @@ def run_node(args) -> dict:
             time.sleep(0.005)
     finally:
         node.shutdown()
+        if chaos is not None:
+            chaos.close()
     stats = protocol.stats
     report = {
         "node_id": args.node_id,
@@ -153,6 +227,15 @@ def run_node(args) -> dict:
     if allowed is not None:
         report["allowed_rate"] = round(allowed, 3)
         report["min_buff"] = getattr(protocol, "min_buff_estimate", None)
+    if chaos is not None:
+        cs = chaos.stats
+        report["chaos"] = {
+            "sent": cs.sent,
+            "dropped": cs.dropped,
+            "link_dropped": cs.link_dropped,
+            "oneway_dropped": cs.oneway_blocked,
+            "eaten": cs.eaten,
+        }
     return report
 
 
@@ -185,6 +268,12 @@ def launch_group(args) -> list[dict]:
             cmd += ["--offered-rate", str(args.offered_rate)]
         if args.rate_limit is not None:
             cmd += ["--rate-limit", str(args.rate_limit)]
+        if args.chaos_loss > 0:
+            cmd += ["--chaos-loss", str(args.chaos_loss)]
+        if args.chaos_link_loss:
+            cmd += ["--chaos-link-loss", *args.chaos_link_loss]
+        if args.chaos_oneway:
+            cmd += ["--chaos-oneway", *args.chaos_oneway]
         procs.append(subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True))
     reports = []
     for proc in procs:

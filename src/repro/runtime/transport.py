@@ -40,7 +40,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkable
 
-from repro.sim.network import RateWindow, build_partition_map, crosses_partition
+from repro.sim.network import (
+    RateWindow,
+    build_partition_map,
+    crosses_oneway,
+    crosses_partition,
+)
 from repro.sim.rng import derive_seed
 
 __all__ = [
@@ -201,11 +206,19 @@ class ChaosStats:
     delayed: int = 0  # forwarded late through the delay line
     capped: int = 0  # eaten by the bandwidth cap
     blocked: int = 0  # eaten by an open partition
+    oneway_blocked: int = 0  # eaten by a one-way (directed) cut
+    link_dropped: int = 0  # eaten by the per-link loss matrix
 
     @property
     def eaten(self) -> int:
         """Everything that never reached the wire."""
-        return self.dropped + self.capped + self.blocked
+        return (
+            self.dropped
+            + self.capped
+            + self.blocked
+            + self.oneway_blocked
+            + self.link_dropped
+        )
 
 
 class DelayLine:
@@ -314,6 +327,9 @@ class ChaosRules:
         self._latency_scale = latency_scale
         self._cap = RateWindow()
         self._partition_of: dict[Any, int] = {}
+        self._oneway_of: dict[Any, int] = {}
+        self._oneway_blocked: frozenset = frozenset()
+        self._link_loss: Optional[dict] = None
         self._clock = clock
         self._node_of = node_of if node_of is not None else lambda addr: addr
         self.stats = ChaosStats()
@@ -372,9 +388,45 @@ class ChaosRules:
             self._partition_of = partition_of
 
     def heal(self) -> None:
-        """Remove any partition."""
+        """Remove any partition (one-way cuts are a separate knob)."""
         with self._lock:
             self._partition_of = {}
+
+    def partition_oneway(
+        self, groups: Sequence[Sequence[Any]], blocked: Sequence[Sequence[int]]
+    ) -> None:
+        """Cut the *directed* group edges in ``blocked``.
+
+        Same semantics as the simulator's
+        :meth:`~repro.sim.network.Network.partition_oneway` (the map and
+        the crossing check are the simulator's own helpers): ``groups``
+        splits the nodes, ``blocked`` names ``(src_group, dst_group)``
+        index pairs that can no longer be crossed; the reverse direction
+        still flows. Independent of :meth:`partition`.
+        """
+        oneway_of = build_partition_map(groups)
+        oneway_blocked = frozenset((a, b) for a, b in blocked)
+        with self._lock:
+            self._oneway_of = oneway_of
+            self._oneway_blocked = oneway_blocked
+
+    def heal_oneway(self) -> None:
+        """Remove any one-way cut."""
+        with self._lock:
+            self._oneway_of = {}
+            self._oneway_blocked = frozenset()
+
+    def set_link_loss(self, matrix: Optional[dict]) -> None:
+        """Install (or with ``None`` clear) a sparse per-link loss matrix.
+
+        ``matrix`` maps ``(src, dst)`` node-id pairs to loss
+        probabilities; pairs without an entry are unaffected. Consulted
+        *after* the global loss model and only draws from the RNG for
+        pairs with an entry — the simulator's contract.
+        """
+        frozen = dict(matrix) if matrix else None
+        with self._lock:
+            self._link_loss = frozen
 
     # ------------------------------------------------------------------
     # the decision (sender's node thread)
@@ -396,12 +448,22 @@ class ChaosRules:
             if crosses_partition(self._partition_of, src, dst):
                 stats.blocked += 1
                 return None
+            if self._oneway_blocked and crosses_oneway(
+                self._oneway_of, self._oneway_blocked, src, dst
+            ):
+                stats.oneway_blocked += 1
+                return None
             if self._cap.rate is not None and self._cap.exceeded(self._clock()):
                 stats.capped += 1
                 return None
             if self._loss is not None and self._loss.is_lost(src, dst, rng):
                 stats.dropped += 1
                 return None
+            if self._link_loss is not None:
+                p = self._link_loss.get((src, dst))
+                if p is not None and rng.random() < p:
+                    stats.link_dropped += 1
+                    return None
             if self._latency is not None:
                 delay = self._latency.sample(src, dst, rng) * self._latency_scale
                 if delay > 0:

@@ -30,6 +30,8 @@ from repro.scenarios.conditions import (
     CorrelatedLoss,
     CrashGroup,
     LoadSpike,
+    LossyLinks,
+    OneWayPartition,
     Partition,
     RollingChurn,
     SlowReceivers,
@@ -71,6 +73,8 @@ __all__ = [
     "HeavyTailLinks",
     "CorrelatedLoss",
     "Partition",
+    "OneWayPartition",
+    "LossyLinks",
     "BandwidthCap",
     "CrashGroup",
     "RollingChurn",

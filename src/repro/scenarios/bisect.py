@@ -1,0 +1,255 @@
+"""Drift bisection: shrink a failing scenario to its offending core.
+
+A fuzzed (or hand-written) scenario fails with four conditions stacked;
+which of them actually matters? :func:`bisect_spec` answers by *delta
+debugging* (Zeller's ddmin): it decomposes the spec into independent
+units, then searches for a 1-minimal failing subset — every unit left in
+the answer is necessary (removing any single one makes the failure
+disappear), so the report reads as a diagnosis, not a dump.
+
+Units come in two granularities:
+
+* **conditions** — when the caller knows the composition recipe (a
+  :class:`~repro.scenarios.fuzz.FuzzCase` keeps its condition list),
+  each condition object is one unit and subsets are rebuilt with
+  ``stripped.stressed(*subset)``;
+* **script items** — for an arbitrary spec, each fault window and
+  resource change is a unit, and churn events are grouped *per node* (a
+  ``leave`` and its ``join`` travel together — a rejoin without the
+  departure would respawn a live node).
+
+Any subset of a valid spec's units is itself valid: overlap validation
+only ever *rejects* pairs, so removing windows cannot create a conflict.
+That property is what lets ddmin probe subsets freely.
+
+The predicate defaults to "any declared expectation fails on the sim
+driver" (a run that raises also counts as failing — a crash is the
+strongest kind of drift), but any ``spec -> bool`` callable works, which
+is how the tests drive the algorithm synthetically and how a caller can
+bisect against the threaded driver instead. For regressions *in time*
+rather than in the spec, :func:`git_bisect_command` renders the
+ready-to-paste ``git bisect run`` line for a failing fuzz case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.membership.churn import ChurnScript
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.faults import FaultScript
+from repro.workload.dynamics import ResourceScript
+
+__all__ = [
+    "BisectUnit",
+    "BisectResult",
+    "spec_units",
+    "strip_spec",
+    "apply_units",
+    "expectation_predicate",
+    "bisect_spec",
+    "git_bisect_command",
+]
+
+
+@dataclass(frozen=True)
+class BisectUnit:
+    """One independently removable piece of a scenario."""
+
+    kind: str  # "condition" | "fault" | "churn" | "resource"
+    label: str  # human-readable diagnosis line
+    payload: Any = None  # condition object, window/change, or event tuple
+
+
+@dataclass(frozen=True)
+class BisectResult:
+    """The minimal offending subset and how much work finding it took."""
+
+    minimal: tuple[BisectUnit, ...]
+    spec: ScenarioSpec  # the reduced spec (still failing, unless base_fails)
+    tests: int  # predicate evaluations spent (cache misses only)
+    base_fails: bool = False  # the spec fails with every unit removed
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(u.label for u in self.minimal)
+
+
+def _clip(value: Any, width: int = 72) -> str:
+    text = repr(value)
+    return text if len(text) <= width else text[: width - 3] + "..."
+
+
+# ----------------------------------------------------------------------
+# decomposition / recomposition
+# ----------------------------------------------------------------------
+def spec_units(
+    spec: ScenarioSpec, conditions: Optional[Sequence] = None
+) -> list[BisectUnit]:
+    """Decompose a spec into removable units (see the module docstring).
+
+    Pass the original ``conditions`` list (e.g. ``FuzzCase.conditions``)
+    to bisect at condition granularity; otherwise the spec's scripts are
+    split item by item.
+    """
+    if conditions is not None:
+        return [
+            BisectUnit("condition", f"{type(c).__name__}: {_clip(c)}", c)
+            for c in conditions
+        ]
+    units: list[BisectUnit] = []
+    for window in spec.faults.faults:
+        units.append(BisectUnit("fault", f"fault: {_clip(window)}", window))
+    by_node: dict[Any, list] = {}
+    for event in spec.churn.events:  # grouped per node, in script order
+        by_node.setdefault(event.node, []).append(event)
+    for node, events in by_node.items():
+        label = "churn: node {} {}".format(
+            node, "/".join(e.action for e in events)
+        )
+        units.append(BisectUnit("churn", label, tuple(events)))
+    for change in spec.resources.changes:
+        units.append(BisectUnit("resource", f"resource: {_clip(change)}", change))
+    return units
+
+
+def strip_spec(spec: ScenarioSpec) -> ScenarioSpec:
+    """The spec with every fault/churn/resource unit removed."""
+    return spec.replace(
+        faults=FaultScript(), churn=ChurnScript(), resources=ResourceScript()
+    )
+
+
+def apply_units(spec: ScenarioSpec, units: Sequence[BisectUnit]) -> ScenarioSpec:
+    """Rebuild the spec with exactly these units (original order kept)."""
+    stripped = strip_spec(spec)
+    faults = [u.payload for u in units if u.kind == "fault"]
+    churn_events = [e for u in units if u.kind == "churn" for e in u.payload]
+    changes = [u.payload for u in units if u.kind == "resource"]
+    rebuilt = stripped.replace(
+        faults=FaultScript(list(faults)),
+        churn=ChurnScript(list(churn_events)),
+        resources=ResourceScript(list(changes)),
+    )
+    conditions = [u.payload for u in units if u.kind == "condition"]
+    if conditions:
+        rebuilt = rebuilt.stressed(*conditions)
+    return rebuilt
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+def expectation_predicate(
+    profile_name: str,
+    dispatch: str = "batched",
+    horizon: Optional[float] = None,
+) -> Callable[[ScenarioSpec], bool]:
+    """``spec -> True`` when any declared expectation fails on the sim
+    driver (or the run itself raises — a crash is also a failure)."""
+
+    def fails(spec: ScenarioSpec) -> bool:
+        from repro.experiments.sweep import run_spec_checks
+
+        try:
+            check = run_spec_checks(
+                [spec], profile_name=profile_name, dispatch=dispatch, horizon=horizon
+            )[0]
+        except Exception:
+            return True
+        return bool(check.failures)
+
+    return fails
+
+
+# ----------------------------------------------------------------------
+# ddmin
+# ----------------------------------------------------------------------
+def _chunks(items: list, n: int) -> list[list]:
+    size, rem = divmod(len(items), n)
+    out, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < rem else 0)
+        if end > start:
+            out.append(items[start:end])
+        start = end
+    return out
+
+
+def bisect_spec(
+    spec: ScenarioSpec,
+    failing: Callable[[ScenarioSpec], bool],
+    conditions: Optional[Sequence] = None,
+) -> BisectResult:
+    """Reduce ``spec`` to a 1-minimal failing unit subset via ddmin.
+
+    ``failing(spec) -> bool`` decides "does this composition still show
+    the failure"; results are cached per subset so ddmin's revisits are
+    free. Raises ``ValueError`` if the full spec does not fail (nothing
+    to bisect). If the failure persists with *every* unit removed, the
+    base spec itself is the culprit — returned as ``base_fails=True``
+    with an empty subset.
+    """
+    units = spec_units(spec, conditions=conditions)
+    index = {id(u): i for i, u in enumerate(units)}
+    cache: dict[tuple[int, ...], bool] = {}
+    tests = 0
+
+    def fails(subset: list[BisectUnit]) -> bool:
+        nonlocal tests
+        key = tuple(sorted(index[id(u)] for u in subset))
+        if key not in cache:
+            tests += 1
+            cache[key] = failing(apply_units(spec, subset))
+        return cache[key]
+
+    if not fails(units):
+        raise ValueError(
+            "the full spec does not fail under the predicate; nothing to bisect"
+        )
+    if fails([]):
+        return BisectResult(
+            minimal=(), spec=apply_units(spec, []), tests=tests, base_fails=True
+        )
+
+    n = 2
+    while len(units) >= 2:
+        chunks = _chunks(units, n)
+        reduced = False
+        for chunk in chunks:  # try each subset
+            if fails(chunk):
+                units, n = chunk, 2
+                reduced = True
+                break
+        if not reduced and n > 2:  # try each complement
+            for i in range(len(chunks)):
+                complement = [u for j, c in enumerate(chunks) if j != i for u in c]
+                if fails(complement):
+                    units, n = complement, max(n - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if n >= len(units):
+                break  # singleton granularity exhausted: 1-minimal
+            n = min(len(units), n * 2)
+    return BisectResult(
+        minimal=tuple(units), spec=apply_units(spec, units), tests=tests
+    )
+
+
+# ----------------------------------------------------------------------
+# bisecting over history instead of over the spec
+# ----------------------------------------------------------------------
+def git_bisect_command(repro: str, good: str = "<good-sha>", bad: str = "HEAD") -> str:
+    """The ready-to-paste ``git bisect`` recipe for a failing fuzz case.
+
+    Spec bisection answers *which condition* broke; git bisection answers
+    *which commit*. The repro command a fuzz failure prints is already a
+    deterministic exit-code oracle, so it slots straight into
+    ``git bisect run``.
+    """
+    return (
+        f"git bisect start {bad} {good} && git bisect run sh -c '{repro}' "
+        "&& git bisect reset"
+    )

@@ -30,6 +30,8 @@ from repro.workload.dynamics import ResourceScript
 __all__ = [
     "CorrelatedLoss",
     "Partition",
+    "OneWayPartition",
+    "LossyLinks",
     "BandwidthCap",
     "CrashGroup",
     "RollingChurn",
@@ -113,6 +115,67 @@ class Partition:
             groups.append(list(range(lo, hi)))
         script = FaultScript(list(spec.faults.faults))
         script.partition(self.time, self.duration, groups)
+        return spec.replace(faults=script)
+
+
+@dataclass(frozen=True, slots=True)
+class OneWayPartition:
+    """A *directed* reachability cut: the group splits into ``n_groups``
+    contiguous blocks and the ``blocked`` group-index edges stop flowing
+    — the asymmetric-link shape (a rack that can hear the cluster but
+    not speak to it, a NATed minority, a half-broken uplink)."""
+
+    time: float
+    duration: float
+    n_groups: int = 2
+    blocked: tuple[tuple[int, int], ...] = ((0, 1),)
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if self.n_groups < 2:
+            raise ValueError("a one-way partition needs at least two groups")
+        per = max(1, spec.n_nodes // self.n_groups)
+        groups = []
+        for g in range(self.n_groups):
+            lo = g * per
+            hi = spec.n_nodes if g == self.n_groups - 1 else (g + 1) * per
+            groups.append(list(range(lo, hi)))
+        script = FaultScript(list(spec.faults.faults))
+        script.oneway_partition(self.time, self.duration, groups, self.blocked)
+        return spec.replace(faults=script)
+
+
+@dataclass(frozen=True, slots=True)
+class LossyLinks:
+    """Per-link Bernoulli loss at probability ``p`` on a sparse link set.
+
+    Either name the directed ``pairs`` explicitly, or give ``fraction``:
+    the highest-id non-sender nodes become *flaky* — every directed link
+    touching one of them (both in and out) loses at ``p`` while the
+    window is open. Unlike :class:`CorrelatedLoss` the rest of the
+    network is untouched, so heterogeneous per-link degradation and a
+    symmetric loss/partition window may legally overlap.
+    """
+
+    time: float
+    duration: float
+    p: float
+    pairs: Optional[tuple[tuple, ...]] = None
+    fraction: Optional[float] = None
+
+    def apply_to(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if self.pairs is not None:
+            links = {(src, dst): self.p for src, dst in self.pairs}
+        else:
+            flaky = set(_resolve_nodes(spec, None, self.fraction))
+            links = {}
+            for node in sorted(flaky):
+                for other in range(spec.n_nodes):
+                    if other == node:
+                        continue
+                    links[(node, other)] = self.p
+                    links[(other, node)] = self.p
+        script = FaultScript(list(spec.faults.faults))
+        script.link_loss(self.time, self.duration, links)
         return spec.replace(faults=script)
 
 

@@ -25,6 +25,8 @@ from repro.scenarios.conditions import (
     CorrelatedLoss,
     CrashGroup,
     LoadSpike,
+    LossyLinks,
+    OneWayPartition,
     Partition,
     RollingChurn,
     SlowReceivers,
@@ -389,6 +391,62 @@ def mega_flood(profile: Profile) -> ScenarioSpec:
         topology=FixedLinks(0.01),
         senders=_senders(profile, load=0.3 * profile.offered_load),
     ).stressed(LoadSpike(time=0.4 * d, duration=0.25 * d, factor=4.0))
+
+
+@scenario(
+    "asymmetric-uplink",
+    expectations=(
+        ReliabilityAtLeast(0.80, metric="avg_receiver_fraction"),
+        RedundancyAtMost(25.0),
+        NoDroppedSenders(),
+    ),
+)
+def asymmetric_uplink(profile: Profile) -> ScenarioSpec:
+    """Half the group loses its *uplink* mid-run: it still hears the rest
+    but cannot speak to it (the one-way cut — a NATed rack, a half-broken
+    transceiver). Gossip pulls nothing back from the mute half, so its
+    events age out unseen unless the cut heals in time."""
+    d = profile.duration
+    # events must outlive the cut to be recovered after it heals
+    system = dataclasses.replace(
+        profile.system(profile.buffer_sizes[-1]), max_age=max(profile.max_age, 25)
+    )
+    return _base(
+        profile,
+        "asymmetric-uplink",
+        "directed cut: the upper half can hear but not speak, then heals",
+        seed_offset=14,
+        system=system,
+        senders=_senders(profile, load=0.3 * profile.offered_load),
+    ).stressed(
+        OneWayPartition(time=0.3 * d, duration=0.2 * d, blocked=((1, 0),))
+    )
+
+
+@scenario(
+    "flaky-edge",
+    expectations=(
+        ReliabilityAtLeast(0.85, metric="avg_receiver_fraction"),
+        RedundancyAtMost(8.0),
+        NoDroppedSenders(),
+    ),
+)
+def flaky_edge(profile: Profile) -> ScenarioSpec:
+    """A fifth of the group sits behind flaky links (60% per-link loss,
+    both directions) while a mild ambient loss burst overlaps the same
+    window — heterogeneous per-link degradation composed with a
+    symmetric knob, legal because each is its own network knob."""
+    d = profile.duration
+    return _base(
+        profile,
+        "flaky-edge",
+        "flaky minority links at 60% loss, overlapping a mild ambient burst",
+        seed_offset=15,
+        senders=_senders(profile, load=0.4 * profile.offered_load),
+    ).stressed(
+        LossyLinks(time=0.3 * d, duration=0.3 * d, p=0.6, fraction=0.2),
+        CorrelatedLoss(time=0.35 * d, duration=0.2 * d, p=0.2),
+    )
 
 
 @scenario(

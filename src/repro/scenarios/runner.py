@@ -40,8 +40,10 @@ from repro.runtime.cluster import ThreadedCluster
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.faults import (
+    AsymmetricPartitionWindow,
     BandwidthCapWindow,
     CrashWindow,
+    LinkLossWindow,
     LossWindow,
     PartitionWindow,
 )
@@ -134,6 +136,7 @@ class ThreadedScenarioReport:
     injected_count: int = 0  # derived, like skipped_count
     chaos_eaten: int = 0  # datagrams the chaos layer dropped/capped/blocked
     chaos_delayed: int = 0  # datagrams forwarded late through the delay line
+    chaos_oneway_dropped: int = 0  # datagrams eaten by a one-way (directed) cut
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "skipped_count", len(self.skipped))
@@ -161,7 +164,14 @@ class _Feeder:
         self.next += self.arrivals.next_interval(self.rng) * self.scale
 
 
-_KNOWN_FAULTS = (LossWindow, PartitionWindow, BandwidthCapWindow, CrashWindow)
+_KNOWN_FAULTS = (
+    LossWindow,
+    LinkLossWindow,
+    PartitionWindow,
+    AsymmetricPartitionWindow,
+    BandwidthCapWindow,
+    CrashWindow,
+)
 
 
 def threaded_coverage(spec: ScenarioSpec) -> tuple[tuple[str, ...], tuple[str, ...]]:
@@ -181,10 +191,15 @@ def threaded_coverage(spec: ScenarioSpec) -> tuple[tuple[str, ...], tuple[str, .
 
     losses, partitions = count(LossWindow), count(PartitionWindow)
     caps, crashes = count(BandwidthCapWindow), count(CrashWindow)
+    oneways, link_losses = count(AsymmetricPartitionWindow), count(LinkLossWindow)
     if losses:
         injected.append(f"{losses} loss window(s): chaos transport")
+    if link_losses:
+        injected.append(f"{link_losses} per-link loss window(s): chaos transport")
     if partitions:
         injected.append(f"{partitions} partition window(s): chaos transport")
+    if oneways:
+        injected.append(f"{oneways} one-way partition window(s): chaos transport")
     if caps:
         injected.append(f"{caps} bandwidth cap window(s): chaos transport")
     if crashes:
@@ -243,12 +258,23 @@ def _threaded_actions(spec: ScenarioSpec, cluster, scale: float, feeders) -> lis
         if isinstance(fault, LossWindow):
             add(fault.time, lambda f=fault: chaos.set_loss(BernoulliLoss(f.p)))
             add(fault.time + fault.duration, lambda: chaos.set_loss(baseline))
+        elif isinstance(fault, LinkLossWindow):
+            add(fault.time, lambda f=fault: chaos.set_link_loss(f.matrix))
+            add(fault.time + fault.duration, lambda: chaos.set_link_loss(None))
         elif isinstance(fault, PartitionWindow):
             add(
                 fault.time,
                 lambda f=fault: chaos.partition([list(g) for g in f.groups]),
             )
             add(fault.time + fault.duration, chaos.heal)
+        elif isinstance(fault, AsymmetricPartitionWindow):
+            add(
+                fault.time,
+                lambda f=fault: chaos.partition_oneway(
+                    [list(g) for g in f.groups], f.blocked
+                ),
+            )
+            add(fault.time + fault.duration, chaos.heal_oneway)
         elif isinstance(fault, BandwidthCapWindow):
             # the chaos cap clock ticks in spec seconds (bound by
             # from_scenario), so the spec's msg-per-spec-second rate
@@ -371,4 +397,5 @@ def run_scenario_threaded(
         injected=injected,
         chaos_eaten=0 if chaos is None else chaos.stats.eaten,
         chaos_delayed=0 if chaos is None else chaos.stats.delayed,
+        chaos_oneway_dropped=0 if chaos is None else chaos.stats.oneway_blocked,
     )

@@ -27,7 +27,9 @@ from repro.sim.network import BernoulliLoss, LossModel, Network, NoLoss
 
 __all__ = [
     "LossWindow",
+    "LinkLossWindow",
     "PartitionWindow",
+    "AsymmetricPartitionWindow",
     "CrashWindow",
     "BandwidthCapWindow",
     "FaultScript",
@@ -36,7 +38,7 @@ __all__ = [
 
 
 class OverlappingFaultsError(ValueError):
-    """Two same-kind fault windows overlap in time (ambiguous schedule)."""
+    """Two fault windows of one knob family overlap in time (ambiguous)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +69,92 @@ class PartitionWindow:
             raise ValueError("need time >= 0 and duration > 0")
         if len(self.groups) < 2:
             raise ValueError("a partition needs at least two groups")
+
+
+@dataclass(frozen=True, slots=True)
+class AsymmetricPartitionWindow:
+    """One-way reachability cut during [time, time+duration).
+
+    ``groups`` splits the nodes like :class:`PartitionWindow`; ``blocked``
+    is a tuple of directed ``(src_group, dst_group)`` index pairs that
+    cannot be crossed — traffic in the *other* direction still flows.
+    This models the asymmetric links of wireless/NAT deployments where a
+    node can hear the cluster but not speak to it (or vice versa), a
+    regime where probabilistic broadcast degrades non-obviously.
+    """
+
+    time: float
+    duration: float
+    groups: tuple[tuple, ...]
+    blocked: tuple[tuple[int, int], ...] = ((0, 1),)
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError("need time >= 0 and duration > 0")
+        if len(self.groups) < 2:
+            raise ValueError("a one-way partition needs at least two groups")
+        if not self.blocked:
+            raise ValueError("a one-way partition needs at least one blocked pair")
+        for pair in self.blocked:
+            if len(pair) != 2:
+                raise ValueError(f"blocked pair {pair!r} is not a (src, dst) pair")
+            a, b = pair
+            if not (0 <= a < len(self.groups) and 0 <= b < len(self.groups)):
+                raise ValueError(
+                    f"blocked pair {pair!r} references a group outside "
+                    f"0..{len(self.groups) - 1}"
+                )
+            if a == b:
+                raise ValueError(f"blocked pair {pair!r} cuts a group from itself")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkLossWindow:
+    """Per-link Bernoulli loss during [time, time+duration).
+
+    ``links`` is a sparse loss matrix: at construction it may be a dict
+    keyed by ``(src, dst)`` with loss probabilities as values, or an
+    iterable of ``(src, dst, p)`` triples; it is normalised to a sorted
+    tuple of triples so the window stays hashable, picklable and
+    deterministic. Pairs not in the matrix are untouched (the global
+    loss model still applies to everything).
+    """
+
+    time: float
+    duration: float
+    links: tuple[tuple, ...]
+
+    def __init__(self, time: float, duration: float, links) -> None:
+        if hasattr(links, "items"):
+            entries = [(src, dst, p) for (src, dst), p in links.items()]
+        else:
+            entries = [tuple(e) for e in links]
+        entries.sort(key=lambda e: (repr(e[0]), repr(e[1])))
+        object.__setattr__(self, "time", time)
+        object.__setattr__(self, "duration", duration)
+        object.__setattr__(self, "links", tuple(entries))
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError("need time >= 0 and duration > 0")
+        if not self.links:
+            raise ValueError("a link-loss window needs at least one link")
+        seen = set()
+        for entry in self.links:
+            if len(entry) != 3:
+                raise ValueError(f"link entry {entry!r} is not a (src, dst, p) triple")
+            src, dst, p = entry
+            if not 0 < p <= 1:
+                raise ValueError(f"link ({src!r}, {dst!r}) loss p={p!r} not in (0, 1]")
+            if (src, dst) in seen:
+                raise ValueError(f"duplicate link entry for ({src!r}, {dst!r})")
+            seen.add((src, dst))
+
+    @property
+    def matrix(self) -> dict:
+        """The sparse ``(src, dst) -> p`` dict form of :attr:`links`."""
+        return {(src, dst): p for src, dst, p in self.links}
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,11 +196,27 @@ class BandwidthCapWindow:
             raise ValueError("bandwidth cap rate must be > 0")
 
 
-Fault = Union[LossWindow, PartitionWindow, CrashWindow, BandwidthCapWindow]
+Fault = Union[
+    LossWindow,
+    LinkLossWindow,
+    PartitionWindow,
+    AsymmetricPartitionWindow,
+    CrashWindow,
+    BandwidthCapWindow,
+]
 
-# window kinds whose open/close mutates one global network knob — these
-# must not overlap among themselves (see module docstring)
-_EXCLUSIVE_KINDS = (LossWindow, PartitionWindow, BandwidthCapWindow)
+# Exclusivity is per knob *family*: each entry groups the window kinds
+# whose open/close mutates one global network knob, and only windows
+# within one family must not overlap among themselves (see module
+# docstring). Kinds in different families hold independent knobs — a
+# LinkLossWindow may legally overlap a PartitionWindow or a LossWindow.
+_EXCLUSIVE_FAMILIES: tuple[tuple[str, tuple[type, ...]], ...] = (
+    ("LossWindow", (LossWindow,)),
+    ("LinkLossWindow", (LinkLossWindow,)),
+    ("PartitionWindow", (PartitionWindow,)),
+    ("AsymmetricPartitionWindow", (AsymmetricPartitionWindow,)),
+    ("BandwidthCapWindow", (BandwidthCapWindow,)),
+)
 
 
 @dataclass
@@ -143,6 +247,27 @@ class FaultScript:
         self.faults.append(BandwidthCapWindow(time, duration, rate))
         return self
 
+    def oneway_partition(
+        self,
+        time: float,
+        duration: float,
+        groups: Sequence[Sequence],
+        blocked: Sequence[Sequence[int]] = ((0, 1),),
+    ) -> "FaultScript":
+        self.faults.append(
+            AsymmetricPartitionWindow(
+                time,
+                duration,
+                tuple(tuple(g) for g in groups),
+                tuple((int(a), int(b)) for a, b in blocked),
+            )
+        )
+        return self
+
+    def link_loss(self, time: float, duration: float, links) -> "FaultScript":
+        self.faults.append(LinkLossWindow(time, duration, links))
+        return self
+
     def __len__(self) -> int:
         return len(self.faults)
 
@@ -152,24 +277,27 @@ class FaultScript:
     def validate(self) -> None:
         """Reject ambiguous schedules before anything is scheduled.
 
-        Overlapping windows of one kind do not compose (two open loss
-        windows do not multiply their probabilities — the network holds a
-        single loss model), so instead of silently letting the later
-        window clobber the earlier one this raises
+        Overlapping windows of one knob family do not compose (two open
+        loss windows do not multiply their probabilities — the network
+        holds a single loss model), so instead of silently letting the
+        later window clobber the earlier one this raises
         :class:`OverlappingFaultsError` naming the offending pair.
+        Windows of *different* families hold independent knobs and may
+        overlap freely — per-link loss during a partition is a legal,
+        meaningful composition.
         """
-        for kind in _EXCLUSIVE_KINDS:
+        for family, kinds in _EXCLUSIVE_FAMILIES:
             windows = sorted(
-                (f for f in self.faults if isinstance(f, kind)),
+                (f for f in self.faults if isinstance(f, kinds)),
                 key=lambda f: (f.time, f.duration),
             )
             for earlier, later in zip(windows, windows[1:]):
                 if later.time < earlier.time + earlier.duration:
                     raise OverlappingFaultsError(
-                        f"overlapping {kind.__name__}s: {earlier} is still open "
+                        f"overlapping {family}s: {earlier} is still open "
                         f"at t={later.time} when {later} starts; overlapping "
-                        "windows of one kind do not compose — merge them into "
-                        "one window or separate them in time"
+                        "windows of one knob family do not compose — merge "
+                        "them into one window or separate them in time"
                     )
 
     # ------------------------------------------------------------------
@@ -195,9 +323,20 @@ class FaultScript:
             if isinstance(fault, LossWindow):
                 sim.schedule_at(fault.time, network.set_loss, BernoulliLoss(fault.p))
                 sim.schedule_at(fault.time + fault.duration, network.set_loss, restore)
+            elif isinstance(fault, LinkLossWindow):
+                sim.schedule_at(fault.time, network.set_link_loss, fault.matrix)
+                sim.schedule_at(fault.time + fault.duration, network.set_link_loss, None)
             elif isinstance(fault, PartitionWindow):
                 sim.schedule_at(fault.time, network.partition, [list(g) for g in fault.groups])
                 sim.schedule_at(fault.time + fault.duration, network.heal)
+            elif isinstance(fault, AsymmetricPartitionWindow):
+                sim.schedule_at(
+                    fault.time,
+                    network.partition_oneway,
+                    [list(g) for g in fault.groups],
+                    fault.blocked,
+                )
+                sim.schedule_at(fault.time + fault.duration, network.heal_oneway)
             elif isinstance(fault, BandwidthCapWindow):
                 sim.schedule_at(fault.time, network.set_bandwidth_cap, fault.rate)
                 sim.schedule_at(fault.time + fault.duration, network.set_bandwidth_cap, None)

@@ -34,6 +34,7 @@ __all__ = [
     "RateWindow",
     "build_partition_map",
     "crosses_partition",
+    "crosses_oneway",
 ]
 
 Address = Hashable
@@ -63,6 +64,19 @@ def crosses_partition(partition_of: dict, src, dst) -> bool:
     if not partition_of:
         return False
     return partition_of.get(src, -1) != partition_of.get(dst, -1)
+
+
+def crosses_oneway(oneway_of: dict, blocked: frozenset, src, dst) -> bool:
+    """Whether a (src, dst) message crosses a *directed* blocked group edge.
+
+    ``oneway_of`` maps addresses to group ids (implicit group ``-1`` for
+    unmentioned addresses, as in :func:`build_partition_map`); ``blocked``
+    holds the directed ``(src_group, dst_group)`` pairs that are cut.
+    Unlike a symmetric partition, the reverse direction still flows.
+    """
+    if not blocked:
+        return False
+    return (oneway_of.get(src, -1), oneway_of.get(dst, -1)) in blocked
 
 
 class RateWindow:
@@ -208,6 +222,8 @@ class NetworkStats:
     delivered: int = 0
     lost: int = 0
     partitioned: int = 0
+    oneway_blocked: int = 0
+    link_lost: int = 0
     no_route: int = 0
     payload_items: int = 0
     capped: int = 0
@@ -215,6 +231,7 @@ class NetworkStats:
     def reset(self) -> None:
         self.sent = self.delivered = self.lost = 0
         self.partitioned = self.no_route = self.payload_items = 0
+        self.oneway_blocked = self.link_lost = 0
         self.capped = 0
 
 
@@ -255,6 +272,12 @@ class Network:
         self._handlers: dict[Address, Handler] = {}
         self._batch_handlers: dict[Address, Callable] = {}
         self._partition_of: dict[Address, int] = {}
+        # One-way partition (independent knob: may be open at the same
+        # time as a symmetric partition, a loss window or a cap).
+        self._oneway_of: dict[Address, int] = {}
+        self._oneway_blocked: frozenset = frozenset()
+        # Sparse per-link loss matrix ((src, dst) -> p); None when closed.
+        self._link_loss: Optional[dict] = None
         # Bandwidth cap: at most _cap.rate messages may enter the network
         # per one-second window; None disables the cap entirely.
         self._cap = RateWindow()
@@ -317,11 +340,41 @@ class Network:
         self._partition_of = build_partition_map(groups)
 
     def heal(self) -> None:
-        """Remove any partition."""
+        """Remove any symmetric partition (one-way cuts are a separate knob)."""
         self._partition_of = {}
+
+    def partition_oneway(self, groups: list[list[Address]], blocked) -> None:
+        """Cut the *directed* group edges in ``blocked``.
+
+        ``groups`` splits addresses as in :meth:`partition`; ``blocked``
+        is an iterable of ``(src_group, dst_group)`` index pairs that can
+        no longer be crossed. Traffic in the reverse direction — and any
+        direction not listed — still flows. Independent of
+        :meth:`partition`: both cuts may be open at once.
+        """
+        self._oneway_of = build_partition_map(groups)
+        self._oneway_blocked = frozenset((a, b) for a, b in blocked)
+
+    def heal_oneway(self) -> None:
+        """Remove any one-way cut."""
+        self._oneway_of = {}
+        self._oneway_blocked = frozenset()
 
     def _crosses_partition(self, src: Address, dst: Address) -> bool:
         return crosses_partition(self._partition_of, src, dst)
+
+    # ------------------------------------------------------------------
+    # per-link loss
+    # ------------------------------------------------------------------
+    def set_link_loss(self, matrix: Optional[dict]) -> None:
+        """Open (or with ``None`` close) a sparse per-link loss matrix.
+
+        ``matrix`` maps ``(src, dst)`` to a loss probability; pairs not
+        in it are unaffected. Applied *after* the global loss model, and
+        only draws from the RNG for pairs with an entry, so runs without
+        link loss consume an identical RNG stream.
+        """
+        self._link_loss = dict(matrix) if matrix else None
 
     # ------------------------------------------------------------------
     # bandwidth cap
@@ -362,6 +415,11 @@ class Network:
         if self._crosses_partition(src, dst):
             self.stats.partitioned += 1
             return False
+        if self._oneway_blocked and crosses_oneway(
+            self._oneway_of, self._oneway_blocked, src, dst
+        ):
+            self.stats.oneway_blocked += 1
+            return False
         if dst not in self._handlers:
             self.stats.no_route += 1
             return False
@@ -370,6 +428,12 @@ class Network:
         if self._loss.is_lost(src, dst, self._rng):
             self.stats.lost += 1
             return False
+        link_loss = self._link_loss
+        if link_loss is not None:
+            p = link_loss.get((src, dst))
+            if p is not None and self._rng.random() < p:
+                self.stats.link_lost += 1
+                return False
         delay = self._latency.sample(src, dst, self._rng)
         self._sim.schedule(delay, self._deliver, dst, message, src)
         return True
@@ -396,8 +460,12 @@ class Network:
         partition_of = self._partition_of
         partition_get = partition_of.get if partition_of else None
         src_group = partition_get(src, -1) if partition_get is not None else -1
+        oneway_blocked = self._oneway_blocked
+        oneway_get = self._oneway_of.get if oneway_blocked else None
+        src_oneway = oneway_get(src, -1) if oneway_get is not None else -1
         loss = self._loss
         lossless = type(loss) is NoLoss
+        link_loss = self._link_loss
         rng = self._rng
         latency = self._latency
         fixed_delay = latency.delay if type(latency) is ConstantLatency else None
@@ -406,6 +474,8 @@ class Network:
             fixed_delay is not None
             and lossless
             and partition_get is None
+            and not oneway_blocked
+            and link_loss is None
             and cap_rate is None
         ):
             # Draw-free models, no partition: every destination shares one
@@ -426,6 +496,9 @@ class Network:
             if partition_get is not None and partition_get(dst, -1) != src_group:
                 stats.partitioned += 1
                 continue
+            if oneway_get is not None and (src_oneway, oneway_get(dst, -1)) in oneway_blocked:
+                stats.oneway_blocked += 1
+                continue
             if dst not in handlers:
                 stats.no_route += 1
                 continue
@@ -434,6 +507,11 @@ class Network:
             if not lossless and loss.is_lost(src, dst, rng):
                 stats.lost += 1
                 continue
+            if link_loss is not None:
+                p = link_loss.get((src, dst))
+                if p is not None and rng.random() < p:
+                    stats.link_lost += 1
+                    continue
             delay = fixed_delay if fixed_delay is not None else latency.sample(src, dst, rng)
             if delay == batch_delay:
                 batch.append(dst)

@@ -238,3 +238,51 @@ def test_all_command_runs_every_figure(tiny_profile, capsys, monkeypatch):
     for marker in ("Figure 2", "Figure 4", "Figure 6", "Figure 7",
                    "Figure 8", "Figure 9", "tau ="):
         assert marker in out
+
+
+def test_fuzz_scenarios_cli(tiny_profile, capsys):
+    out = run_cli(
+        capsys, "fuzz-scenarios", "--seed", "7", "--count", "3",
+        "--profile", "tiny",
+    )
+    assert "Fuzz sweep — seed 7, 3 case(s), sim driver" in out
+    assert "3/3 passed" in out
+
+
+def test_fuzz_scenarios_only_and_json(tiny_profile, capsys, tmp_path):
+    import json
+
+    target = tmp_path / "fuzz.json"
+    out = run_cli(
+        capsys, "fuzz-scenarios", "--seed", "7", "--only", "1",
+        "--profile", "tiny", "--json", str(target),
+    )
+    assert "1 case(s)" in out
+    doc = json.loads(target.read_text())
+    payload = doc["results"]["fuzz-scenarios"]
+    assert payload["seed"] == 7
+    assert payload["failures"] == 0
+    (report,) = payload["reports"]
+    (outcome,) = report["outcomes"]
+    assert outcome["index"] == 1
+    assert outcome["passed"] is True
+    assert outcome["repro"] == ""  # repro commands only accompany failures
+
+
+def test_bisect_scenario_nothing_to_bisect_exits_2(tiny_profile, capsys):
+    # a healthy fuzz case has nothing to shrink: distinct exit code, so
+    # scripts can tell "already passing" from "bisection ran"
+    code = cli.main([
+        "bisect-scenario", "--fuzz-seed", "7", "--index", "0",
+        "--profile", "tiny",
+    ])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "does not fail under the predicate" in out
+
+
+def test_bisect_scenario_requires_a_subject(tiny_profile):
+    with pytest.raises(SystemExit):
+        cli.main(["bisect-scenario", "--profile", "tiny"])
+    with pytest.raises(SystemExit):
+        cli.main(["bisect-scenario", "--fuzz-seed", "7", "--profile", "tiny"])

@@ -159,3 +159,66 @@ def test_delay_line_close_drops_pending():
     a.send("b", b"late")
     rules.close()  # pending delayed datagram is dropped, thread joins
     assert b.recv(0.05) is None
+
+
+def test_oneway_cut_blocks_one_direction_only():
+    rules = ChaosRules()
+    rules.partition_oneway([[0, 1], [2, 3]], blocked=[(0, 1)])
+    rng = random.Random(0)
+    assert rules.plan(0, 2, rng) is None  # group 0 -> group 1: cut
+    assert rules.plan(2, 0, rng) == 0.0  # reverse direction flows
+    assert rules.plan(0, 1, rng) == 0.0  # inside a group
+    assert rules.stats.oneway_blocked == 1
+    rules.heal_oneway()
+    assert rules.plan(0, 2, rng) == 0.0
+    rules.close()
+
+
+def test_link_loss_matrix_is_per_pair():
+    rules = ChaosRules()
+    rules.set_link_loss({(0, 1): 1.0})
+    rng = random.Random(0)
+    assert rules.plan(0, 1, rng) is None
+    assert rules.plan(1, 0, rng) == 0.0  # reverse pair not in the matrix
+    assert rules.plan(0, 2, rng) == 0.0
+    assert rules.stats.link_dropped == 1
+    rules.set_link_loss(None)
+    assert rules.plan(0, 1, rng) == 0.0
+    rules.close()
+
+
+def test_link_loss_draws_rng_only_for_matrix_pairs():
+    """Mirrors the sim discipline: pairs outside the matrix must not
+    consume the chaos stream, or the matrix would shift every later
+    draw and desynchronise unrelated links."""
+    rules = ChaosRules(loss=None)
+    rules.set_link_loss({(0, 1): 0.5})
+    rng = random.Random(0)
+    before = rng.getstate()
+    rules.plan(0, 2, rng)
+    assert rng.getstate() == before
+    rules.plan(0, 1, rng)
+    assert rng.getstate() != before
+    rules.close()
+
+
+def test_restart_reseeds_the_same_chaos_stream():
+    """A crashed-and-restarted node rebuilds its ChaosTransport from the
+    same derived seed (the cluster derives it from (seed, "chaos", node)),
+    so the restarted node replays the identical drop pattern — restarts
+    do not fork the chaos timeline."""
+
+    def wire_pattern(run):
+        rules = ChaosRules(loss=BernoulliLoss(0.4))
+        rules.set_link_loss({("x", "d"): 0.3})
+        inner = RecordingInner()
+        transport = ChaosTransport(inner, rules, node="x", seed=99)
+        for i in range(200):
+            transport.send("d", i.to_bytes(2, "big"))
+        rules.close()
+        return [int.from_bytes(data, "big") for _, data in inner.sent]
+
+    first_life = wire_pattern(0)
+    restarted = wire_pattern(1)  # a fresh transport, same node + seed
+    assert first_life == restarted
+    assert 0 < len(first_life) < 200  # chaos actually ate something

@@ -69,3 +69,50 @@ def test_launched_group_disseminates():
     for node_id in (1, 2):
         assert by_id[node_id]["events_delivered"] >= 0.6 * sent
         assert by_id[node_id]["decode_errors"] == 0
+
+
+def test_parse_link_loss_builds_a_matrix():
+    from repro.runtime.standalone import _parse_link_loss
+
+    matrix = _parse_link_loss(["0:1:0.5", "2:0:0.1"])
+    assert matrix == {(0, 1): 0.5, (2, 0): 0.1}
+    assert _parse_link_loss([]) == {}
+
+
+def test_parse_link_loss_rejects_garbage():
+    from repro.runtime.standalone import _parse_link_loss
+
+    for bad in ("0:1", "0:1:x", "a:b:0.5", "0:1:0.5:9"):
+        with pytest.raises(SystemExit, match="chaos-link-loss"):
+            _parse_link_loss([bad])
+
+
+def test_parse_oneway_shares_groups_across_entries():
+    from repro.runtime.standalone import _parse_oneway
+
+    groups, blocked = _parse_oneway(["0,1>2,3", "2,3>0,1"])
+    assert groups == [[0, 1], [2, 3]]
+    # both directions named the same two groups — no duplicates minted
+    assert blocked == [(0, 1), (1, 0)]
+
+
+def test_parse_oneway_rejects_garbage():
+    from repro.runtime.standalone import _parse_oneway
+
+    for bad in ("0,1", ">2", "0,1>", "a>b"):
+        with pytest.raises(SystemExit, match="chaos-oneway"):
+            _parse_oneway([bad])
+
+
+def test_build_chaos_is_none_without_flags():
+    from repro.runtime.standalone import _build_chaos, build_parser
+
+    peers = {0: ("127.0.0.1", 9500), 1: ("127.0.0.1", 9501)}
+    args = build_parser().parse_args(["--node-id", "0"])
+    assert _build_chaos(args, peers) is None
+    args = build_parser().parse_args(
+        ["--node-id", "0", "--chaos-oneway", "0>1",
+         "--chaos-link-loss", "0:1:0.5"]
+    )
+    rules = _build_chaos(args, peers)
+    assert rules is not None

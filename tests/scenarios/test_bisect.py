@@ -1,0 +1,225 @@
+"""Tests for drift bisection (ddmin over scenario units)."""
+
+import pytest
+
+from repro.gossip.config import SystemConfig
+from repro.scenarios.bisect import (
+    apply_units,
+    bisect_spec,
+    expectation_predicate,
+    git_bisect_command,
+    spec_units,
+    strip_spec,
+)
+from repro.scenarios.conditions import (
+    BandwidthCap,
+    CorrelatedLoss,
+    OneWayPartition,
+    SlowReceivers,
+)
+from repro.scenarios.expectations import ReliabilityAtLeast
+from repro.scenarios.spec import ScenarioSpec, SenderSpec
+
+
+def base(**kw):
+    params = dict(
+        name="bisect-fixture",
+        n_nodes=10,
+        system=SystemConfig(buffer_capacity=30, dedup_capacity=300, max_age=20),
+        senders=(SenderSpec(0, 4.0), SenderSpec(5, 6.0)),
+        duration=100.0,
+        warmup=20.0,
+        drain=10.0,
+    )
+    params.update(kw)
+    return ScenarioSpec(**params)
+
+
+# ----------------------------------------------------------------------
+# decomposition / recomposition
+# ----------------------------------------------------------------------
+def test_script_units_split_items_and_group_churn_per_node():
+    spec = (
+        base()
+        .stressed(
+            CorrelatedLoss(time=30.0, duration=10.0, p=0.5),
+            SlowReceivers(capacity=5, fraction=0.2),
+        )
+        .replace(churn=base().churn.leave(40.0, 9).join(55.0, 9).leave(60.0, 8))
+    )
+    units = spec_units(spec)
+    kinds = sorted(u.kind for u in units)
+    assert kinds == ["churn", "churn", "fault", "resource"]
+    # node 9's leave and join travel together: a rejoin without the
+    # departure would respawn a live node
+    churn_9 = next(u for u in units if u.kind == "churn" and "node 9" in u.label)
+    assert [e.action for e in churn_9.payload] == ["leave", "join"]
+    churn_8 = next(u for u in units if u.kind == "churn" and "node 8" in u.label)
+    assert [e.action for e in churn_8.payload] == ["leave"]
+
+
+def test_condition_units_use_the_composition_recipe():
+    conditions = [
+        CorrelatedLoss(time=30.0, duration=10.0, p=0.5),
+        OneWayPartition(time=50.0, duration=10.0),
+    ]
+    units = spec_units(base().stressed(*conditions), conditions=conditions)
+    assert [u.kind for u in units] == ["condition", "condition"]
+    assert "CorrelatedLoss" in units[0].label
+    assert "OneWayPartition" in units[1].label
+
+
+def test_apply_units_round_trips_the_full_set():
+    conditions = [
+        CorrelatedLoss(time=30.0, duration=10.0, p=0.5),
+        BandwidthCap(time=60.0, duration=10.0, rate=20.0),
+    ]
+    spec = base().stressed(*conditions)
+    units = spec_units(spec, conditions=conditions)
+    assert apply_units(spec, units) == spec
+    assert apply_units(spec, []) == strip_spec(spec)
+    # every subset of a valid spec's units is itself a valid spec
+    for unit in units:
+        apply_units(spec, [unit]).faults.validate()
+
+
+def test_strip_spec_keeps_everything_but_the_scripts():
+    spec = base().stressed(CorrelatedLoss(time=30.0, duration=10.0, p=0.5))
+    stripped = strip_spec(spec)
+    assert len(stripped.faults) == 0
+    assert stripped.n_nodes == spec.n_nodes
+    assert stripped.senders == spec.senders
+
+
+# ----------------------------------------------------------------------
+# ddmin (synthetic predicates)
+# ----------------------------------------------------------------------
+def _many_conditions():
+    return [
+        CorrelatedLoss(time=20.0, duration=5.0, p=0.3),
+        OneWayPartition(time=30.0, duration=5.0),
+        BandwidthCap(time=40.0, duration=5.0, rate=20.0),
+        SlowReceivers(capacity=5, fraction=0.2),
+        CorrelatedLoss(time=50.0, duration=5.0, p=0.6),
+    ]
+
+
+def test_ddmin_finds_a_single_culprit():
+    from repro.sim.faults import BandwidthCapWindow
+
+    conditions = _many_conditions()
+    spec = base().stressed(*conditions)
+
+    # culprit: the bandwidth cap — failure iff its window is present
+    def failing(candidate):
+        return any(isinstance(w, BandwidthCapWindow) for w in candidate.faults.faults)
+
+    result = bisect_spec(spec, failing, conditions=conditions)
+    assert len(result.minimal) == 1
+    assert "BandwidthCap" in result.labels[0]
+    assert not result.base_fails
+    assert failing(result.spec)
+
+
+def test_ddmin_finds_an_interacting_pair_and_is_1_minimal():
+    conditions = _many_conditions()
+    spec = base().stressed(*conditions)
+
+    def failing(candidate):
+        # fails only when BOTH the one-way cut and the stragglers are in
+        has_oneway = any(
+            type(w).__name__ == "AsymmetricPartitionWindow"
+            for w in candidate.faults.faults
+        )
+        has_slow = len(candidate.resources) > 0
+        return has_oneway and has_slow
+
+    result = bisect_spec(spec, failing, conditions=conditions)
+    labels = " | ".join(result.labels)
+    assert len(result.minimal) == 2
+    assert "OneWayPartition" in labels and "SlowReceivers" in labels
+    # 1-minimality: dropping either survivor makes the failure vanish
+    for i in range(len(result.minimal)):
+        kept = [u for j, u in enumerate(result.minimal) if j != i]
+        assert not failing(apply_units(spec, kept))
+
+
+def test_ddmin_caches_repeat_subsets():
+    conditions = _many_conditions()
+    spec = base().stressed(*conditions)
+    calls = []
+
+    def failing(candidate):
+        calls.append(1)
+        return any(
+            type(w).__name__ == "AsymmetricPartitionWindow"
+            for w in candidate.faults.faults
+        )
+
+    result = bisect_spec(spec, failing, conditions=conditions)
+    assert result.tests == len(calls)  # tests counts cache misses only
+    assert result.tests <= 2 ** len(conditions)  # sanity: bounded search
+
+
+def test_nothing_to_bisect_raises():
+    conditions = _many_conditions()
+    spec = base().stressed(*conditions)
+    with pytest.raises(ValueError, match="nothing to bisect"):
+        bisect_spec(spec, lambda s: False, conditions=conditions)
+
+
+def test_base_failure_is_reported_not_chased():
+    conditions = _many_conditions()
+    spec = base().stressed(*conditions)
+    result = bisect_spec(spec, lambda s: True, conditions=conditions)
+    assert result.base_fails
+    assert result.minimal == ()
+
+
+def test_a_crashing_run_counts_as_failing(monkeypatch):
+    # an unrunnable composition (driver crash, bad interaction, ...) must
+    # register as drift, not blow up the search
+    from repro.experiments import sweep
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("driver crashed")
+
+    monkeypatch.setattr(sweep, "run_spec_checks", boom)
+    assert expectation_predicate("tiny")(base()) is True
+
+
+def test_git_bisect_command_wraps_the_repro():
+    cmd = git_bisect_command("PYTHONPATH=src python -m repro.experiments x", "abc123")
+    assert cmd.startswith("git bisect start HEAD abc123")
+    assert "git bisect run sh -c" in cmd
+    assert cmd.endswith("git bisect reset")
+
+
+# ----------------------------------------------------------------------
+# the real thing: a seeded multi-condition failing spec reduces to the
+# offending subset under the expectation predicate (acceptance)
+# ----------------------------------------------------------------------
+def test_expectation_bisection_isolates_the_heavy_loss():
+    conditions = [
+        SlowReceivers(capacity=25, fraction=0.2),  # benign: near-full buffers
+        CorrelatedLoss(time=10.0, duration=14.0, p=0.97),  # drowns the window
+    ]
+    spec = (
+        base(
+            name="drifted",
+            n_nodes=12,
+            duration=30.0,
+            warmup=6.0,
+            drain=4.0,
+            senders=(SenderSpec(0, 6.0), SenderSpec(4, 6.0)),
+            seed=11,
+        )
+        .stressed(*conditions)
+        .expecting(ReliabilityAtLeast(0.9, metric="avg_receiver_fraction"))
+    )
+    failing = expectation_predicate("tiny")
+    result = bisect_spec(spec, failing, conditions=conditions)
+    assert len(result.minimal) == 1
+    assert "CorrelatedLoss" in result.labels[0]
+    assert failing(result.spec)  # the reduced spec still reproduces
+    assert not failing(apply_units(spec, []))  # and the base is healthy

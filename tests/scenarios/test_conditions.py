@@ -156,3 +156,56 @@ def test_rolling_churn_protects_senders_like_crash_group():
         RollingChurn(start=10.0, interval=2.0, fraction=0.2)
     )
     assert {e.node for e in spec.churn.events} == {7, 8}
+
+
+def test_oneway_partition_folds_a_directed_window():
+    from repro.scenarios.conditions import OneWayPartition
+    from repro.sim.faults import AsymmetricPartitionWindow
+
+    spec = base().stressed(OneWayPartition(time=30.0, duration=20.0, blocked=((1, 0),)))
+    (window,) = spec.faults.faults
+    assert isinstance(window, AsymmetricPartitionWindow)
+    assert window.blocked == ((1, 0),)
+    # contiguous halves, like Partition
+    assert window.groups == ((0, 1, 2, 3, 4), (5, 6, 7, 8, 9))
+
+
+def test_lossy_links_explicit_pairs():
+    from repro.scenarios.conditions import LossyLinks
+    from repro.sim.faults import LinkLossWindow
+
+    spec = base().stressed(
+        LossyLinks(time=30.0, duration=20.0, p=0.5, pairs=((1, 2), (2, 1)))
+    )
+    (window,) = spec.faults.faults
+    assert isinstance(window, LinkLossWindow)
+    assert window.matrix == {(1, 2): 0.5, (2, 1): 0.5}
+
+
+def test_lossy_links_fraction_marks_flaky_non_senders():
+    from repro.scenarios.conditions import LossyLinks
+
+    spec = base().stressed(LossyLinks(time=30.0, duration=20.0, p=0.4, fraction=0.2))
+    (window,) = spec.faults.faults
+    # 20% of 10 nodes = 2 flaky nodes: the highest non-sender ids (9, 8);
+    # every directed link touching one of them, both directions
+    flaky = {9, 8}
+    assert set() == {
+        pair for pair in window.matrix if pair[0] not in flaky and pair[1] not in flaky
+    }
+    assert all(p == 0.4 for p in window.matrix.values())
+    assert ((9, 0) in window.matrix) and ((0, 9) in window.matrix)
+
+
+def test_new_conditions_compose_with_symmetric_knobs():
+    from repro.scenarios.conditions import LossyLinks, OneWayPartition
+
+    # overlapping windows across families: legal by the family split
+    spec = base().stressed(
+        Partition(time=30.0, duration=20.0),
+        OneWayPartition(time=35.0, duration=20.0),
+        LossyLinks(time=32.0, duration=20.0, p=0.5, fraction=0.2),
+        CorrelatedLoss(time=31.0, duration=10.0, p=0.2),
+    )
+    spec.faults.validate()
+    assert len(spec.faults) == 4

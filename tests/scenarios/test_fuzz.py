@@ -1,0 +1,156 @@
+"""Tests for the seeded scenario fuzzer."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.experiments import profiles
+from repro.scenarios.conditions import OneWayPartition, Partition
+from repro.scenarios.fuzz import ScenarioFuzzer, run_fuzz
+from repro.sim.faults import CrashWindow
+
+
+@pytest.fixture
+def tiny_profile():
+    """A small, short frame so fuzz runs answer in well under a second."""
+    return dataclasses.replace(
+        profiles.QUICK,
+        name="tiny-fuzz",
+        n_nodes=12,
+        n_senders=3,
+        duration=24.0,
+        warmup=8.0,
+        drain=4.0,
+        offered_load=20.0,
+    )
+
+
+def test_cases_are_deterministic_in_seed_and_index(tiny_profile):
+    a = ScenarioFuzzer(7, profile=tiny_profile)
+    b = ScenarioFuzzer(7, profile=tiny_profile)
+    for i in range(20):
+        assert a.case(i).spec == b.case(i).spec
+        assert a.case(i).conditions == b.case(i).conditions
+    # a different seed gives a different composition stream
+    c = ScenarioFuzzer(8, profile=tiny_profile)
+    assert any(a.case(i).spec != c.case(i).spec for i in range(20))
+
+
+def test_case_depends_only_on_its_own_index(tiny_profile):
+    # --only N must reproduce case N without generating 0..N-1
+    direct = ScenarioFuzzer(7, profile=tiny_profile).case(17)
+    fuzzer = ScenarioFuzzer(7, profile=tiny_profile)
+    for i in range(17):
+        fuzzer.case(i)
+    assert fuzzer.case(17).spec == direct.spec
+
+
+def test_every_generated_spec_is_valid_and_picklable(tiny_profile):
+    # ScenarioSpec.__post_init__ validates (incl. faults.validate());
+    # surviving construction IS the validity property
+    fuzzer = ScenarioFuzzer(123, profile=tiny_profile)
+    for case in fuzzer.cases(40):
+        assert case.spec.n_nodes == tiny_profile.n_nodes
+        pickle.loads(pickle.dumps(case.spec))
+        case.spec.faults.validate()
+
+
+def test_property_expectations_follow_the_recipe(tiny_profile):
+    fuzzer = ScenarioFuzzer(99, profile=tiny_profile)
+    saw_no_dropped, saw_without = False, False
+    for case in fuzzer.cases(40):
+        names = [type(e).__name__ for e in case.spec.expectations]
+        # the reliability floor and redundancy ceiling are unconditional
+        assert "ReliabilityAtLeast" in names
+        assert "RedundancyAtMost" in names
+        crashy = any(isinstance(f, CrashWindow) for f in case.spec.faults.faults)
+        churny = len(case.spec.churn) > 0
+        if crashy or churny:
+            assert "NoDroppedSenders" not in names
+            saw_without = True
+        else:
+            assert "NoDroppedSenders" in names
+            saw_no_dropped = True
+        cut = any(
+            isinstance(c, (Partition, OneWayPartition)) for c in case.conditions
+        )
+        if "ConvergenceWithin" in names:
+            assert not (cut or crashy or churny)
+    assert saw_no_dropped and saw_without  # both branches exercised
+
+
+def test_more_injected_adversity_lowers_the_floor(tiny_profile):
+    # the tuneable-robustness property: the reliability floor is a
+    # monotone function of the injected loss exposure
+    fuzzer = ScenarioFuzzer(5, profile=tiny_profile)
+    cases = fuzzer.cases(40)
+    floors = {}
+    for case in cases:
+        rel = next(
+            e for e in case.spec.expectations
+            if type(e).__name__ == "ReliabilityAtLeast"
+        )
+        floors[case.index] = (case.loss_exposure, rel.threshold)
+    pairs = sorted(floors.values())
+    for (e1, f1), (e2, f2) in zip(pairs, pairs[1:]):
+        assert e1 <= e2
+        assert f1 >= f2 - 1e-9  # higher exposure never raises the floor
+
+
+def test_repro_command_carries_seed_index_and_driver(tiny_profile):
+    case = ScenarioFuzzer(42, profile=tiny_profile).case(3)
+    cmd = case.repro_command("threaded", "quick")
+    assert "fuzz-scenarios" in cmd
+    assert "--seed 42" in cmd and "--only 3" in cmd
+    assert "--driver threaded" in cmd and "--profile quick" in cmd
+    assert "--profile" not in case.repro_command("sim", None)
+
+
+def test_run_fuzz_sim_batch_and_indices(tiny_profile):
+    report = run_fuzz(7, count=4, profile=tiny_profile, driver="sim", jobs=1)
+    assert report.count == 4
+    assert len(report.outcomes) == 4
+    assert all(o.driver == "sim" for o in report.outcomes)
+    # the --only path: exactly the named indices, same verdicts
+    only = run_fuzz(7, count=4, profile=tiny_profile, driver="sim", indices=[2])
+    assert [o.index for o in only.outcomes] == [2]
+    assert only.outcomes[0].passed == report.outcomes[2].passed
+
+
+def test_run_fuzz_rejects_unknown_driver(tiny_profile):
+    with pytest.raises(ValueError, match="driver"):
+        run_fuzz(7, count=1, profile=tiny_profile, driver="udp")
+
+
+def test_fuzzed_asymmetric_spec_is_dispatch_and_jobs_invariant(tiny_profile):
+    """The acceptance property: a fuzzed spec carrying the new asymmetric
+    faults produces byte-identical results across every sim dispatch mode
+    and any job count."""
+    from repro.experiments.sweep import run_spec_checks
+
+    fuzzer = ScenarioFuzzer(7, profile=tiny_profile)
+    case = next(
+        c
+        for c in (fuzzer.case(i) for i in range(60))
+        if any(type(k).__name__ in ("OneWayPartition", "LossyLinks")
+               for k in c.conditions)
+    )
+    reference = None
+    for dispatch in ("batched", "timers", "vector"):
+        for jobs in (1, 2):
+            check = run_spec_checks(
+                [case.spec], "t", jobs=jobs, dispatch=dispatch
+            )[0]
+            if reference is None:
+                reference = check.result.metrics
+            assert check.result.metrics == reference, (dispatch, jobs)
+
+
+def test_threaded_fuzz_outcome_reports_parity(tiny_profile):
+    report = run_fuzz(
+        7, count=1, profile=tiny_profile, driver="threaded", horizon=4.0
+    )
+    (outcome,) = report.outcomes
+    assert outcome.driver == "threaded"
+    assert "PARITY" not in outcome.summary  # everything lowered

@@ -38,7 +38,9 @@ def test_every_condition_kind_appears_injected_somewhere():
     text = " | ".join(seen)
     for marker in (
         "loss window",
+        "per-link loss window",
         "partition window",
+        "one-way partition window",
         "bandwidth cap window",
         "crash window",
         "churn event",
@@ -54,6 +56,15 @@ def test_fault_scripted_scenario_runs_threaded_with_zero_skips():
     report = run_scenario_threaded(spec)
     assert report.skipped_count == 0
     assert any("partition window" in item for item in report.injected)
+    assert report.delivered_total > 0
+
+
+def test_asymmetric_scenario_runs_threaded_with_zero_skips():
+    spec = get_scenario("asymmetric-uplink", smoke_profile()).with_horizon(8.0)
+    report = run_scenario_threaded(spec)
+    assert report.skipped_count == 0
+    assert any("one-way partition window" in item for item in report.injected)
+    assert report.chaos_oneway_dropped > 0  # the directed cut really bit
     assert report.delivered_total > 0
 
 

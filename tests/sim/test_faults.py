@@ -4,9 +4,11 @@ import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.faults import (
+    AsymmetricPartitionWindow,
     BandwidthCapWindow,
     CrashWindow,
     FaultScript,
+    LinkLossWindow,
     LossWindow,
     OverlappingFaultsError,
     PartitionWindow,
@@ -69,6 +71,60 @@ def test_different_kinds_may_overlap():
     FaultScript().loss(1.0, 5.0, 0.5).partition(2.0, 2.0, [["a"], ["b"]]).validate()
     # back-to-back same-kind windows (touching, not overlapping) are fine
     FaultScript().loss(1.0, 2.0, 0.5).loss(3.0, 2.0, 0.9).validate()
+
+
+def test_new_window_validation():
+    with pytest.raises(ValueError):
+        AsymmetricPartitionWindow(0.0, 1.0, (("a", "b"),))  # one group
+    with pytest.raises(ValueError):
+        AsymmetricPartitionWindow(0.0, 1.0, (("a",), ("b",)), blocked=())
+    with pytest.raises(ValueError):
+        AsymmetricPartitionWindow(0.0, 1.0, (("a",), ("b",)), blocked=((0, 2),))
+    with pytest.raises(ValueError):
+        AsymmetricPartitionWindow(0.0, 1.0, (("a",), ("b",)), blocked=((1, 1),))
+    with pytest.raises(ValueError):
+        LinkLossWindow(0.0, 1.0, {})  # empty matrix
+    with pytest.raises(ValueError):
+        LinkLossWindow(0.0, 1.0, {("a", "b"): 0.0})  # p out of (0, 1]
+    with pytest.raises(ValueError):
+        LinkLossWindow(0.0, 1.0, [("a", "b", 0.5), ("a", "b", 0.9)])  # dup pair
+
+
+def test_link_loss_window_normalises_dict_and_triples():
+    from_dict = LinkLossWindow(0.0, 1.0, {("a", "b"): 0.5, ("b", "a"): 0.2})
+    from_triples = LinkLossWindow(0.0, 1.0, [("b", "a", 0.2), ("a", "b", 0.5)])
+    assert from_dict == from_triples
+    assert from_dict.matrix == {("a", "b"): 0.5, ("b", "a"): 0.2}
+
+
+def test_family_split_overlap_exclusivity():
+    """Each window kind is its own network knob: different kinds compose
+    even when their windows overlap; only same-kind overlap is ambiguous.
+
+    Regression: the old validator treated loss-shaped windows as one
+    family, so a per-link loss window over a symmetric loss (or
+    partition) window was rejected — exactly the heterogeneous
+    composition chaos v2 exists to express.
+    """
+    links = {("a", "b"): 0.5}
+    groups = [["a"], ["b"]]
+    # link loss over a symmetric loss burst: legal
+    FaultScript().loss(1.0, 4.0, 0.3).link_loss(2.0, 2.0, links).validate()
+    # link loss over a (symmetric) partition: legal
+    FaultScript().partition(1.0, 4.0, groups).link_loss(2.0, 2.0, links).validate()
+    # one-way cut over a symmetric partition: legal (separate knobs)
+    FaultScript().partition(1.0, 4.0, groups).oneway_partition(
+        2.0, 2.0, groups
+    ).validate()
+    # same-kind overlap is still rejected, with the kind in the message
+    with pytest.raises(OverlappingFaultsError, match="overlapping LinkLossWindow"):
+        FaultScript().link_loss(1.0, 4.0, links).link_loss(2.0, 2.0, links).validate()
+    with pytest.raises(
+        OverlappingFaultsError, match="overlapping AsymmetricPartitionWindow"
+    ):
+        FaultScript().oneway_partition(1.0, 4.0, groups).oneway_partition(
+            2.0, 2.0, groups
+        ).validate()
 
 
 def wire(sim):
@@ -135,6 +191,49 @@ def test_bandwidth_cap_window_caps_and_releases():
     sim.run()
     assert net.stats.capped == 3  # 2 of 5 fit under the 2 msg/s cap
     assert len(inbox) == 4
+
+
+def test_oneway_window_blocks_one_direction_then_heals():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.001))
+    a_in, b_in = [], []
+    net.attach("a", lambda m, s, t: a_in.append(t))
+    net.attach("b", lambda m, s, t: b_in.append(t))
+    FaultScript().oneway_partition(1.0, 2.0, [["a"], ["b"]], blocked=((0, 1),)).apply(
+        sim, net
+    )
+
+    def both_ways():
+        net.send("a", "b", "x")
+        net.send("b", "a", "y")
+
+    for t in (0.5, 2.0, 3.5):
+        sim.schedule_at(t, both_ways)
+    sim.run()
+    assert len(b_in) == 2  # a->b cut at t=2.0
+    assert len(a_in) == 3  # b->a always flows: the cut is directed
+    assert net.stats.oneway_blocked == 1
+
+
+def test_link_loss_window_is_per_pair_and_heals():
+    sim = Simulator(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.001))
+    b_in, c_in = [], []
+    net.attach("a", lambda m, s, t: None)
+    net.attach("b", lambda m, s, t: b_in.append(t))
+    net.attach("c", lambda m, s, t: c_in.append(t))
+    FaultScript().link_loss(1.0, 2.0, {("a", "b"): 1.0}).apply(sim, net)
+
+    def fan():
+        net.send("a", "b", "x")
+        net.send("a", "c", "x")
+
+    for t in (0.5, 2.0, 3.5):
+        sim.schedule_at(t, fan)
+    sim.run()
+    assert len(b_in) == 2  # the a->b link ate the t=2.0 send
+    assert len(c_in) == 3  # the a->c link was never in the matrix
+    assert net.stats.link_lost == 1
 
 
 def test_crash_window_requires_cluster():

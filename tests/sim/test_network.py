@@ -152,3 +152,77 @@ def test_delivery_order_follows_latency(sim):
     net.send("a", "b", "second")
     sim.run()
     assert [m for m, _, _ in inbox] == ["first", "second"]
+
+
+def test_oneway_partition_is_directed(sim):
+    net = Network(sim, latency=ConstantLatency(0.01))
+    a_in, b_in = [], []
+    net.attach("a", collect(a_in))
+    net.attach("b", collect(b_in))
+    net.partition_oneway([["a"], ["b"]], blocked=[(0, 1)])
+    assert net.send("a", "b", "x") is False  # blocked direction
+    assert net.send("b", "a", "y") is True  # reverse flows
+    sim.run()
+    assert b_in == [] and len(a_in) == 1
+    assert net.stats.oneway_blocked == 1
+    net.heal_oneway()
+    assert net.send("a", "b", "x") is True
+
+
+def test_crosses_oneway_helper():
+    from repro.sim.network import crosses_oneway
+
+    oneway_of = {"a": 0, "b": 1}
+    blocked = frozenset({(0, 1)})
+    assert crosses_oneway(oneway_of, blocked, "a", "b") is True
+    assert crosses_oneway(oneway_of, blocked, "b", "a") is False
+    # unmentioned nodes share group -1, never a blocked pair here
+    assert crosses_oneway(oneway_of, blocked, "a", "zzz") is False
+    assert crosses_oneway({}, frozenset(), "a", "b") is False
+
+
+def test_link_loss_only_touches_matrix_pairs(sim):
+    net = Network(sim, latency=ConstantLatency(0.01))
+    b_in, c_in = [], []
+    net.attach("a", collect([]))
+    net.attach("b", collect(b_in))
+    net.attach("c", collect(c_in))
+    net.set_link_loss({("a", "b"): 1.0})
+    for _ in range(5):
+        net.send("a", "b", "x")
+        net.send("a", "c", "x")
+    sim.run()
+    assert b_in == [] and len(c_in) == 5
+    assert net.stats.link_lost == 5
+    net.set_link_loss(None)
+    assert net.send("a", "b", "x") is True
+
+
+def test_link_loss_draws_rng_only_for_matrix_pairs(sim):
+    """Determinism discipline: a pair outside the matrix must not consume
+    the network RNG — otherwise installing a link-loss window would shift
+    every later random draw and change unrelated traffic."""
+    net = Network(sim, latency=ConstantLatency(0.01))
+    for addr in ("a", "b", "c"):
+        net.attach(addr, collect([]))
+    net.set_link_loss({("a", "b"): 0.5})
+    state_before = net._rng.getstate()
+    net.send("a", "c", "x")  # not in the matrix
+    assert net._rng.getstate() == state_before
+    net.send("a", "b", "x")  # in the matrix: exactly this consumes RNG
+    assert net._rng.getstate() != state_before
+
+
+def test_multicast_respects_oneway_and_link_loss(sim):
+    net = Network(sim, latency=ConstantLatency(0.01))
+    inboxes = {addr: [] for addr in ("a", "b", "c", "d")}
+    for addr, box in inboxes.items():
+        net.attach(addr, collect(box))
+    net.partition_oneway([["a"], ["b"]], blocked=[(0, 1)])
+    net.set_link_loss({("a", "c"): 1.0})
+    delivered = net.multicast("a", ["b", "c", "d"], "x")
+    sim.run()
+    assert delivered == 1  # only d: b is cut one-way, c's link always loses
+    assert [len(inboxes[x]) for x in ("b", "c", "d")] == [0, 0, 1]
+    assert net.stats.oneway_blocked == 1
+    assert net.stats.link_lost == 1
