@@ -41,6 +41,7 @@ import timeit
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.gossip.config import SystemConfig  # noqa: E402
+from repro.sim.faults import FaultScript  # noqa: E402
 from repro.sim.network import ConstantLatency  # noqa: E402
 from repro.workload.cluster import SimCluster  # noqa: E402
 
@@ -200,6 +201,97 @@ def run_mega(sizes: list, duration: float) -> dict:
     }
 
 
+def _chaos_faults(name: str, n: int, d: float) -> FaultScript:
+    """The four faulted bench regimes, shaped like their library
+    namesakes but built directly so the tier stays self-contained and
+    size-parametric (the flaky link set is reduced: a library-sized
+    0.2 fraction at 10k nodes would spend the bench on matrix setup,
+    not simulation)."""
+    if name == "correlated-loss":
+        return FaultScript().loss(0.45 * d, 0.2 * d, 0.75)
+    if name == "partition-heal":
+        half = n // 2
+        return FaultScript().partition(
+            0.3 * d, 0.2 * d, [list(range(half)), list(range(half, n))]
+        )
+    if name == "catastrophic-crash":
+        victims = tuple(range(n - max(1, n // 4), n))
+        return FaultScript().crash(
+            0.4 * d, victims, restart_at=float(round(0.7 * d))
+        )
+    if name == "flaky-edge":
+        links = {}
+        for i in range(96):
+            dst = (i * 37 + 11) % n
+            if dst != i:
+                links[(i, dst)] = 0.6
+        # the overlapping Bernoulli window forces the sequential loss
+        # path (link loss + global loss at once) — the lane's worst case
+        return FaultScript().link_loss(0.3 * d, 0.3 * d, links).loss(
+            0.35 * d, 0.2 * d, 0.2
+        )
+    raise ValueError(name)
+
+
+def run_chaos(n_nodes: int, duration: float) -> dict:
+    """The ``mega_chaos`` tier: faulted scenarios on the columnar lane.
+
+    Each scenario runs under vector dispatch and once under batched
+    dispatch at the same size — the batched run is both the speedup
+    denominator and a live parity check (byte-identical or the tier is
+    invalid)."""
+    from repro.sim.vector import HAVE_NUMPY
+
+    names = [
+        "correlated-loss",
+        "partition-heal",
+        "catastrophic-crash",
+        "flaky-edge",
+    ]
+    entries = []
+    ratios = {}
+    for name in names:
+
+        def builder(n: int, dispatch: str, _name=name) -> SimCluster:
+            cluster = build_mega(n, dispatch)
+            cluster.apply_faults(_chaos_faults(_name, n, duration))
+            return cluster
+
+        vec = run_one(n_nodes, "vector", duration, repeats=2, builder=builder)
+        bat = run_one(n_nodes, "batched", duration, repeats=1, builder=builder)
+        if vec.pop("_fingerprint") != bat.pop("_fingerprint"):
+            raise SystemExit(
+                f"vector dispatch diverged from batched on faulted "
+                f"scenario {name!r} at n={n_nodes}: mega_chaos tier invalid"
+            )
+        vec["scenario"] = name
+        bat["scenario"] = name
+        entries.extend([vec, bat])
+        ratio = round(bat["wall_seconds"] / vec["wall_seconds"], 3)
+        ratios[name] = ratio
+        print(
+            f"chaos {name:20s} n={n_nodes:6d}  vector "
+            f"{vec['wall_seconds']:7.2f}s  batched {bat['wall_seconds']:7.2f}s  "
+            f"(parity OK, speedup {ratio:.1f}x)"
+        )
+    return {
+        "regime": {
+            "protocol": "lpbcast",
+            "round_synchronous": True,
+            "latency": "constant 10ms",
+            "buffer_capacity": 30,
+            "senders": 2,
+            "offered_load_msgs_per_s": 1.0,
+            "fanout": 4,
+            "aggregate_metrics": True,
+        },
+        "numpy": HAVE_NUMPY,
+        "n_nodes": n_nodes,
+        "entries": entries,
+        "vector_vs_batched": ratios,
+    }
+
+
 def micro_timings() -> dict:
     """Hot-path micro timings (µs/op, best of 5 runs).
 
@@ -334,6 +426,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--duration", type=float, default=60.0)
     parser.add_argument(
+        "--chaos-size",
+        type=int,
+        default=10_000,
+        help="node count for the faulted mega_chaos tier (0 skips the tier)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="output JSON path (defaults to BENCH_core.json for full runs; "
@@ -346,6 +444,10 @@ def main(argv=None) -> int:
     sizes = [100] if args.quick else args.sizes
     mega_sizes = [2000] if args.quick else args.mega_sizes
     duration = 20.0 if args.quick else args.duration
+    chaos_size = 2000 if args.quick else args.chaos_size
+    # batched at 10k is the denominator; cap the chaos horizon so the
+    # four per-node reference runs don't dominate the whole bench
+    chaos_duration = min(duration, 30.0)
 
     scaling = []
     speedups = {}
@@ -390,6 +492,8 @@ def main(argv=None) -> int:
                 f"{ref['wall_seconds']:.2f}s"
             )
 
+    chaos = run_chaos(chaos_size, chaos_duration) if chaos_size else None
+
     micro = micro_timings()
     for name, value in micro.items():
         print(f"micro {name:28s} {value:9.3f} us")
@@ -424,6 +528,7 @@ def main(argv=None) -> int:
         },
         "scaling": scaling,
         "mega_scaling": mega,
+        "mega_chaos": chaos,
         "speedup_batched_vs_timers": speedups,
         "micro_hot_paths": micro,
         "scenario_overhead": overhead,

@@ -4,11 +4,15 @@ CI's bench-regression step runs this after the bench-smoke job::
 
     python benchmarks/compare_bench.py bench-core-quick.json BENCH_core.json
 
-Only the ``micro_hot_paths`` section is compared: micro timings are
+Two sections are compared. ``micro_hot_paths``: micro timings are
 size-independent, so a ``--quick`` smoke document (n=100) is directly
 comparable to the full checked-in reference (n=250..1000), while the
 end-to-end wall times are not (different node counts, different
-machines). Every micro benchmark whose current/reference ratio exceeds
+machines). ``mega_chaos``: the per-scenario vector-vs-batched speedup
+ratios, compared only when both documents ran the tier at the same
+node count (informational otherwise — a smoke-sized ratio against the
+full reference would measure scale, not drift). Every comparison whose
+current/reference ratio exceeds
 ``--threshold`` (default 1.5x) produces a warning — emitted as a GitHub
 Actions ``::warning::`` annotation when running under CI — but the exit
 code stays 0 unless ``--fail`` is passed: CI machines are noisy, so
@@ -64,6 +68,59 @@ def compare_micro(
     return lines, warnings
 
 
+def compare_chaos(
+    current: dict, reference: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """(report lines, warnings) for the ``mega_chaos`` speedup ratios.
+
+    The tier's headline is the vector-vs-batched speedup per faulted
+    scenario. Ratios are only comparable at equal node counts — a
+    ``--quick`` document (n=2000) against the full reference (n=10000)
+    would report the scale difference, not drift — so a size mismatch
+    downgrades the whole section to informational. At matching sizes a
+    speedup that shrank by more than ``threshold`` warns (same noisy-CI
+    policy as the micro section: warn, don't gate).
+    """
+    cur_tier = current.get("mega_chaos") or {}
+    ref_tier = reference.get("mega_chaos") or {}
+    cur, ref = cur_tier.get("vector_vs_batched", {}), ref_tier.get(
+        "vector_vs_batched", {}
+    )
+    lines: list[str] = []
+    warnings: list[str] = []
+    if not cur or not ref:
+        return lines, warnings
+    cur_n, ref_n = cur_tier.get("n_nodes"), ref_tier.get("n_nodes")
+    comparable = cur_n == ref_n and cur_n is not None
+    if not comparable:
+        lines.append(
+            f"  mega_chaos sizes differ (cur n={cur_n}, ref n={ref_n}); "
+            "speedup ratios informational only"
+        )
+    for name in sorted(set(cur) & set(ref)):
+        cur_x, ref_x = cur[name], ref[name]
+        if not cur_x:
+            continue
+        drift = ref_x / cur_x  # >1 means the vector speedup shrank
+        verdict = "ok" if comparable else "info"
+        if comparable and drift > threshold:
+            verdict = "SLOWDOWN"
+            warnings.append(
+                f"mega_chaos {name} vector speedup shrank {drift:.2f}x "
+                f"({ref_x:.1f}x -> {cur_x:.1f}x, threshold {threshold:.2f}x)"
+            )
+        lines.append(
+            f"  chaos {name:24s} ref {ref_x:6.1f}x  cur {cur_x:6.1f}x  {verdict}"
+        )
+    for name in sorted(set(ref) - set(cur)):
+        lines.append(f"  chaos {name:24s} missing from current document")
+        if comparable:
+            warnings.append(f"mega_chaos {name} missing from current document")
+    for name in sorted(set(cur) - set(ref)):
+        lines.append(f"  chaos {name:24s} new (no reference yet; informational)")
+    return lines, warnings
+
+
 def note_new_tiers(current: dict, reference: dict) -> list[str]:
     """Document sections present only in the newer JSON.
 
@@ -110,6 +167,10 @@ def main(argv=None) -> int:
     lines, warnings = compare_micro(current, reference, args.threshold)
     print(f"bench comparison: {args.current} vs {args.reference}")
     print("\n".join(lines) if lines else "  (no comparable micro benchmarks)")
+    chaos_lines, chaos_warnings = compare_chaos(current, reference, args.threshold)
+    if chaos_lines:
+        print("\n".join(chaos_lines))
+    warnings.extend(chaos_warnings)
     for line in note_new_tiers(current, reference):
         print(line)
     annotate = os.environ.get("GITHUB_ACTIONS") == "true"

@@ -277,6 +277,37 @@ def _run_run_scenario(profile, args):
             )
         )
         payload["sim"] = results
+        if args.dispatch == "vector":
+            from repro.experiments.harness import (
+                spec_for_scenario,
+                vector_fallback_reason,
+            )
+            from repro.scenarios.registry import get_scenario
+
+            fallbacks = {
+                name: reason
+                for name in names
+                if (
+                    reason := vector_fallback_reason(
+                        spec_for_scenario(
+                            get_scenario(name, profile),
+                            dispatch="vector",
+                            horizon=args.horizon,
+                        )
+                    )
+                )
+                is not None
+            }
+            if fallbacks:
+                lines = [
+                    "Vector fallbacks — these ran on the per-node path:"
+                ]
+                lines.extend(
+                    f"  {name}: {reason}"
+                    for name, reason in fallbacks.items()
+                )
+                chunks.append("\n".join(lines))
+            payload["vector_fallbacks"] = fallbacks
     if args.driver in ("threaded", "both"):
         reports = [
             run_scenario(name, driver="threaded", profile=profile, horizon=args.horizon)

@@ -33,6 +33,7 @@ from repro.membership.views import ViewConfig
 from repro.metrics.delivery import DeliveryStats, analyze_delivery
 from repro.scenarios.spec import ScenarioSpec, SenderSpec, build_latency
 from repro.sim.faults import CrashWindow
+from repro.sim.vector import vector_ineligible_reason
 from repro.workload.cluster import SimCluster
 from repro.workload.dynamics import ResourceScript
 
@@ -43,6 +44,7 @@ __all__ = [
     "spec_for_profile",
     "spec_for_scenario",
     "build_cluster",
+    "vector_fallback_reason",
 ]
 
 
@@ -130,6 +132,15 @@ class RunResult:
     # received for events already seen, per unique protocol delivery —
     # the cost axis RedundancyAtMost expectations bound
     gossip_redundancy: float = math.nan
+    # network-level fault accounting over the whole run, straight off the
+    # wire: how much adversity the injected windows actually exercised.
+    # Visible even in aggregate-only collector mode, where per-node
+    # receiver sets (and thus most delivery detail) are unavailable.
+    net_lost: int = 0
+    net_partitioned: int = 0
+    net_oneway_blocked: int = 0
+    net_link_lost: int = 0
+    net_capped: int = 0
 
     @property
     def loss_rate(self) -> float:
@@ -208,6 +219,34 @@ def spec_for_scenario(
     return RunSpec(**params)
 
 
+def vector_fallback_reason(spec: RunSpec) -> Optional[str]:
+    """Why ``dispatch="vector"`` would fall back to per-node protocols.
+
+    ``None`` means the whole-population columnar lane engages for this
+    spec; otherwise a human-readable sentence (the CLI prints it so users
+    learn why they got the slow lane). Screens the full spec — including
+    its fault/churn schedules and sender placement, which the cluster
+    constructor cannot see.
+    """
+    sender_ids = set(spec.sender_ids)
+    if spec.senders is not None:
+        sender_ids.update(s.node for s in spec.senders)
+    return vector_ineligible_reason(
+        protocol=spec.protocol,
+        membership=spec.membership,
+        system=spec.system,
+        latency=build_latency(spec.latency, spec.n_nodes),
+        loss=spec.loss,
+        trace=False,
+        aggregate=spec.aggregate,
+        rate_limit=spec.rate_limit,
+        n_nodes=spec.n_nodes,
+        faults=spec.faults,
+        churn=spec.churn,
+        sender_ids=tuple(sender_ids),
+    )
+
+
 def build_cluster(spec: RunSpec) -> SimCluster:
     """Materialise the cluster, senders and schedules for a spec
     (without running)."""
@@ -230,9 +269,13 @@ def build_cluster(spec: RunSpec) -> SimCluster:
         dispatch=spec.dispatch,
         sample_gauges=spec.sample_gauges,
         aggregate_metrics=spec.aggregate_metrics,
-        # the columnar mega lane cannot honour fault/churn schedules, so
-        # specs carrying them always materialise per-node protocols
-        allow_mega=spec.faults is None and spec.churn is None,
+        # the columnar mega lane honours loss/partition/cap/crash/churn
+        # schedules it can prove equivalent; anything else (sender
+        # crashes, off-tick restarts, brand-new identities) materialises
+        # per-node protocols
+        allow_mega=(
+            spec.dispatch != "vector" or vector_fallback_reason(spec) is None
+        ),
     )
     if spec.senders is not None:
         for sender in spec.senders:
@@ -305,4 +348,9 @@ def run_once(spec: RunSpec) -> RunResult:
         gossip_redundancy=(
             duplicates_seen / protocol_delivered if protocol_delivered else math.nan
         ),
+        net_lost=cluster.network.stats.lost,
+        net_partitioned=cluster.network.stats.partitioned,
+        net_oneway_blocked=cluster.network.stats.oneway_blocked,
+        net_link_lost=cluster.network.stats.link_lost,
+        net_capped=cluster.network.stats.capped,
     )

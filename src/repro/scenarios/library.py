@@ -393,6 +393,139 @@ def mega_flood(profile: Profile) -> ScenarioSpec:
     ).stressed(LoadSpike(time=0.4 * d, duration=0.25 * d, factor=4.0))
 
 
+# ----------------------------------------------------------------------
+# the mega chaos family: the library's signature faulted scenarios,
+# restated in the round-synchronous lpbcast regime the columnar vector
+# executor accelerates. Each keeps its namesake's fault shape but pins
+# protocol/schedule/topology so `--dispatch vector` engages the mega
+# lane instead of falling back — `REPRO_PROFILE=mega run-scenario
+# mega-correlated-loss --dispatch vector` runs 10k faulted nodes in
+# seconds. Restart instants are snapped to the round grid (the lane
+# only re-admits nodes on tick boundaries).
+# ----------------------------------------------------------------------
+def _mega_base(profile: Profile, name: str, summary: str, seed_offset: int, **kw):
+    params = dict(
+        protocol="lpbcast",
+        system=dataclasses.replace(
+            profile.system(), round_phase=0.0, round_jitter=0.0
+        ),
+        adaptive=None,
+        topology=FixedLinks(0.01),
+        senders=_senders(profile, load=0.3 * profile.offered_load),
+    )
+    params.update(kw)
+    return _base(profile, name, summary, seed_offset, **params)
+
+
+@scenario(
+    "mega-correlated-loss",
+    expectations=(
+        ReliabilityAtLeast(0.75, metric="avg_receiver_fraction"),
+        RedundancyAtMost(20.0),
+        NoDroppedSenders(),
+    ),
+)
+def mega_correlated_loss(profile: Profile) -> ScenarioSpec:
+    """correlated-loss on the vector-accelerable regime: the 75% loss
+    burst against plain lpbcast, whose fixed fanout must ride it out on
+    redundancy alone (no adaptive round acceleration to lean on)."""
+    d = profile.duration
+    return _mega_base(
+        profile,
+        "mega-correlated-loss",
+        "75% loss burst on the round-synchronous lpbcast regime",
+        seed_offset=16,
+    ).stressed(CorrelatedLoss(time=0.45 * d, duration=0.2 * d, p=0.75))
+
+
+@scenario(
+    "mega-partition-heal",
+    expectations=(
+        ReliabilityAtLeast(0.75, metric="avg_receiver_fraction"),
+        NoDroppedSenders(),
+    ),
+)
+def mega_partition_heal(profile: Profile) -> ScenarioSpec:
+    """partition-heal on the vector-accelerable regime; buffered events
+    must outlive the split for the heal to recover them."""
+    d = profile.duration
+    system = dataclasses.replace(
+        profile.system(profile.buffer_sizes[-1]),
+        round_phase=0.0,
+        round_jitter=0.0,
+        max_age=max(profile.max_age, 25),
+    )
+    return _mega_base(
+        profile,
+        "mega-partition-heal",
+        "two-way partition and heal on the round-synchronous lpbcast regime",
+        seed_offset=17,
+        system=system,
+    ).stressed(Partition(time=0.3 * d, duration=0.2 * d, n_groups=2))
+
+
+@scenario(
+    "mega-catastrophic-crash",
+    expectations=(
+        ReliabilityAtLeast(0.60, metric="avg_receiver_fraction"),
+        NoDroppedSenders(),
+    ),
+)
+def mega_catastrophic_crash(profile: Profile) -> ScenarioSpec:
+    """catastrophic-crash on the vector-accelerable regime: a quarter of
+    the group crashes mid-run and restarts (columns zeroed, old
+    identity) on a round boundary."""
+    d = profile.duration
+    period = profile.gossip_period
+    victims = _tail_non_senders(profile, max(2, profile.n_nodes // 4))
+    crash_at = 0.4 * d
+    # the lane re-admits nodes on round ticks only: snap the restart
+    restart_at = round(0.7 * d / period) * period
+    return _mega_base(
+        profile,
+        "mega-catastrophic-crash",
+        "quarter of the group crashes, restarts on a round boundary",
+        seed_offset=18,
+    ).stressed(
+        CrashGroup(time=crash_at, nodes=victims, restart_after=restart_at - crash_at)
+    )
+
+
+@scenario(
+    "mega-flaky-edge",
+    expectations=(
+        ReliabilityAtLeast(0.75, metric="avg_receiver_fraction"),
+        RedundancyAtMost(20.0),
+        NoDroppedSenders(),
+    ),
+)
+def mega_flaky_edge(profile: Profile) -> ScenarioSpec:
+    """flaky-edge on the vector-accelerable regime. The flaky set is a
+    bounded explicit link list (not a node fraction): a fraction-based
+    matrix is O(n^2) entries at 10k nodes, and per-link loss overlapping
+    a Bernoulli window already forces the lane's sequential loss path —
+    the regime this scenario exists to exercise."""
+    d = profile.duration
+    n = profile.n_nodes
+    flaky = _tail_non_senders(profile, min(16, max(2, n // 8)))
+    links = set()
+    for node in flaky:
+        for k in range(8):
+            peer = (node * 7 + 13 + k * 97) % n
+            if peer != node:
+                links.add((node, peer))
+                links.add((peer, node))
+    return _mega_base(
+        profile,
+        "mega-flaky-edge",
+        "flaky minority links plus an ambient loss burst, sequential-loss path",
+        seed_offset=19,
+    ).stressed(
+        LossyLinks(time=0.3 * d, duration=0.3 * d, p=0.6, pairs=tuple(sorted(links))),
+        CorrelatedLoss(time=0.35 * d, duration=0.2 * d, p=0.2),
+    )
+
+
 @scenario(
     "asymmetric-uplink",
     expectations=(

@@ -15,10 +15,11 @@ determinism/parity suites compare entire runs, exactly as
 Why this can be exact
 ---------------------
 The vectorized lane only engages for configurations where the per-node
-semantics provably collapse (see :func:`vector_eligible`): the baseline
+semantics provably collapse (see :func:`vector_eligible` and, for the
+human-readable rejection, :func:`vector_ineligible_reason`): the baseline
 ``lpbcast`` protocol, full membership, a fixed round phase with zero
-jitter, constant lossless latency shorter than the gossip period, and no
-fault/churn schedules. In that regime:
+jitter, and constant latency shorter than the gossip period. In that
+regime:
 
 * every copy of an event carries ``anchor == birth round`` (all buffers
   advance their round counter at the same instants, broadcasts stage at
@@ -26,25 +27,44 @@ fault/churn schedules. In that regime:
   ``sync_ages`` is a global no-op, age-out is simultaneous everywhere,
   and per-(node, event) age state reduces to membership plus an arrival
   sequence;
-* target sampling is the only RNG consumer, and
-  :func:`~repro.sim.rng.uniform_sample` over a full view is replicated
-  here index-only, draw for draw, against the same per-node
-  ``("protocol", i)`` streams;
-* the network's draw-free multicast fast path consumes no RNG and
-  applies one constant delay, so its statistics can be replicated
-  without routing messages through the heap.
+* target sampling and per-delivery loss are the only RNG consumers.
+  Sampling is replicated index-only, draw for draw, against the same
+  per-node ``("protocol", i)`` streams
+  (:func:`~repro.sim.rng.uniform_sample` over a full view); loss draws
+  are replayed against the same ``("network",)`` stream in the same
+  per-message order the network would consume them — vectorized into one
+  numpy block per tick when the model is Bernoulli, sequentially via
+  ``loss.is_lost`` otherwise, byte-identical either way;
+* the network's multicast rule order (partition → one-way cut → route →
+  bandwidth cap → loss → per-link loss, then one constant delay) is
+  replicated per message without routing anything through the heap, and
+  the cap/partition/link state is *read live from the network object* at
+  each tick, so fault windows opened and closed by
+  :class:`~repro.sim.faults.FaultScript` lower onto the columnar lane
+  unchanged.
 
-Anything outside that envelope (the adaptive variant, partial views,
-loss, jitter, churn, ...) transparently falls back to materialising real
-per-node protocol instances — ``dispatch="vector"`` then equals
-``"batched"`` by construction.
+Fault vocabulary on the columnar lane
+-------------------------------------
+Window edges (loss / partition / one-way / link-loss / bandwidth-cap
+open and close) only matter at emission instants: arrivals already in
+flight carry their fate with them in both paths, and edges scheduled at
+a tick fire before the tick in both paths (``schedule_at`` from t=0 wins
+the FIFO tie). Crash and churn lower onto an alive-ordered emission list
+plus column resets: a crash clears the node's buffer/dedup columns (its
+in-flight summary is snapshotted first for any pending fold) and a
+restart re-admits the old identity with zeroed columns at a round tick —
+exactly the fresh-process semantics of the per-node driver. Sender
+crashes, brand-new identities and off-tick restarts stay per-node (see
+:func:`mega_schedule_reason`), as do the adaptive/bimodal protocol
+variants and partial views.
 
 The optional ``numpy`` fast path (``pip install .[accel]``) vectorises
-the per-instant delivery fold; it is auto-detected and produces results
-identical to the stdlib path (a property test asserts this). Per-message
-sequential folding remains as the in-module reference and handles the
-rare instants the batched fold cannot prove safe (dedup-store pressure,
-mid-instant evictions).
+the per-instant delivery fold and the Bernoulli loss draws; it is
+auto-detected and produces results identical to the stdlib path (a
+property test asserts this). Per-message sequential folding remains as
+the in-module reference and handles the rare instants the batched fold
+cannot prove safe (dedup-store pressure, mid-instant evictions, crashes
+with messages in flight).
 """
 
 from __future__ import annotations
@@ -56,7 +76,15 @@ from typing import Any, Optional
 
 from repro.gossip.events import EventId
 from repro.gossip.lpbcast import ProtocolStats
-from repro.sim.network import ConstantLatency, Network, NoLoss
+from repro.sim.faults import (
+    AsymmetricPartitionWindow,
+    BandwidthCapWindow,
+    CrashWindow,
+    LinkLossWindow,
+    LossWindow,
+    PartitionWindow,
+)
+from repro.sim.network import BernoulliLoss, ConstantLatency, Network, NoLoss
 from repro.sim.engine import RoundDispatcher, Simulator
 
 try:  # optional accelerator — stdlib-only installs work unchanged
@@ -66,7 +94,205 @@ except ImportError:  # pragma: no cover - exercised on stdlib-only installs
 
 HAVE_NUMPY = _np is not None
 
-__all__ = ["HAVE_NUMPY", "VectorNodeProtocol", "VectorRoundExecutor", "vector_eligible"]
+__all__ = [
+    "HAVE_NUMPY",
+    "VectorNodeProtocol",
+    "VectorRoundExecutor",
+    "vector_eligible",
+    "vector_ineligible_reason",
+    "mega_schedule_reason",
+]
+
+_WINDOW_FAULTS = (
+    LossWindow,
+    LinkLossWindow,
+    PartitionWindow,
+    AsymmetricPartitionWindow,
+    BandwidthCapWindow,
+)
+
+
+def _restart_aligned(time: float, phase: float, period: float) -> bool:
+    """Whether a restart/join at ``time`` lands on the population's tick.
+
+    The round dispatcher accumulates tick times in floating point
+    (``t0 = phase``, ``t_{j+1} = t_j + period``) and a rejoining member
+    shares the live bucket iff ``time + phase`` equals the next
+    accumulated tick. This replays that accumulation exactly — no
+    modulo arithmetic, which would disagree with float accumulation.
+    """
+    if period <= 0 or time < 0:
+        return False
+    if time / period > 1e7:  # refuse to replay absurd schedules
+        return False
+    t = phase
+    while t < time:
+        t += period
+    return time + phase == t
+
+
+def mega_schedule_reason(
+    *,
+    system,
+    n_nodes: int,
+    faults=None,
+    churn=None,
+    sender_ids=(),
+) -> Optional[str]:
+    """Why a fault/churn schedule cannot lower onto the columnar lane.
+
+    Returns ``None`` when every scheduled condition is supported: loss,
+    partition, one-way, link-loss and bandwidth-cap windows always are
+    (they are reachability/loss filters read live at each tick); crash
+    and churn are, provided no *sender* node departs (its sender process
+    would keep broadcasting into the corpse), every re-admitted identity
+    already has columns (``0 <= id < n_nodes``), and every restart/join
+    lands exactly on a round tick (off-tick rejoiners would run their
+    own round schedule, which one shared tick cannot represent).
+    """
+    period = system.gossip_period
+    phase = system.round_phase
+    senders = set(sender_ids)
+    if faults is not None:
+        for fault in getattr(faults, "faults", faults):
+            if isinstance(fault, CrashWindow):
+                hit = senders.intersection(fault.nodes)
+                if hit:
+                    return (
+                        f"crash window at t={fault.time} crashes sender "
+                        f"node(s) {sorted(hit, key=repr)}: a sender process "
+                        "keeps broadcasting into its crashed node"
+                    )
+                if fault.restart_at is not None and not _restart_aligned(
+                    fault.restart_at, phase, period
+                ):
+                    return (
+                        f"crash window restarts at t={fault.restart_at}, "
+                        f"which is not a round tick (phase={phase}, "
+                        f"period={period}): restarted nodes would tick out "
+                        "of phase with the population"
+                    )
+            elif not isinstance(fault, _WINDOW_FAULTS):
+                return f"unsupported fault window type {type(fault).__name__}"
+    if churn is not None:
+        for event in churn.sorted_events():
+            if event.action in ("leave", "crash"):
+                if event.node in senders:
+                    return (
+                        f"churn {event.action} of sender node {event.node!r} "
+                        f"at t={event.time}: a sender process keeps "
+                        "broadcasting into its departed node"
+                    )
+            elif event.action == "join":
+                if event.node in senders:
+                    return (
+                        f"churn join of sender node {event.node!r} at "
+                        f"t={event.time}: sender lifecycles stay per-node"
+                    )
+                if not (
+                    isinstance(event.node, int) and 0 <= event.node < n_nodes
+                ):
+                    return (
+                        f"churn join of brand-new node {event.node!r}: the "
+                        "columnar lane only re-admits identities it has "
+                        "columns for (0..n_nodes-1)"
+                    )
+                if not _restart_aligned(event.time, phase, period):
+                    return (
+                        f"churn join at t={event.time} is not a round tick "
+                        f"(phase={phase}, period={period}): rejoining nodes "
+                        "would tick out of phase with the population"
+                    )
+            else:  # pragma: no cover - ChurnEvent validates its action
+                return f"unsupported churn action {event.action!r}"
+    return None
+
+
+def vector_ineligible_reason(
+    *,
+    protocol: Any,
+    membership: str,
+    system,
+    latency,
+    loss,
+    trace: bool,
+    aggregate,
+    rate_limit,
+    n_nodes: int,
+    allow_mega: bool = True,
+    faults=None,
+    churn=None,
+    sender_ids=(),
+) -> Optional[str]:
+    """Why a configuration cannot run on the columnar mega lane.
+
+    Returns ``None`` when the configuration qualifies, otherwise a
+    human-readable sentence naming the first disqualifying condition —
+    ``run-scenario --dispatch vector`` prints it when falling back, so
+    users learn *why* they got the slow lane.
+
+    ``allow_mega`` is the caller's veto for conditions this check cannot
+    see; ``faults``/``churn``/``sender_ids`` let callers that know the
+    schedules get the full verdict up front (the experiment harness
+    passes them from the spec).
+    """
+    if not allow_mega:
+        return "caller vetoed the mega lane (allow_mega=False)"
+    if protocol != "lpbcast":
+        return (
+            f"protocol {protocol!r} is not the baseline lpbcast "
+            "(adaptive/bimodal variants keep per-node state the columnar "
+            "lane does not model)"
+        )
+    if membership != "full":
+        return f"membership {membership!r} is not full (partial views stay per-node)"
+    if system.round_phase is None:
+        return (
+            "round_phase is None (random per-node phases; the columnar lane "
+            "needs one shared tick)"
+        )
+    if system.round_jitter:
+        return (
+            f"round_jitter={system.round_jitter} desynchronises node rounds "
+            "(the columnar lane needs one shared tick)"
+        )
+    if type(latency) is not ConstantLatency:
+        return (
+            f"latency model {type(latency).__name__} samples per-message "
+            "delays (the columnar lane folds one constant-delay instant)"
+        )
+    if not latency.delay < system.gossip_period:
+        if latency.delay == system.gossip_period:
+            return (
+                f"latency.delay == gossip_period ({latency.delay}): arrivals "
+                "would land exactly on the next tick and race it; the "
+                "columnar lane needs the delay strictly below the period"
+            )
+        return (
+            f"latency.delay={latency.delay} >= gossip_period="
+            f"{system.gossip_period}: more than one instant would be in "
+            "flight between ticks"
+        )
+    if loss is not None and type(loss) not in (NoLoss, BernoulliLoss):
+        return (
+            f"loss model {type(loss).__name__} is stateful or unknown; the "
+            "columnar lane replays NoLoss and BernoulliLoss draws only"
+        )
+    if trace:
+        return "trace logging is enabled (per-node event traces stay per-node)"
+    if aggregate is not None:
+        return "an aggregation strategy is configured (stays per-node)"
+    if rate_limit is not None:
+        return "a static rate limit is configured (stays per-node)"
+    if n_nodes < 2:
+        return f"n_nodes={n_nodes} < 2 (nothing to gossip with)"
+    return mega_schedule_reason(
+        system=system,
+        n_nodes=n_nodes,
+        faults=faults,
+        churn=churn,
+        sender_ids=sender_ids,
+    )
 
 
 def vector_eligible(
@@ -81,30 +307,32 @@ def vector_eligible(
     rate_limit,
     n_nodes: int,
     allow_mega: bool = True,
+    faults=None,
+    churn=None,
+    sender_ids=(),
 ) -> bool:
     """Whether a configuration may run on the columnar mega lane.
 
-    ``allow_mega`` is the caller's veto for conditions the constructor
-    cannot see (fault/churn schedules are applied after construction —
-    the experiment harness passes ``False`` when a spec carries them).
+    The boolean face of :func:`vector_ineligible_reason`.
     """
-    if not allow_mega:
-        return False
-    if protocol != "lpbcast" or membership != "full":
-        return False
-    if system.round_phase is None or system.round_jitter:
-        return False
-    if type(latency) is not ConstantLatency:
-        return False
-    # delay must be inside one round: exactly one instant is in flight
-    # between consecutive ticks, which is what makes anchors global
-    if not latency.delay < system.gossip_period:
-        return False
-    if loss is not None and type(loss) is not NoLoss:
-        return False
-    if trace or aggregate is not None or rate_limit is not None:
-        return False
-    return n_nodes >= 2
+    return (
+        vector_ineligible_reason(
+            protocol=protocol,
+            membership=membership,
+            system=system,
+            latency=latency,
+            loss=loss,
+            trace=trace,
+            aggregate=aggregate,
+            rate_limit=rate_limit,
+            n_nodes=n_nodes,
+            allow_mega=allow_mega,
+            faults=faults,
+            churn=churn,
+            sender_ids=sender_ids,
+        )
+        is None
+    )
 
 
 class _VectorBuffer:
@@ -181,10 +409,13 @@ class VectorRoundExecutor:
 
     State is columnar: one entry per node id in flat lists/arrays, one
     row per live event. Per round the executor ages out expired events
-    globally, samples every node's gossip targets in one pass (consuming
-    each node's own RNG stream exactly as the per-node path would),
-    replicates the network's draw-free multicast accounting, and folds
-    the whole instant's deliveries in bulk when it reaches the wire.
+    globally, samples every alive node's gossip targets in one pass
+    (consuming each node's own RNG stream exactly as the per-node path
+    would), applies the network's live fault state (partition/one-way/
+    cap filters, then loss draws against the same network stream), and
+    folds the whole instant's deliveries in bulk when it reaches the
+    wire. Crash/restart mutate an alive-ordered emission list plus the
+    per-node columns (see :meth:`crash`/:meth:`restart`).
     """
 
     def __init__(
@@ -207,6 +438,7 @@ class VectorRoundExecutor:
         self.collector = collector
         self.system = system
         self.n = n_nodes
+        self._network = network
         self.net_stats = network.stats
         self._np = _np if use_numpy else None
         self._delay = latency.delay
@@ -214,10 +446,19 @@ class VectorRoundExecutor:
         self._fanout = system.fanout
         self._max_age = system.max_age
         self._dedup_cap = system.dedup_capacity
-        self._tlen = min(system.fanout, n_nodes - 1)
+        self._period = system.gossip_period
+        self._phase = system.round_phase
+        # the live bucket's next fire time, mirrored so restart alignment
+        # can be checked at runtime (set to now + period at each tick)
+        self._next_tick = system.round_phase
         self._cap = [system.buffer_capacity] * n_nodes
         self._round = 0
         self._next_seq = [0] * n_nodes
+        # emission order == round-bucket member order == directory join
+        # order; one list replicates all three under supported churn
+        self._order = list(range(n_nodes))
+        self._order_dirty = False
+        self._alive = set(range(n_nodes))
         # the same per-node streams the per-node path draws from
         self._getrandbits = [
             sim.rngs.stream("protocol", i).getrandbits for i in range(n_nodes)
@@ -248,13 +489,18 @@ class VectorRoundExecutor:
         self._st_drop_over = z()
         self._st_drop_age = z()
         self._st_drop_resize = z()
+        self._st_rounds = z()
+        self._st_sent = z()
         # mutation tracking between a tick and its delivery fold: the
         # log reconstructs tick-time buffer snapshots, the flag tells
-        # the batched fold whether any eviction invalidated its
-        # captured holder rows
+        # the batched fold whether any eviction (or crash) invalidated
+        # its captured holder rows, and _crash_snaps preserves what a
+        # node emitted this tick when a crash clears its columns before
+        # the fold lands
         self._tick_log: list[tuple] = []
         self._evicted_since_tick = False
         self._snap_cache: dict[int, tuple] = {}
+        self._crash_snaps: dict[int, tuple] = {}
         self.nodes: dict[int, _VectorNode] = {
             i: _VectorNode(i, VectorNodeProtocol(self, i)) for i in range(n_nodes)
         }
@@ -277,33 +523,64 @@ class VectorRoundExecutor:
         sim = self.sim
         now = sim.now
         self._round += 1
+        self._next_tick = now + self._period
         self._age_out(now)
         self._tick_log = []
         self._evicted_since_tick = False
-        n = self.n
-        k = self._tlen
+        self._snap_cache = {}
+        self._crash_snaps = {}
+        if self._order_dirty:
+            self._order = [d for d in self._order if d in self._alive]
+            self._order_dirty = False
+        order = self._order
+        a = len(order)
+        if not a:
+            return
+        m = a - 1
+        k = self._fanout if self._fanout < m else m
         buf = self._buf
+        st_rounds = self._st_rounds
+        st_sent = self._st_sent
+        if self._np is not None and a == self.n:
+            st_rounds += 1
+            if k > 0:
+                st_sent += k
+        elif k > 0:
+            for i in order:
+                st_rounds[i] += 1
+                st_sent[i] += k
+        else:
+            for i in order:
+                st_rounds[i] += 1
+        sizes = [len(buf[i]) for i in order]
+        if self._sample_gauges:
+            sample_gauge = self.collector.sample_gauge
+            for pi, i in enumerate(order):
+                sample_gauge("buffer_len", i, now, sizes[pi])
+        if k <= 0:
+            # a lone survivor gossips to nobody: rounds/ages/gauges still
+            # advance, nothing reaches the wire (no draws, no stats)
+            return
         # --- one sampling pass for the whole population -------------------
         # Index-only replica of uniform_sample over each node's full view:
-        # peers are [0..n-1] minus the owner, so peer index j maps to node
-        # id j (j < i) or j + 1 (j >= i). Draws match rng.sample exactly.
+        # peers are the alive order minus the owner, so peer index v maps
+        # to order[v] (v < pi) or order[v + 1] (v >= pi). Draws match
+        # rng.sample exactly.
         getrandbits = self._getrandbits
-        rows: list[list[int]] = [[]] * n
-        m = n - 1
+        rows: list[list[int]] = [[]] * a
         if k >= m:
             # count >= len(peers): the full view returns every peer,
             # consuming no draws at all
-            all_ids = list(range(n))
-            for i in range(n):
-                rows[i] = all_ids[:i] + all_ids[i + 1 :]
+            for pi in range(a):
+                rows[pi] = order[:pi] + order[pi + 1 :]
         else:
             setsize = 21  # stdlib heuristic: set cost vs copying the pool
             if k > 5:
                 setsize += 4 ** math.ceil(math.log(k * 3, 4))
             if m <= setsize:
                 base_pool = list(range(m))
-                for i in range(n):
-                    grb = getrandbits[i]
+                for pi in range(a):
+                    grb = getrandbits[order[pi]]
                     pool = base_pool.copy()
                     row = [0] * k
                     for t in range(k):
@@ -314,12 +591,12 @@ class VectorRoundExecutor:
                             j = grb(bits)
                         v = pool[j]
                         pool[j] = pool[bound - 1]
-                        row[t] = v if v < i else v + 1
-                    rows[i] = row
+                        row[t] = order[v] if v < pi else order[v + 1]
+                    rows[pi] = row
             else:
                 bits = m.bit_length()
-                for i in range(n):
-                    grb = getrandbits[i]
+                for pi in range(a):
+                    grb = getrandbits[order[pi]]
                     selected: set[int] = set()
                     add = selected.add
                     row = [0] * k
@@ -328,17 +605,26 @@ class VectorRoundExecutor:
                         while j >= m or j in selected:
                             j = grb(bits)
                         add(j)
-                        row[t] = j if j < i else j + 1
-                    rows[i] = row
-        # --- emission accounting (the draw-free multicast fast path) ------
-        sizes = [len(b) for b in buf]
+                        row[t] = order[j] if j < pi else order[j + 1]
+                    rows[pi] = row
+        # --- emission accounting (replicates Network.multicast) -----------
         ns = self.net_stats
-        ns.sent += n * k
+        ns.sent += a * k
         ns.payload_items += sum(sizes) * k
-        if self._sample_gauges:
-            sample_gauge = self.collector.sample_gauge
-            for i in range(n):
-                sample_gauge("buffer_len", i, now, sizes[i])
+        net = self._network
+        if (
+            type(net._loss) is NoLoss
+            and not net._partition_of
+            and not net._oneway_blocked
+            and net._link_loss is None
+            and net._cap.rate is None
+        ):
+            # the draw-free multicast fast path: every message survives
+            n_sched = a * k
+        else:
+            rows, n_sched = self._chaos_filter(order, rows)
+        if not n_sched:
+            return
         # holder rows of unsaturated live events, captured at tick time —
         # these are the only events anyone can still receive for the
         # first time this instant
@@ -350,7 +636,115 @@ class VectorRoundExecutor:
                 em = flatnonzero(H[e])
                 if em.size:
                     unsat_snap.append((e, em))
-        sim.post(self._delay, self._deliver_instant, rows, sizes, unsat_snap)
+        sim.post(
+            self._delay, self._deliver_instant, list(order), rows, sizes, unsat_snap, n_sched
+        )
+
+    def _chaos_filter(self, order, rows):
+        """Apply the network's live fault state to this tick's emissions.
+
+        Replicates :meth:`~repro.sim.network.Network.multicast`'s
+        non-fast-path rule order per message — partition, one-way cut,
+        bandwidth cap (which consumes window budget), then the loss
+        model and the per-link matrix — consuming the same ``("network",)``
+        stream draw for draw. The deterministic rules run first for every
+        message, then the loss draws over the survivors: valid because
+        cap budget depends only on prior deterministic outcomes (cap
+        precedes loss per message, and a lost message still consumed its
+        budget) and the loss draws are the only RNG consumers.
+        """
+        net = self._network
+        ns = self.net_stats
+        partition_of = net._partition_of
+        pget = partition_of.get if partition_of else None
+        oneway_blocked = net._oneway_blocked
+        oget = net._oneway_of.get if oneway_blocked else None
+        cap_on = net._cap.rate is not None
+        if pget is not None or oget is not None or cap_on:
+            cap_exceeded = net._cap_exceeded
+            filtered: list[list[int]] = []
+            for pi, row in enumerate(rows):
+                src = order[pi]
+                sg = pget(src, -1) if pget is not None else -1
+                so = oget(src, -1) if oget is not None else -1
+                kept = []
+                keep = kept.append
+                for dst in row:
+                    if pget is not None and pget(dst, -1) != sg:
+                        ns.partitioned += 1
+                        continue
+                    if oget is not None and (so, oget(dst, -1)) in oneway_blocked:
+                        ns.oneway_blocked += 1
+                        continue
+                    if cap_on and cap_exceeded():
+                        continue  # counted in stats.capped by the network
+                    keep(dst)
+                filtered.append(kept)
+            rows = filtered
+        loss = net._loss
+        lossless = type(loss) is NoLoss
+        link_loss = net._link_loss
+        if not lossless or link_loss is not None:
+            rng = net._rng
+            if (
+                self._np is not None
+                and link_loss is None
+                and type(loss) is BernoulliLoss
+            ):
+                # one bulk block of doubles for the whole tick, replayed
+                # against (and written back to) the stdlib stream state
+                total = sum(map(len, rows))
+                if total:
+                    lost = (self._bulk_random(rng, total) < loss.p).tolist()
+                    filtered = []
+                    base = 0
+                    for row in rows:
+                        kept = [
+                            dst
+                            for off, dst in enumerate(row)
+                            if not lost[base + off]
+                        ]
+                        ns.lost += len(row) - len(kept)
+                        base += len(row)
+                        filtered.append(kept)
+                    rows = filtered
+            else:
+                filtered = []
+                for pi, row in enumerate(rows):
+                    src = order[pi]
+                    kept = []
+                    keep = kept.append
+                    for dst in row:
+                        if not lossless and loss.is_lost(src, dst, rng):
+                            ns.lost += 1
+                            continue
+                        if link_loss is not None:
+                            p = link_loss.get((src, dst))
+                            if p is not None and rng.random() < p:
+                                ns.link_lost += 1
+                                continue
+                        keep(dst)
+                    filtered.append(kept)
+                rows = filtered
+        return rows, sum(map(len, rows))
+
+    def _bulk_random(self, rng, count: int):
+        """``count`` doubles from ``rng`` via numpy, byte-identical.
+
+        Mirrors the Mersenne Twister state into a
+        ``numpy.random.RandomState`` (same genrand_res53 double path: two
+        uint32 draws per double), pulls one block, and writes the
+        advanced state back so subsequent stdlib draws continue the
+        stream exactly where a per-message loop would have left it.
+        """
+        np_ = self._np
+        version, state, gauss = rng.getstate()
+        rs = np_.random.RandomState()
+        rs.set_state(("MT19937", np_.array(state[:-1], dtype=np_.uint32), state[-1]))
+        out = rs.random_sample(count)
+        _, keys, pos = rs.get_state()[:3]
+        rng.setstate((version, tuple(int(x) for x in keys) + (int(pos),), gauss))
+        return out
 
     def _age_out(self, now: float) -> None:
         expired = self._by_birth.pop(self._round - self._max_age - 1, None)
@@ -387,63 +781,90 @@ class VectorRoundExecutor:
     # ------------------------------------------------------------------
     # the delivery instant
     # ------------------------------------------------------------------
-    def _deliver_instant(self, rows, sizes, unsat_snap) -> None:
+    def _deliver_instant(self, emitters, rows, sizes, unsat_snap, n_sched) -> None:
         # Mirrors Network._deliver_batch: arrivals land first, and one
         # same-instant re-post orders the fold after every event already
         # scheduled for this timestamp (sender ticks included).
-        self.sim.post(0.0, self._fold_instant, rows, sizes, unsat_snap)
+        self.sim.post(0.0, self._fold_instant, emitters, rows, sizes, unsat_snap, n_sched)
 
-    def _fold_instant(self, rows, sizes, unsat_snap) -> None:
+    def _fold_instant(self, emitters, rows, sizes, unsat_snap, n_sched) -> None:
         now = self.sim.now
-        self.net_stats.delivered += self.n * self._tlen
         self._snap_cache = {}
-        # The batched fold assumes tick-time holder rows are still holders
-        # and that no dedup store can overflow this instant; otherwise the
-        # per-message reference fold replays the exact sequential semantics.
+        # The batched fold assumes tick-time holder rows are still holders,
+        # that no dedup store can overflow this instant, and that every
+        # targeted node is still attached; otherwise the per-message
+        # reference fold replays the exact sequential semantics (it owns
+        # the delivered/no_route split for nodes that crashed in flight).
         if (
             self._np is not None
             and not self._evicted_since_tick
             and self._known_peak + len(unsat_snap) <= self._dedup_cap
         ):
-            self._fold_batched(rows, sizes, unsat_snap, now)
+            self.net_stats.delivered += n_sched
+            self._fold_batched(emitters, rows, sizes, unsat_snap, now)
         else:
-            self._fold_sequential(rows, now)
+            self._fold_sequential(emitters, rows, now)
 
-    def _fold_batched(self, rows, sizes, unsat_snap, now: float) -> None:
+    def _fold_batched(self, emitters, rows, sizes, unsat_snap, now: float) -> None:
         np_ = self._np
         n = self.n
-        k = self._tlen
+        a = len(emitters)
+        lens = np_.fromiter(map(len, rows), dtype=np_.intp, count=a)
+        total = int(lens.sum())
+        if not total:
+            return
         tflat = np_.fromiter(
-            itertools.chain.from_iterable(rows), dtype=np_.intp, count=n * k
+            itertools.chain.from_iterable(rows), dtype=np_.intp, count=total
         )
         counts = np_.bincount(tflat, minlength=n)
         items = np_.bincount(
-            tflat, weights=np_.repeat(np_.asarray(sizes, dtype=np_.float64), k), minlength=n
+            tflat,
+            weights=np_.repeat(np_.asarray(sizes, dtype=np_.float64), lens),
+            minlength=n,
         )
         self._st_received += counts
-        T = tflat.reshape(n, k)
+        starts = np_.empty(a, dtype=np_.intp)
+        starts[0] = 0
+        if a > 1:
+            np_.cumsum(lens[:-1], out=starts[1:])
+        # emission positions, not node ids: under churn the alive order is
+        # no longer sorted, and arrival order (who delivers first, the
+        # fold order per receiver) follows emission positions
+        pos_of = np_.full(n, -1, dtype=np_.intp)
+        pos_of[np_.asarray(emitters, dtype=np_.intp)] = np_.arange(a, dtype=np_.intp)
         K = self._K
         H = self._H
         buf = self._buf
         nknown = self._nknown
         unsat = self._unsat
-        # first receipts: for each still-spreading event, the lowest
-        # emitter that holds it and targeted a node unaware of it wins.
-        # The (s, position-at-s) ordering keys are read here, *before*
-        # any staging/eviction mutates a buffer — nothing has been
-        # evicted since tick, so buf[s][e] is still the position e held
-        # in s's emitted summary.
+        # first receipts: for each still-spreading event, the earliest
+        # emitter (in emission order) that holds it and targeted a node
+        # unaware of it wins. The (position, position-at-s) ordering keys
+        # are read here, *before* any staging/eviction mutates a buffer —
+        # nothing has been evicted since tick, so buf[s][e] is still the
+        # position e held in s's emitted summary.
         d_parts: list = []
         s_parts: list = []
         p_parts: list = []
         deliveries: list[tuple[int, int]] = []  # (event, receiver count)
-        for e, emitters in unsat_snap:
-            cand = T[emitters].ravel()
+        for e, holders in unsat_snap:
+            ep = pos_of[holders]
+            el = lens[ep]
+            cand_parts = [
+                tflat[s : s + ln]
+                for s, ln in zip(starts[ep].tolist(), el.tolist())
+                if ln
+            ]
+            if not cand_parts:
+                continue
+            cand = (
+                np_.concatenate(cand_parts) if len(cand_parts) > 1 else cand_parts[0]
+            )
             mask = ~K[e][cand]
             if not mask.any():
                 continue
             cd = cand[mask]
-            cs = np_.repeat(emitters, k)[mask]
+            cs = np_.repeat(ep, el)[mask]
             order = np_.lexsort((cs, cd))
             cd = cd[order]
             cs = cs[order]
@@ -451,9 +872,10 @@ class VectorRoundExecutor:
             keep[1:] = cd[1:] != cd[:-1]
             cd = cd[keep]
             cs = cs[keep]
-            be = buf.__getitem__
             pos = np_.fromiter(
-                (be(s)[e] for s in cs.tolist()), dtype=np_.int64, count=cd.shape[0]
+                (buf[emitters[p]][e] for p in cs.tolist()),
+                dtype=np_.int64,
+                count=cd.shape[0],
             )
             K[e][cd] = True
             H[e][cd] = True
@@ -480,8 +902,8 @@ class VectorRoundExecutor:
                 [np_.full(c, e, dtype=np_.int64) for e, c in deliveries]
             )
             # one global sort gives every receiver its fold order:
-            # emitter id, then the event's position in that emitter's
-            # summary — exactly the sequential per-message order
+            # emission position, then the event's position in that
+            # emitter's summary — exactly the sequential per-message order
             order = np_.lexsort((P, S, D))
             new_counts += np_.bincount(D, minlength=n)
             peak = self._known_peak
@@ -518,16 +940,24 @@ class VectorRoundExecutor:
                     bulk(eids[e], c, now)
         self._st_dups += items.astype(np_.int64) - new_counts
 
-    def _fold_sequential(self, rows, now: float) -> None:
-        """Per-message reference fold: exactly ``_receive_many`` per node."""
+    def _fold_sequential(self, emitters, rows, now: float) -> None:
+        """Per-message reference fold: exactly ``_receive_many`` per node.
+
+        Also the only fold that can see a receiver which crashed while
+        the instant was in flight — its messages are no-routed, exactly
+        as the network's flush does for a detached handler.
+        """
         inbox: dict[int, list[int]] = {}
-        for s, row in enumerate(rows):
+        for pi, row in enumerate(rows):
+            s = emitters[pi]
             for d in row:
                 q = inbox.get(d)
                 if q is None:
                     inbox[d] = [s]
                 else:
                     q.append(s)
+        ns = self.net_stats
+        alive = self._alive
         known = self._known
         buf = self._buf
         st_received = self._st_received
@@ -538,13 +968,18 @@ class VectorRoundExecutor:
         np_ = self._np
         log = self._tick_log
         dedup_cap = self._dedup_cap
-        for d, emitters in inbox.items():
-            st_received[d] += len(emitters)
+        for d, senders in inbox.items():
+            if d not in alive:
+                # receiver crashed while the messages were in flight
+                ns.no_route += len(senders)
+                continue
+            ns.delivered += len(senders)
+            st_received[d] += len(senders)
             kd = known[d]
             kd_keys = kd.keys()
             bd = buf[d]
             dups_d = 0
-            for s in emitters:
+            for s in senders:
                 ids, idset = self._tick_snapshot(s)
                 if not ids:
                     continue
@@ -593,10 +1028,16 @@ class VectorRoundExecutor:
         """What node ``s`` emitted this instant: its buffer at tick time.
 
         Reconstructed from the live buffer by undoing the stage/evict log
-        in reverse — zero copies on the common no-mutation instants.
+        in reverse — zero copies on the common no-mutation instants. A
+        node that crashed since the tick had its summary preserved in
+        ``_crash_snaps`` before its columns were cleared.
         """
         snap = self._snap_cache.get(s)
         if snap is not None:
+            return snap
+        snap = self._crash_snaps.get(s)
+        if snap is not None:
+            self._snap_cache[s] = snap
             return snap
         mutations = [entry for entry in self._tick_log if entry[1] == s]
         if not mutations:
@@ -612,6 +1053,90 @@ class VectorRoundExecutor:
         snap = (ids, frozenset(ids))
         self._snap_cache[s] = snap
         return snap
+
+    # ------------------------------------------------------------------
+    # crash / restart (the churn vocabulary)
+    # ------------------------------------------------------------------
+    def crash(self, node_id: int) -> None:
+        """Silent departure: clear the node's columns, keep its identity.
+
+        The caller (:class:`~repro.workload.cluster.SimCluster`) owns the
+        directory and the ``nodes`` dict; this clears the columnar state.
+        An in-flight instant may still need what this node emitted at the
+        tick, so its tick-time summary is snapshotted first and the
+        per-message fold takes over for the instant.
+        """
+        i = node_id
+        self._crash_snaps[i] = self._tick_snapshot(i)
+        self._evicted_since_tick = True
+        self._alive.discard(i)
+        self._order_dirty = True
+        np_ = self._np
+        bd = self._buf[i]
+        if np_ is not None:
+            H = self._H
+            for e in bd:
+                H[e][i] = False
+        # (stdlib holder lists self-filter against the cleared buffer)
+        bd.clear()
+        kd = self._known[i]
+        if np_ is not None:
+            K = self._K
+            nknown = self._nknown
+            unsat = self._unsat
+            for e in kd:
+                row = K.get(e)  # None once the event aged out
+                if row is not None and row[i]:
+                    row[i] = False
+                    nknown[e] -= 1
+                    # the event can spread again (to this identity, if
+                    # it restarts) — back onto the unsaturated set
+                    unsat[e] = None
+        kd.clear()
+
+    def restart(self, node_id: int) -> None:
+        """Re-admit a crashed identity as a fresh process at a round tick.
+
+        Zeroed buffer/dedup/stat columns under the old identity, appended
+        at the end of the emission order — exactly where a per-node
+        restart lands in the round bucket and the directory.
+        """
+        i = node_id
+        if i in self._alive:
+            raise ValueError(f"node {i!r} already exists")
+        if not (isinstance(i, int) and 0 <= i < self.n):
+            raise RuntimeError(
+                f"join of unknown node {i!r} is not supported on the "
+                "vectorized mega lane (no columns for it); construct the "
+                "cluster with allow_mega=False"
+            )
+        if self.sim.now + self._phase != self._next_tick:
+            raise RuntimeError(
+                f"restart of node {i!r} at t={self.sim.now} does not land "
+                "on a round tick; off-tick restarts are not supported on "
+                "the vectorized mega lane — construct the cluster with "
+                "allow_mega=False"
+            )
+        if self._order_dirty:
+            self._order = [d for d in self._order if d in self._alive]
+            self._order_dirty = False
+        self._order.append(i)
+        self._alive.add(i)
+        self._next_seq[i] = 0
+        self._arrival[i] = 0
+        self._cap[i] = self.system.buffer_capacity
+        for col in (
+            self._st_broadcasts,
+            self._st_received,
+            self._st_delivered,
+            self._st_dups,
+            self._st_drop_over,
+            self._st_drop_age,
+            self._st_drop_resize,
+            self._st_rounds,
+            self._st_sent,
+        ):
+            col[i] = 0
 
     # ------------------------------------------------------------------
     # facade entry points
@@ -710,9 +1235,9 @@ class VectorRoundExecutor:
     # ------------------------------------------------------------------
     def _stats_of(self, i: int) -> ProtocolStats:
         return ProtocolStats(
-            rounds=self._round,
+            rounds=int(self._st_rounds[i]),
             broadcasts=int(self._st_broadcasts[i]),
-            messages_sent=self._round * self._tlen,
+            messages_sent=int(self._st_sent[i]),
             messages_received=int(self._st_received[i]),
             events_delivered=int(self._st_delivered[i]),
             duplicates_seen=int(self._st_dups[i]),

@@ -45,7 +45,11 @@ from repro.sim.engine import RoundDispatcher, Simulator
 from repro.sim.network import LatencyModel, LossModel, Network, UniformLatency
 from repro.sim.process import SimProcess
 from repro.sim.trace import TraceLog
-from repro.sim.vector import VectorRoundExecutor, vector_eligible
+from repro.sim.vector import (
+    VectorRoundExecutor,
+    mega_schedule_reason,
+    vector_eligible,
+)
 from repro.workload.senders import PeriodicArrivals, Sender
 
 __all__ = ["ClusterNode", "SimCluster", "make_protocol_factory", "ProtocolFactory"]
@@ -196,9 +200,12 @@ class SimCluster(Driver):
         the memory mode for 10k+-node runs.
     allow_mega:
         Permission for ``dispatch="vector"`` to use the whole-population
-        columnar lane when the configuration qualifies. Callers that will
-        apply fault/churn schedules after construction pass ``False``
-        (the harness does this automatically).
+        columnar lane when the configuration qualifies. Loss, partition,
+        one-way, link-loss, bandwidth-cap, crash and aligned churn
+        schedules lower onto the lane; callers that will apply a
+        schedule it cannot honour (see
+        :func:`~repro.sim.vector.mega_schedule_reason`) pass ``False``
+        — the harness screens specs and does this automatically.
     vector_numpy:
         Force the vector lane's numpy fast path on/off; ``None``
         auto-detects. Results are identical either way.
@@ -390,22 +397,65 @@ class SimCluster(Driver):
         """Schedule a scenario action at an absolute simulation time."""
         self.sim.schedule_at(time, fn)
 
-    def _require_dynamic(self, operation: str) -> None:
-        if self.vector is not None:
+    def _check_mega_schedule(self, faults=None, churn=None) -> None:
+        """Refuse schedules the columnar lane cannot lower, up front.
+
+        The harness pre-screens specs (``allow_mega`` in
+        :func:`~repro.experiments.harness.build_cluster`), so on that path
+        the vector lane only engages for supported schedules; this guards
+        direct callers that construct a vector cluster and then apply an
+        unsupported script.
+        """
+        if self.vector is None:
+            return
+        reason = mega_schedule_reason(
+            system=self.system,
+            n_nodes=self.vector.n,
+            faults=faults,
+            churn=churn,
+            sender_ids=tuple(self.senders),
+        )
+        if reason is not None:
             raise RuntimeError(
-                f"{operation} is not supported on the vectorized mega lane; "
-                "construct the cluster with allow_mega=False (the harness "
-                "does this for specs carrying fault/churn schedules)"
+                f"schedule is not supported on the vectorized mega lane "
+                f"({reason}); construct the cluster with allow_mega=False "
+                "(the harness does this automatically for such specs)"
             )
 
-    def join_node(self, node_id: NodeId) -> ClusterNode:
-        """Add a fresh node to the running group."""
-        self._require_dynamic("join_node")
+    def _vector_depart(self, node_id: NodeId, operation: str) -> None:
+        """Crash/leave on the columnar lane: column reset, same identity."""
+        if node_id in self.senders:
+            raise RuntimeError(
+                f"{operation} of sender node {node_id!r} is not supported "
+                "on the vectorized mega lane (its sender process keeps "
+                "broadcasting); construct the cluster with allow_mega=False"
+            )
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            return
+        self.directory.leave(node_id)
+        self.vector.crash(node_id)
+        self._log_size()
+
+    def join_node(self, node_id: NodeId):
+        """Add a node to the running group (on the mega lane: re-admit a
+        crashed identity as a fresh process)."""
+        if self.vector is not None:
+            self.vector.restart(node_id)
+            self.directory.join(node_id)
+            node = self.vector.nodes[node_id]
+            self.nodes[node_id] = node
+            self._log_size()
+            return node
         return self._spawn_node(node_id)
 
     def leave_node(self, node_id: NodeId) -> None:
         """Graceful departure: announce unsubscription, then stop."""
-        self._require_dynamic("leave_node")
+        if self.vector is not None:
+            # full membership has no unsubscription traffic, so a leave
+            # and a crash lower identically on the columnar lane
+            self._vector_depart(node_id, "leave_node")
+            return
         node = self.nodes.pop(node_id, None)
         if node is None:
             return
@@ -419,7 +469,9 @@ class SimCluster(Driver):
 
     def crash_node(self, node_id: NodeId) -> None:
         """Silent failure: the node just stops (no unsubscription)."""
-        self._require_dynamic("crash_node")
+        if self.vector is not None:
+            self._vector_depart(node_id, "crash_node")
+            return
         node = self.nodes.pop(node_id, None)
         if node is None:
             return
@@ -430,7 +482,7 @@ class SimCluster(Driver):
 
     def apply_churn(self, script: ChurnScript) -> None:
         """Schedule a churn script's events on the simulator."""
-        self._require_dynamic("apply_churn")
+        self._check_mega_schedule(churn=script)
         for event in script.sorted_events():
             action = {
                 "join": self.join_node,
@@ -446,7 +498,7 @@ class SimCluster(Driver):
         nodes; ``baseline_loss`` is what loss windows restore on close
         (defaults to a perfect network).
         """
-        self._require_dynamic("apply_faults")
+        self._check_mega_schedule(faults=script)
         script.apply(self.sim, self.network, baseline_loss=baseline_loss, cluster=self)
 
     # ------------------------------------------------------------------

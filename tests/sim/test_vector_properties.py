@@ -2,15 +2,19 @@
 
 Hypothesis draws small gossip configurations and checks that
 ``dispatch="vector"`` reproduces ``dispatch="batched"`` byte for byte,
-on both of the vector mode's lanes:
+on the vector mode's lanes:
 
-* the round-synchronous lossless regime routes onto the columnar mega
-  lane (:class:`repro.sim.vector.VectorRoundExecutor`), which must
-  replicate the per-node protocol exactly — same RNG draws, same
-  buffer evictions, same metrics — with and without numpy;
-* every other configuration (jittered rounds, lossy links, churn)
-  falls back to real per-node protocols and must be identical by
-  construction.
+* the round-synchronous regime routes onto the columnar mega lane
+  (:class:`repro.sim.vector.VectorRoundExecutor`), which must replicate
+  the per-node protocol exactly — same RNG draws, same buffer
+  evictions, same metrics — with and without numpy;
+* the chaos lane: fuzzed (loss rate, partition window, crash window)
+  triples stay on the mega lane and must replay the per-node path's
+  network RNG stream draw for draw, through window edges, crash-time
+  column resets and round-aligned restarts;
+* genuinely ineligible configurations (adaptive protocol, jittered
+  rounds, non-constant latency) fall back to real per-node protocols
+  and must be identical by construction.
 
 Drop *ages* are compared as multisets: within one delivery instant the
 per-node path evicts per message while the mega lane evicts once at
@@ -27,6 +31,7 @@ from repro.core.config import AdaptiveConfig
 from repro.experiments.harness import RunSpec, run_once
 from repro.gossip.config import SystemConfig
 from repro.membership.churn import ChurnScript
+from repro.sim.faults import FaultScript
 from repro.sim.network import BernoulliLoss, ConstantLatency, UniformLatency
 from repro.workload.cluster import SimCluster
 
@@ -61,7 +66,9 @@ def _fingerprint(cluster: SimCluster) -> tuple:
         tuple(sorted(m.drop_ages)),
         records,
         stats,
-        (net.sent, net.delivered, net.payload_items),
+        (net.sent, net.delivered, net.lost, net.partitioned,
+         net.oneway_blocked, net.link_lost, net.capped, net.no_route,
+         net.payload_items),
     )
 
 
@@ -127,7 +134,106 @@ def test_mega_lane_numpy_matches_stdlib(cfg):
 
 
 # ----------------------------------------------------------------------
-# lane 2: ineligible configs fall back to per-node protocols
+# lane 2: the chaos lane — fuzzed loss/partition/crash triples stay on
+# the mega lane and replay the per-node network RNG draw for draw
+# ----------------------------------------------------------------------
+chaos_configs = st.fixed_dictionaries(
+    {
+        "n_nodes": st.integers(6, 32),
+        "fanout": st.integers(2, 5),
+        "buffer_capacity": st.integers(4, 12),
+        "max_age": st.integers(3, 6),
+        "rate": st.floats(2.0, 8.0),
+        "seed": st.integers(0, 10_000),
+        # baseline Bernoulli loss on every delivery
+        "loss": st.one_of(st.none(), st.floats(0.05, 0.7)),
+        # (start, duration, p): a harsher loss window mid-run
+        "loss_window": st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(1.0, 5.0), st.floats(1.0, 4.0), st.floats(0.1, 0.9)
+            ),
+        ),
+        # (start, duration): split the group in two, then heal
+        "partition": st.one_of(
+            st.none(), st.tuples(st.floats(1.0, 5.0), st.floats(1.0, 4.0))
+        ),
+        # (crash time, victims, round-aligned restart tick or None)
+        "crash": st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(1.0, 6.0),
+                st.integers(1, 3),
+                st.one_of(st.none(), st.integers(7, 11)),
+            ),
+        ),
+    }
+)
+
+
+def _chaos_cluster(cfg: dict, dispatch: str, vector_numpy=None) -> SimCluster:
+    system = SystemConfig(
+        fanout=cfg["fanout"],
+        gossip_period=1.0,
+        buffer_capacity=cfg["buffer_capacity"],
+        dedup_capacity=DEDUP,
+        max_age=cfg["max_age"],
+        round_jitter=0.0,
+        round_phase=0.0,
+    )
+    n = cfg["n_nodes"]
+    loss = BernoulliLoss(cfg["loss"]) if cfg["loss"] is not None else None
+    cluster = SimCluster(
+        n_nodes=n,
+        system=system,
+        protocol="lpbcast",
+        seed=cfg["seed"],
+        latency=ConstantLatency(0.01),
+        loss=loss,
+        dispatch=dispatch,
+        vector_numpy=vector_numpy,
+    )
+    cluster.add_senders([0, n // 2], rate_each=cfg["rate"])
+    script = FaultScript()
+    if cfg["loss_window"] is not None:
+        start, duration, p = cfg["loss_window"]
+        script.loss(start, duration, p)
+    if cfg["partition"] is not None:
+        start, duration = cfg["partition"]
+        script.partition(
+            start, duration, [list(range(0, n // 2)), list(range(n // 2, n))]
+        )
+    if cfg["crash"] is not None:
+        time, k, restart_at = cfg["crash"]
+        senders = {0, n // 2}
+        victims = [i for i in range(n - 1, -1, -1) if i not in senders][:k]
+        script.crash(time, tuple(victims), restart_at)
+    if len(script):
+        cluster.apply_faults(script, baseline_loss=loss)
+    cluster.run(until=12.0)
+    return cluster
+
+
+@settings(max_examples=12, deadline=None)
+@given(cfg=chaos_configs)
+def test_chaos_lane_matches_batched(cfg):
+    batched = _chaos_cluster(cfg, "batched")
+    vector = _chaos_cluster(cfg, "vector")
+    assert vector.vector is not None, "faulted config should stay on the mega lane"
+    assert _fingerprint(batched) == _fingerprint(vector)
+
+
+@settings(max_examples=8, deadline=None)
+@given(cfg=chaos_configs)
+def test_chaos_lane_numpy_matches_stdlib(cfg):
+    auto = _chaos_cluster(cfg, "vector", vector_numpy=None)
+    stdlib = _chaos_cluster(cfg, "vector", vector_numpy=False)
+    assert auto.vector is not None and stdlib.vector is not None
+    assert _fingerprint(auto) == _fingerprint(stdlib)
+
+
+# ----------------------------------------------------------------------
+# lane 3: ineligible configs fall back to per-node protocols
 # ----------------------------------------------------------------------
 fallback_specs = st.fixed_dictionaries(
     {
@@ -143,8 +249,10 @@ fallback_specs = st.fixed_dictionaries(
 
 
 def _fallback_spec(cfg: dict, dispatch: str) -> RunSpec:
-    # jitter-free configs stay ineligible through the latency model,
-    # the loss model, the protocol kind, or the churn veto
+    # at least one genuinely ineligible feature is always present (the
+    # adaptive protocol, round jitter, or a non-constant latency model);
+    # loss and non-sender churn are mega-eligible since vector lane v2,
+    # so they ride along as extras rather than acting as the veto
     system = SystemConfig(
         buffer_capacity=8,
         dedup_capacity=DEDUP,
@@ -157,17 +265,10 @@ def _fallback_spec(cfg: dict, dispatch: str) -> RunSpec:
         if cfg["uniform_latency"]
         else ConstantLatency(0.01)
     )
+    if not (cfg["protocol"] != "lpbcast" or cfg["jittered"] or cfg["uniform_latency"]):
+        cfg = dict(cfg, protocol="adaptive")
     churn = None
     if cfg["churn"]:
-        churn = ChurnScript().crash(5.0, cfg["n_nodes"] - 1)
-    ineligible = (
-        cfg["protocol"] != "lpbcast"
-        or cfg["jittered"]
-        or cfg["loss_p"] is not None
-        or cfg["uniform_latency"]
-        or churn is not None
-    )
-    if not ineligible:
         churn = ChurnScript().crash(5.0, cfg["n_nodes"] - 1)
     return RunSpec(
         protocol=cfg["protocol"],
@@ -202,3 +303,43 @@ def test_fallback_lane_matches_batched(cfg):
     batched = run_once(_fallback_spec(cfg, "batched"))
     vector = run_once(_fallback_spec(cfg, "vector"))
     _assert_results_identical(batched, vector)
+
+
+def test_chaos_vector_specs_jobs_invariant():
+    """Sharding faulted vector specs across workers reproduces the
+    serial run bit for bit (the chaos lane keeps the sweep contract)."""
+    from repro.experiments.sweep import run_specs
+
+    def spec(seed: int) -> RunSpec:
+        n = 16
+        return RunSpec(
+            protocol="lpbcast",
+            system=SystemConfig(
+                buffer_capacity=8,
+                dedup_capacity=DEDUP,
+                max_age=5,
+                round_jitter=0.0,
+                round_phase=0.0,
+            ),
+            n_nodes=n,
+            sender_ids=(0, 8),
+            offered_load=8.0,
+            duration=18.0,
+            warmup=6.0,
+            drain=4.0,
+            seed=seed,
+            loss=BernoulliLoss(0.1),
+            latency=ConstantLatency(0.01),
+            faults=FaultScript()
+            .loss(7.0, 3.0, 0.5)
+            .partition(11.0, 2.0, [list(range(0, 8)), list(range(8, 16))])
+            .crash(8.0, nodes=(14, 15), restart_at=12.0),
+            dispatch="vector",
+        )
+
+    specs = [spec(seed) for seed in (1, 2, 3, 4)]
+    serial = run_specs(specs, jobs=1)
+    sharded = run_specs(specs, jobs=2)
+    for a, b in zip(serial, sharded):
+        assert a.spec == b.spec
+        _assert_results_identical(a, b)
