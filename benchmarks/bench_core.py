@@ -19,6 +19,11 @@ fanout (4) through the columnar vector executor
 with a one-shot batched run at the smallest size proving the columnar
 path byte-identical in-regime.
 
+A ``process_scaling`` tier runs the bench regime on the two *live*
+drivers — threaded and multi-process UDP — and reports nodes-per-core
+(group size over CPU utilization at the scaled clock), the number that
+sizes worker counts on real deployments.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_core.py            # full (writes BENCH_core.json)
@@ -292,6 +297,97 @@ def run_chaos(n_nodes: int, duration: float) -> dict:
     }
 
 
+def _live_spec(n_nodes: int, duration: float):
+    """The bench regime as a ScenarioSpec for the live (wall-clock)
+    drivers: same fanout/buffer shape as :func:`build`, light two-sender
+    load, no faults — what's measured is the runtime substrate, not the
+    conditions. Round phase/jitter stay at the live defaults (desync'd
+    rounds), matching how the drivers run scenarios."""
+    from repro.scenarios.spec import ScenarioSpec, SenderSpec
+
+    return ScenarioSpec(
+        name="bench-live",
+        summary="the dispatch benchmark regime, on a live driver",
+        n_nodes=n_nodes,
+        protocol="lpbcast",
+        system=SystemConfig(
+            fanout=max(4, round(math.log2(n_nodes))),
+            gossip_period=1.0,
+            buffer_capacity=30,
+            dedup_capacity=max(4000, 8 * n_nodes),
+            max_age=8,
+        ),
+        senders=(SenderSpec(0, 1.0), SenderSpec(n_nodes // 2, 1.0)),
+        duration=duration,
+        warmup=0.0,
+        drain=0.0,
+        seed=2003,
+    )
+
+
+def run_process_tier(sizes: list, spec_seconds: float) -> dict:
+    """The ``process_scaling`` tier: nodes-per-core, process vs threaded.
+
+    Runs the same spec on both live drivers at each size and measures
+    CPU cost against wall time. The threaded driver burns this process's
+    CPU (``RUSAGE_SELF``); the process driver burns its reaped workers'
+    (``RUSAGE_CHILDREN`` — every worker is joined in teardown, so the
+    delta captures exactly this run) plus parent coordination. The
+    figure of merit is ``nodes_per_core = n / (cpu / wall)`` — how many
+    gossiping nodes one saturated core sustains at the scaled clock —
+    which is what decides worker counts on real deployments.
+    """
+    import resource
+
+    from repro.scenarios.runner import run_scenario_process, run_scenario_threaded
+
+    def cpu_now() -> float:
+        own = resource.getrusage(resource.RUSAGE_SELF)
+        kids = resource.getrusage(resource.RUSAGE_CHILDREN)
+        return own.ru_utime + own.ru_stime + kids.ru_utime + kids.ru_stime
+
+    entries = []
+    nodes_per_core: dict = {"threaded": {}, "process": {}}
+    for n in sizes:
+        for driver, runner in (
+            ("threaded", run_scenario_threaded),
+            ("process", run_scenario_process),
+        ):
+            spec = _live_spec(n, spec_seconds)
+            gc.collect()
+            cpu0 = cpu_now()
+            t0 = time.perf_counter()
+            report = runner(spec)
+            wall = time.perf_counter() - t0
+            cpu = cpu_now() - cpu0
+            utilization = cpu / wall if wall else 0.0
+            per_core = round(n / utilization, 1) if utilization else None
+            row = {
+                "driver": driver,
+                "n_nodes": n,
+                "spec_seconds": spec_seconds,
+                "wall_seconds": round(wall, 4),
+                "cpu_seconds": round(cpu, 4),
+                "utilization": round(utilization, 3),
+                "nodes_per_core": per_core,
+                "delivered_total": report.delivered_total,
+            }
+            if driver == "process":
+                row["n_workers"] = report.n_workers
+            entries.append(row)
+            nodes_per_core[driver][str(n)] = per_core
+            print(
+                f"live n={n:4d}  {driver:8s} {wall:6.2f}s wall  "
+                f"{cpu:6.2f}s cpu  util {utilization:5.2f}  "
+                f"nodes/core {per_core}"
+            )
+    return {
+        "gossip_period_wall_s": 0.1,
+        "entries": entries,
+        "nodes_per_core": nodes_per_core,
+    }
+
+
 def micro_timings() -> dict:
     """Hot-path micro timings (µs/op, best of 5 runs).
 
@@ -432,6 +528,14 @@ def main(argv=None) -> int:
         help="node count for the faulted mega_chaos tier (0 skips the tier)",
     )
     parser.add_argument(
+        "--process-sizes",
+        type=int,
+        nargs="*",
+        default=[32, 64],
+        help="group sizes for the live-driver process_scaling tier "
+        "(pass nothing after the flag to skip the tier)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="output JSON path (defaults to BENCH_core.json for full runs; "
@@ -494,6 +598,13 @@ def main(argv=None) -> int:
 
     chaos = run_chaos(chaos_size, chaos_duration) if chaos_size else None
 
+    process_sizes = [16] if args.quick else args.process_sizes
+    process = (
+        run_process_tier(process_sizes, spec_seconds=8.0 if args.quick else 12.0)
+        if process_sizes
+        else None
+    )
+
     micro = micro_timings()
     for name, value in micro.items():
         print(f"micro {name:28s} {value:9.3f} us")
@@ -529,6 +640,7 @@ def main(argv=None) -> int:
         "scaling": scaling,
         "mega_scaling": mega,
         "mega_chaos": chaos,
+        "process_scaling": process,
         "speedup_batched_vs_timers": speedups,
         "micro_hot_paths": micro,
         "scenario_overhead": overhead,

@@ -14,7 +14,9 @@ writing code::
     python -m repro.experiments run-scenario correlated-loss flash-crowd
     python -m repro.experiments run-scenario --all --jobs 8
     python -m repro.experiments run-scenario rolling-churn --driver both --quick
+    python -m repro.experiments run-scenario correlated-loss --driver process --quick
     python -m repro.experiments check-scenarios --all --quick
+    python -m repro.experiments check-scenarios --all --quick --driver process
     python -m repro.experiments check-scenarios --all --quick --update-baselines
     python -m repro.experiments check-scenarios flash-crowd --quick
     python -m repro.experiments fuzz-scenarios --seed 7 --count 50 --jobs 4
@@ -36,7 +38,8 @@ seconds.
 ``check-scenarios`` is the regression gate: it runs scenarios, evaluates
 their registered expectations (``ReliabilityAtLeast`` & co.), diffs the
 metrics against the checked-in baselines under ``baselines/scenarios/``
-(exact for the sim driver, tolerance-banded for threaded) and exits
+(exact for the sim driver, tolerance-banded for threaded and process)
+and exits
 nonzero on a violated expectation, unexplained drift, or a missing
 baseline. ``--update-baselines`` re-captures the snapshots instead —
 that is the blessing workflow after an intentional behaviour change.
@@ -327,6 +330,26 @@ def _run_run_scenario(profile, args):
                 lines.append(f"    skipped: {item}")
         chunks.append("\n".join(lines))
         payload["threaded"] = reports
+    if args.driver == "process":
+        reports = [
+            run_scenario(name, driver="process", profile=profile, horizon=args.horizon)
+            for name in names
+        ]
+        lines = [f"Scenario runs — process driver ({profile.name})"]
+        for report in reports:
+            lines.append(
+                f"  {report.scenario}: {report.wall_seconds:.1f}s wall, "
+                f"{report.n_workers} workers, "
+                f"offers={report.offers} admitted={report.admitted} "
+                f"delivered/node={report.delivered_min}..{report.delivered_max} "
+                f"injected={report.injected_count} skipped={report.skipped_count}"
+            )
+            for item in report.injected:
+                lines.append(f"    injected: {item}")
+            for item in report.skipped:
+                lines.append(f"    skipped: {item}")
+        chunks.append("\n".join(lines))
+        payload["process"] = reports
     return "\n\n".join(chunks), payload
 
 
@@ -398,6 +421,17 @@ def _run_check_scenarios(profile, args) -> tuple[str, dict, int]:
                 else evaluate_expectations(spec.expectations, result)
             )
             runs.append((name, checks, result))
+    if args.driver == "process":
+        for name in names:
+            spec = get_scenario(name, profile)
+            report = run_scenario(spec, driver="process", horizon=args.horizon)
+            result = ScenarioResult.from_process(report, profile=profile.name)
+            checks = (
+                ()
+                if args.update_baselines
+                else evaluate_expectations(spec.expectations, result)
+            )
+            runs.append((name, checks, result))
 
     if args.update_baselines:
         lines = [f"Baselines updated — profile {profile.name}, driver {args.driver}"]
@@ -420,9 +454,9 @@ def _run_check_scenarios(profile, args) -> tuple[str, dict, int]:
 
     run_rows = []
     for name, checks, result in runs:
-        # --tolerance loosens the threaded band only: sim's exact
+        # --tolerance loosens the live-driver bands only: sim's exact
         # comparison is the determinism contract and stays exact
-        tol = tolerance if result.driver == "threaded" else None
+        tol = tolerance if result.driver in ("threaded", "process") else None
         diff = compare_to_baseline(result, root, horizon=args.horizon, tolerance=tol)
         run_rows.append((name, result.driver, checks, diff))
     rows = [
@@ -648,9 +682,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--driver",
-            choices=["sim", "threaded", "both"],
+            choices=["sim", "threaded", "process", "both"],
             default="sim",
-            help="execution driver (default sim)",
+            help="execution driver (default sim; 'both' = sim + threaded)",
         )
         p.add_argument(
             "--dispatch",
@@ -673,7 +707,8 @@ def build_parser() -> argparse.ArgumentParser:
     runner = sub.add_parser(
         "run-scenario",
         parents=[common],
-        help="run named scenarios from the registry (sim and/or threaded driver)",
+        help="run named scenarios from the registry (sim, threaded or "
+        "process driver)",
     )
     scenario_args(runner)
     checker = sub.add_parser(
@@ -698,8 +733,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance",
         type=float,
         default=None,
-        help="relative drift band for *threaded* comparisons (default 0.5); "
-        "sim always compares exactly — that is the determinism contract",
+        help="relative drift band for threaded/process comparisons (default "
+        "0.5); sim always compares exactly — that is the determinism contract",
     )
     sub.add_parser(
         "list-scenarios",

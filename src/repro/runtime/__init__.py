@@ -12,11 +12,23 @@ the simulator, driven by wall-clock threads over a real transport.
   application offers.
 * :mod:`repro.runtime.cluster` — convenience builder running a whole
   group in one process.
+* :mod:`repro.runtime.process_cluster` / :mod:`repro.runtime.worker` —
+  the shared-nothing multi-process driver: shard worker processes on
+  asyncio event loops over real UDP sockets, coordinated over control
+  pipes.
 """
 
 from repro.runtime.codec import BinaryCodec, CodecError, JsonCodec
 from repro.runtime.cluster import ThreadedCluster
 from repro.runtime.node import RuntimeNode
+from repro.runtime.process_cluster import (
+    ProcessCluster,
+    ProcessRunResult,
+    default_worker_count,
+    scenario_identities,
+    seeded_port_map,
+)
+from repro.runtime.worker import WorkerConfig, WorkerReport, worker_main
 from repro.runtime.transport import (
     ChaosRules,
     ChaosStats,
@@ -40,4 +52,12 @@ __all__ = [
     "ChaosTransport",
     "RuntimeNode",
     "ThreadedCluster",
+    "ProcessCluster",
+    "ProcessRunResult",
+    "WorkerConfig",
+    "WorkerReport",
+    "default_worker_count",
+    "scenario_identities",
+    "seeded_port_map",
+    "worker_main",
 ]

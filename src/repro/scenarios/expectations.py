@@ -86,14 +86,14 @@ class MetricValue:
 class ScenarioResult:
     """One scenario run, as a flat named-metric mapping.
 
-    Both drivers produce this shape (:meth:`from_sim` /
-    :meth:`from_threaded`), which is what expectations evaluate and
-    baselines snapshot. Picklable, and JSON-able via
+    Every driver produces this shape (:meth:`from_sim` /
+    :meth:`from_threaded` / :meth:`from_process`), which is what
+    expectations evaluate and baselines snapshot. Picklable, and JSON-able via
     :func:`repro.experiments.sweep.to_jsonable`.
     """
 
     scenario: str
-    driver: str  # "sim" | "threaded"
+    driver: str  # "sim" | "threaded" | "process"
     profile: str = ""
     n_nodes: int = 0
     metrics: Mapping[str, MetricValue] = field(default_factory=dict)
@@ -194,6 +194,56 @@ class ScenarioResult:
         return cls(
             scenario=report.scenario,
             driver="threaded",
+            profile=profile,
+            n_nodes=report.n_nodes,
+            metrics=metrics,
+            skipped=tuple(report.skipped),
+            injected=tuple(getattr(report, "injected", ())),
+        )
+
+    @classmethod
+    def from_process(cls, report, profile: str = "") -> "ScenarioResult":
+        """Distil a :class:`~repro.scenarios.runner.ProcessScenarioReport`.
+
+        Same metric names as :meth:`from_threaded` — the two live
+        drivers report an identical surface, so a process baseline diffs
+        against the same vocabulary and expectations need no per-driver
+        cases — with ``"process:"`` provenance. Wall-clock quantities
+        and worker plumbing counters (``bind_errors``, ``port_attempts``)
+        stay out of the metric map for the same reason wall_seconds
+        does: they describe the run's machinery, not the protocol.
+        """
+        src = "process:transport"
+        metrics = {
+            "offers": MetricValue(float(report.offers), "process:feeder", "count"),
+            "admitted": MetricValue(float(report.admitted), src, "count"),
+            "delivered_total": MetricValue(
+                float(report.delivered_total), src, "count"
+            ),
+            "delivered_min": MetricValue(float(report.delivered_min), src, "count"),
+            "delivered_max": MetricValue(float(report.delivered_max), src, "count"),
+            "admit_fraction": MetricValue(
+                report.admitted / report.offers if report.offers else math.nan,
+                "process:feeder",
+                "fraction",
+            ),
+            "delivery_balance": MetricValue(
+                report.delivered_min / report.delivered_max
+                if report.delivered_max
+                else math.nan,
+                src,
+                "fraction",
+            ),
+            "redundancy": MetricValue(
+                report.duplicates_seen / report.delivered_total
+                if report.delivered_total
+                else math.nan,
+                "process:protocol",
+            ),
+        }
+        return cls(
+            scenario=report.scenario,
+            driver="process",
             profile=profile,
             n_nodes=report.n_nodes,
             metrics=metrics,

@@ -17,11 +17,20 @@ silently dropped; :func:`threaded_coverage` computes the injected/
 skipped split without running anything, so the CLI and the parity tests
 can audit coverage cheaply.
 
-Virtual-to-wall time mapping: threaded runs use a short gossip period
-(default 0.1 s vs the spec's 1 s), so one spec second maps to
-``gossip_period / spec.system.gossip_period`` wall seconds; offer
-intervals, fault/churn offsets and link latencies shrink by the same
-factor and bandwidth caps grow by its inverse — the load:capacity
+The process path pushes the same parity one deployment shape further:
+:func:`run_scenario_process` drives the spec on
+:class:`~repro.runtime.process_cluster.ProcessCluster` — shard worker
+*processes* gossiping over real UDP sockets — with the identical
+lowering vocabulary (chaos rules at the socket layer, crash/churn as
+real worker-side node stops/restarts, feeders paced inside the owning
+worker) and the same injected/skipped audit via
+:func:`process_coverage`.
+
+Virtual-to-wall time mapping: threaded and process runs use a short
+gossip period (default 0.1 s vs the spec's 1 s), so one spec second
+maps to ``gossip_period / spec.system.gossip_period`` wall seconds;
+offer intervals, fault/churn offsets and link latencies shrink by the
+same factor and bandwidth caps grow by its inverse — the load:capacity
 regime of the scenario is preserved, only the clock changes.
 """
 
@@ -51,11 +60,14 @@ from repro.sim.network import BernoulliLoss
 from repro.workload.dynamics import CapacityChange
 
 __all__ = [
+    "ProcessScenarioReport",
     "ThreadedScenarioReport",
     "smoke_profile",
     "run_scenario",
+    "run_scenario_process",
     "run_scenario_threaded",
     "run_scenario_matrix",
+    "process_coverage",
     "threaded_coverage",
 ]
 
@@ -97,8 +109,9 @@ def run_scenario(
     """Run one scenario end to end on the chosen driver.
 
     Returns a :class:`~repro.experiments.harness.RunResult` for
-    ``driver="sim"`` and a :class:`ThreadedScenarioReport` for
-    ``driver="threaded"``.
+    ``driver="sim"``, a :class:`ThreadedScenarioReport` for
+    ``driver="threaded"`` and a :class:`ProcessScenarioReport` for
+    ``driver="process"``.
     """
     spec = _resolve(spec_or_name, profile)
     if driver == "sim":
@@ -107,7 +120,13 @@ def run_scenario(
         if horizon is not None:
             spec = spec.with_horizon(horizon)
         return run_scenario_threaded(spec)
-    raise ValueError(f"unknown driver {driver!r}; choose 'sim' or 'threaded'")
+    if driver == "process":
+        if horizon is not None:
+            spec = spec.with_horizon(horizon)
+        return run_scenario_process(spec)
+    raise ValueError(
+        f"unknown driver {driver!r}; choose 'sim', 'threaded' or 'process'"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -174,15 +193,32 @@ _KNOWN_FAULTS = (
 )
 
 
-def threaded_coverage(spec: ScenarioSpec) -> tuple[tuple[str, ...], tuple[str, ...]]:
-    """The ``(injected, skipped)`` condition split for the threaded driver.
+# condition -> how each live driver lowers it; the key set is the shared
+# classification, only the wording after ": " differs. Keeping the
+# condition labels ("loss window", "crash window", ...) identical across
+# drivers lets the parity tests match markers without caring which
+# runtime produced the report.
+_THREADED_LOWERING = {
+    "chaos": "chaos transport",
+    "crash": "real node stop/restart",
+    "unknown": "no threaded lowering",
+    "churn": "live join/leave",
+    "topology": "chaos link delays",
+    "partial": "live partial views on the wire",
+}
+_PROCESS_LOWERING = {
+    "chaos": "socket-layer chaos rules",
+    "crash": "real worker-side node stop/restart",
+    "unknown": "no process lowering",
+    "churn": "live join/leave across workers",
+    "topology": "socket-layer chaos delays",
+    "partial": "live partial views over UDP",
+}
 
-    Pure classification — no cluster is built, so the CLI's coverage
-    listing and the registry-wide parity test can audit every scenario
-    in microseconds. ``run_scenario_threaded`` derives its report's
-    ``injected``/``skipped`` tuples from this same function, so the
-    audit can never drift from what a run actually does.
-    """
+
+def _condition_coverage(
+    spec: ScenarioSpec, lowering: dict
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
     injected: list[str] = []
     skipped: list[str] = []
 
@@ -192,30 +228,57 @@ def threaded_coverage(spec: ScenarioSpec) -> tuple[tuple[str, ...], tuple[str, .
     losses, partitions = count(LossWindow), count(PartitionWindow)
     caps, crashes = count(BandwidthCapWindow), count(CrashWindow)
     oneways, link_losses = count(AsymmetricPartitionWindow), count(LinkLossWindow)
+    chaos, crash = lowering["chaos"], lowering["crash"]
     if losses:
-        injected.append(f"{losses} loss window(s): chaos transport")
+        injected.append(f"{losses} loss window(s): {chaos}")
     if link_losses:
-        injected.append(f"{link_losses} per-link loss window(s): chaos transport")
+        injected.append(f"{link_losses} per-link loss window(s): {chaos}")
     if partitions:
-        injected.append(f"{partitions} partition window(s): chaos transport")
+        injected.append(f"{partitions} partition window(s): {chaos}")
     if oneways:
-        injected.append(f"{oneways} one-way partition window(s): chaos transport")
+        injected.append(f"{oneways} one-way partition window(s): {chaos}")
     if caps:
-        injected.append(f"{caps} bandwidth cap window(s): chaos transport")
+        injected.append(f"{caps} bandwidth cap window(s): {chaos}")
     if crashes:
-        injected.append(f"{crashes} crash window(s): real node stop/restart")
+        injected.append(f"{crashes} crash window(s): {crash}")
     unknown = sum(1 for f in spec.faults.faults if not isinstance(f, _KNOWN_FAULTS))
     if unknown:
-        skipped.append(f"{unknown} unrecognised fault window(s): no threaded lowering")
+        skipped.append(
+            f"{unknown} unrecognised fault window(s): {lowering['unknown']}"
+        )
     if len(spec.churn):
-        injected.append(f"{len(spec.churn)} churn event(s): live join/leave")
+        injected.append(f"{len(spec.churn)} churn event(s): {lowering['churn']}")
     if spec.topology is not None:
-        injected.append("topology/latency model: chaos link delays")
+        injected.append(f"topology/latency model: {lowering['topology']}")
     if spec.baseline_loss is not None:
-        injected.append("baseline loss model: chaos transport")
+        injected.append(f"baseline loss model: {chaos}")
     if spec.membership == "partial":
-        injected.append("partial membership: live partial views on the wire")
+        injected.append(f"partial membership: {lowering['partial']}")
     return tuple(injected), tuple(skipped)
+
+
+def threaded_coverage(spec: ScenarioSpec) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """The ``(injected, skipped)`` condition split for the threaded driver.
+
+    Pure classification — no cluster is built, so the CLI's coverage
+    listing and the registry-wide parity test can audit every scenario
+    in microseconds. ``run_scenario_threaded`` derives its report's
+    ``injected``/``skipped`` tuples from this same function, so the
+    audit can never drift from what a run actually does.
+    """
+    return _condition_coverage(spec, _THREADED_LOWERING)
+
+
+def process_coverage(spec: ScenarioSpec) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """The ``(injected, skipped)`` condition split for the process driver.
+
+    Same pure classification as :func:`threaded_coverage` — the process
+    workers lower the identical condition vocabulary (chaos rules sit at
+    the UDP socket layer instead of the in-memory transport; crash and
+    churn stop/restart real asyncio nodes inside the owning worker), so
+    the condition labels match and only the lowering wording differs.
+    """
+    return _condition_coverage(spec, _PROCESS_LOWERING)
 
 
 def _threaded_actions(spec: ScenarioSpec, cluster, scale: float, feeders) -> list:
@@ -398,4 +461,93 @@ def run_scenario_threaded(
         chaos_eaten=0 if chaos is None else chaos.stats.eaten,
         chaos_delayed=0 if chaos is None else chaos.stats.delayed,
         chaos_oneway_dropped=0 if chaos is None else chaos.stats.oneway_blocked,
+    )
+
+
+# ----------------------------------------------------------------------
+# process path
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProcessScenarioReport:
+    """What a multi-process scenario run did, injected, and could not model.
+
+    Field-compatible with :class:`ThreadedScenarioReport` (every shared
+    field means the same thing) plus process-only observability:
+    ``n_workers``, cross-worker ``send_failures``/``decode_errors`` and
+    respawn ``bind_errors``.
+    """
+
+    scenario: str
+    n_nodes: int
+    n_workers: int
+    wall_seconds: float
+    time_scale: float  # wall seconds per spec second
+    offers: int
+    admitted: int
+    delivered_total: int
+    delivered_min: int
+    delivered_max: int
+    skipped: tuple[str, ...]  # conditions this driver could not lower
+    skipped_count: int = 0  # derived — see __post_init__
+    duplicates_seen: int = 0  # gossip-level duplicate summaries, all nodes
+    injected: tuple[str, ...] = ()  # conditions lowered onto the workers
+    injected_count: int = 0  # derived, like skipped_count
+    chaos_eaten: int = 0  # datagrams the chaos layer dropped/capped/blocked
+    chaos_delayed: int = 0  # datagrams deferred through loop.call_later
+    chaos_oneway_dropped: int = 0  # datagrams eaten by a one-way (directed) cut
+    decode_errors: int = 0  # datagrams that failed BinaryCodec.decode
+    send_failures: int = 0  # sendto/address-book failures across all workers
+    bind_errors: int = 0  # respawn-time rebinds that never got their port back
+    port_attempts: int = 1  # seeded port maps tried before all workers bound
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "skipped_count", len(self.skipped))
+        object.__setattr__(self, "injected_count", len(self.injected))
+
+
+def run_scenario_process(
+    spec: ScenarioSpec,
+    wall_seconds: Optional[float] = None,
+    gossip_period: float = 0.1,
+    workers: Optional[int] = None,
+) -> ProcessScenarioReport:
+    """Drive a scenario on :class:`~repro.runtime.process_cluster.ProcessCluster`.
+
+    Same time scaling and condition vocabulary as
+    :func:`run_scenario_threaded`, but the group is sharded across
+    ``workers`` OS processes gossiping over real UDP sockets; feeders,
+    chaos windows, crash/restart and churn all fire inside the owning
+    worker's event loop (see :mod:`repro.runtime.worker`). The report's
+    ``injected``/``skipped`` tuples come from :func:`process_coverage`,
+    so coverage is audited, not asserted.
+    """
+    # imported lazily: the process driver pulls in multiprocessing and
+    # the asyncio worker, which sim-only callers never need
+    from repro.runtime.process_cluster import ProcessCluster
+
+    cluster = ProcessCluster(spec, gossip_period=gossip_period, n_workers=workers)
+    result = cluster.run(wall_seconds=wall_seconds)
+    injected, skipped = process_coverage(spec)
+    delivered = sorted(result.delivered.values()) or [0]
+    return ProcessScenarioReport(
+        scenario=spec.name,
+        n_nodes=spec.n_nodes,
+        n_workers=result.n_workers,
+        wall_seconds=result.wall_seconds,
+        time_scale=result.time_scale,
+        offers=result.offers,
+        admitted=result.admitted,
+        delivered_total=sum(delivered),
+        delivered_min=delivered[0],
+        delivered_max=delivered[-1],
+        skipped=skipped,
+        duplicates_seen=result.duplicates,
+        injected=injected,
+        chaos_eaten=result.chaos.eaten,
+        chaos_delayed=result.chaos.delayed,
+        chaos_oneway_dropped=result.chaos.oneway_blocked,
+        decode_errors=result.decode_errors,
+        send_failures=result.send_failures,
+        bind_errors=result.bind_errors,
+        port_attempts=result.port_attempts,
     )

@@ -1,0 +1,221 @@
+"""Worker lifecycle for the multi-process UDP driver.
+
+Three properties the process driver must hold beyond scenario parity:
+
+* **Deterministic seeded port maps** — the same seed always derives the
+  same address book (that is what makes every worker's replicated
+  address book coherent), and the attempt salt derives a genuinely
+  fresh one after a bind race.
+* **Port-collision retry** — a port that is already bound is skipped at
+  map time, and a map that loses the probe-to-bind race is rebuilt.
+* **Orphan safety** — a worker whose parent disappears (pipe EOF)
+  exits on its own, before or during a run; no leaked processes or
+  sockets survive the suite.
+"""
+
+import multiprocessing
+import socket
+import time
+
+import pytest
+
+from repro.runtime.process_cluster import (
+    ProcessCluster,
+    scenario_identities,
+    seeded_port_map,
+)
+from repro.runtime.worker import WorkerConfig, worker_main
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import run_scenario_process, smoke_profile
+
+
+# ----------------------------------------------------------------------
+# seeded port maps
+# ----------------------------------------------------------------------
+def test_port_map_is_deterministic_for_a_seed():
+    nodes = list(range(24))
+    # probe=False: pure derivation, no environment in the loop
+    first = seeded_port_map(nodes, seed=7, probe=False)
+    second = seeded_port_map(nodes, seed=7, probe=False)
+    assert first == second
+
+
+def test_port_map_assigns_unique_in_range_ports():
+    nodes = list(range(64))
+    ports = [port for _, port in seeded_port_map(nodes, seed=3, probe=False).values()]
+    assert len(set(ports)) == len(nodes)
+    assert all(20000 <= p < 56000 for p in ports)
+
+
+def test_attempt_salt_derives_a_fresh_map():
+    nodes = list(range(16))
+    base = seeded_port_map(nodes, seed=7, probe=False)
+    retry = seeded_port_map(nodes, seed=7, probe=False, attempt=1)
+    assert base != retry  # a re-map after a bind race replays nothing
+
+
+def test_port_map_skips_an_occupied_port():
+    nodes = list(range(8))
+    contested = seeded_port_map(nodes, seed=11, probe=False)[0]
+    holder = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        holder.bind(contested)
+        remapped = seeded_port_map(nodes, seed=11, probe=True)
+        assert contested not in remapped.values()
+        # every port it did hand out is genuinely bindable right now
+        for node in nodes:
+            probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                probe.bind(remapped[node])
+            finally:
+                probe.close()
+    finally:
+        holder.close()
+
+
+def test_identities_cover_churn_joiners_and_crash_targets():
+    spec = get_scenario("rolling-churn", smoke_profile())
+    identities = scenario_identities(spec)
+    assert set(range(spec.n_nodes)) <= set(identities)
+    for event in spec.churn.sorted_events():
+        assert event.node in identities  # future joiners get ports up front
+
+
+def test_shards_partition_every_identity_exactly_once():
+    spec = get_scenario("overload-baseline", smoke_profile())
+    cluster = ProcessCluster(spec, n_workers=3)
+    shards = cluster.shards(scenario_identities(spec))
+    flat = [node for shard in shards for node in shard]
+    assert sorted(flat) == scenario_identities(spec)
+    assert len(shards) == 3
+    assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+
+# ----------------------------------------------------------------------
+# end to end, briefly
+# ----------------------------------------------------------------------
+def test_tiny_run_delivers_and_leaks_nothing():
+    spec = get_scenario("overload-baseline", smoke_profile()).with_horizon(6.0)
+    before = len(multiprocessing.active_children())
+    report = run_scenario_process(spec)
+    assert report.delivered_total > 0
+    assert report.skipped_count == 0
+    assert report.n_workers >= 2
+    assert report.bind_errors == 0
+    # every worker joined in teardown; nothing outlives the run
+    assert len(multiprocessing.active_children()) <= before
+
+
+# ----------------------------------------------------------------------
+# orphan safety
+# ----------------------------------------------------------------------
+def _configured_worker(horizon=30.0):
+    """Spawn one real worker process, configured and ready."""
+    spec = get_scenario("overload-baseline", smoke_profile()).with_horizon(horizon)
+    identities = scenario_identities(spec)
+    port_map = seeded_port_map(identities, spec.seed)
+    cfg = WorkerConfig(
+        worker_id=0,
+        n_workers=1,
+        spec=spec,
+        nodes=tuple(identities),
+        port_map=port_map,
+        gossip_period=0.1,
+        wall_seconds=horizon * 0.1 / spec.system.gossip_period,
+    )
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(target=worker_main, args=(child_conn,), daemon=True)
+    proc.start()
+    child_conn.close()
+    parent_conn.send(("configure", cfg))
+    assert parent_conn.poll(30.0), "worker never answered configure"
+    msg = parent_conn.recv()
+    assert msg == ("ready", 0), msg
+    return proc, parent_conn
+
+
+def test_worker_exits_when_parent_vanishes_before_start():
+    proc, conn = _configured_worker()
+    conn.close()  # the parent "crashes" before releasing the barrier
+    proc.join(timeout=10.0)
+    assert proc.exitcode == 0, "orphaned worker kept waiting at the barrier"
+
+
+def test_worker_exits_when_parent_vanishes_mid_run():
+    proc, conn = _configured_worker()
+    conn.send(("start",))
+    time.sleep(0.5)  # genuinely mid-run (wall is ~30s of scaled horizon)
+    conn.close()  # parent gone; the watchdog must notice the EOF
+    proc.join(timeout=10.0)
+    assert proc.exitcode == 0, "orphaned worker outlived its parent"
+
+
+def test_worker_reports_a_lost_bind_race():
+    spec = get_scenario("overload-baseline", smoke_profile()).with_horizon(6.0)
+    identities = scenario_identities(spec)
+    port_map = seeded_port_map(identities, spec.seed)
+    holder = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        holder.bind(port_map[identities[0]])  # steal a port post-probe
+        cfg = WorkerConfig(
+            worker_id=0,
+            n_workers=1,
+            spec=spec,
+            nodes=tuple(identities),
+            port_map=port_map,
+            gossip_period=0.1,
+            wall_seconds=5.0,
+        )
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=worker_main, args=(child_conn,), daemon=True)
+        proc.start()
+        child_conn.close()
+        parent_conn.send(("configure", cfg))
+        assert parent_conn.poll(30.0)
+        msg = parent_conn.recv()
+        assert msg[0] == "bind_failed"  # the parent then re-maps and respawns
+        proc.join(timeout=10.0)
+        assert proc.exitcode == 0
+        parent_conn.close()
+    finally:
+        holder.close()
+
+
+def test_no_processes_leak_after_a_failed_startup():
+    spec = get_scenario("overload-baseline", smoke_profile()).with_horizon(6.0)
+    cluster = ProcessCluster(spec, n_workers=2)
+    cluster.BIND_ATTEMPTS = 1
+    identities = scenario_identities(spec)
+    # hold *every* mapped port of the only attempt so startup must fail
+    holders = []
+    try:
+        port_map = seeded_port_map(identities, spec.seed, probe=False)
+        for addr in port_map.values():
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            try:
+                sock.bind(addr)
+                holders.append(sock)
+            except OSError:
+                sock.close()
+        if not holders:
+            pytest.skip("could not occupy any mapped port")
+        before = len(multiprocessing.active_children())
+        # the probing map builder dodges the held ports, so collide the
+        # worker directly: probe=False map with ports we already hold
+        with pytest.raises(RuntimeError):
+            saved = seeded_port_map
+            try:
+                import repro.runtime.process_cluster as pc
+
+                pc.seeded_port_map = (
+                    lambda ids, seed, host="127.0.0.1", attempt=0, **kw: port_map
+                )
+                cluster.run(wall_seconds=2.0)
+            finally:
+                pc.seeded_port_map = saved
+        assert len(multiprocessing.active_children()) <= before
+    finally:
+        for sock in holders:
+            sock.close()
