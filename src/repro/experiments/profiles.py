@@ -11,6 +11,10 @@ Two profiles are provided:
   (:mod:`repro.sim.vector`). Keeps the paper's fanout of 4 and short
   horizons; meant for ``--dispatch vector`` scaling runs and the
   ``mega-flood`` scenario, not for the figure sweeps.
+* ``giga`` — 100,000 processes for the multicore vector lane
+  (:mod:`repro.sim.vector_parallel`). Shorter still; meant for
+  ``--dispatch vector --shards N`` runs and the ``giga-flood``
+  scenario.
 
 The paper runs its testbed with a gossip period of 5 s; we default to
 1 s so wall-clock-heavy sweeps stay tractable — all rates simply scale by
@@ -28,7 +32,7 @@ from typing import Optional
 
 from repro.gossip.config import SystemConfig
 
-__all__ = ["Profile", "QUICK", "PAPER", "MEGA", "get_profile"]
+__all__ = ["Profile", "QUICK", "PAPER", "MEGA", "GIGA", "get_profile"]
 
 
 @dataclass(frozen=True)
@@ -186,7 +190,26 @@ MEGA = Profile(
     tau_hint=4.46,  # reuse quick's measured value; figures unused here
 )
 
-_PROFILES = {"quick": QUICK, "paper": PAPER, "mega": MEGA}
+GIGA = Profile(
+    name="giga",
+    n_nodes=100_000,
+    fanout=4,  # the paper's setting, as in mega
+    gossip_period=1.0,
+    n_senders=4,
+    duration=24.0,
+    warmup=8.0,
+    drain=4.0,
+    buffer_sizes=(30, 60),
+    input_rates=(4.0, 8.0),
+    fig2_buffer=30,
+    offered_load=6.0,
+    max_age=8,
+    dedup_capacity=800_000,
+    seed=2003,
+    tau_hint=4.46,  # reuse quick's measured value; figures unused here
+)
+
+_PROFILES = {"quick": QUICK, "paper": PAPER, "mega": MEGA, "giga": GIGA}
 
 
 def get_profile(name: Optional[str] = None) -> Profile:

@@ -527,6 +527,31 @@ def mega_flaky_edge(profile: Profile) -> ScenarioSpec:
 
 
 @scenario(
+    "giga-flood",
+    expectations=(
+        # same gate as mega-flood: the Figure 8(a) axis stays high at
+        # every scale even while spike-time atomicity collapses
+        ReliabilityAtLeast(0.80, metric="avg_receiver_fraction"),
+        RedundancyAtMost(10.0),
+        NoDroppedSenders(),
+    ),
+)
+def giga_flood(profile: Profile) -> ScenarioSpec:
+    """mega-flood's flash crowd at the multicore lane's home scale.
+    Run it at 100k nodes with ``REPRO_PROFILE=giga run-scenario
+    giga-flood --dispatch vector --shards 0`` (auto shard count); at any
+    other profile it behaves like a jitter-free flash-crowd and stays
+    byte-identical across dispatch modes and shard counts."""
+    d = profile.duration
+    return _mega_base(
+        profile,
+        "giga-flood",
+        "flash crowd at 100k-node scale for the sharded vector lane",
+        seed_offset=20,
+    ).stressed(LoadSpike(time=0.4 * d, duration=0.25 * d, factor=4.0))
+
+
+@scenario(
     "asymmetric-uplink",
     expectations=(
         ReliabilityAtLeast(0.80, metric="avg_receiver_fraction"),

@@ -460,9 +460,7 @@ class VectorRoundExecutor:
         self._order_dirty = False
         self._alive = set(range(n_nodes))
         # the same per-node streams the per-node path draws from
-        self._getrandbits = [
-            sim.rngs.stream("protocol", i).getrandbits for i in range(n_nodes)
-        ]
+        self._getrandbits = self._build_streams()
         # global event columns (index = event ordinal)
         self._eids: list[EventId] = []
         self._birth: list[int] = []
@@ -516,6 +514,20 @@ class VectorRoundExecutor:
             return self._np.zeros(self.n, dtype=self._np.int64)
         return [0] * self.n
 
+    def _build_streams(self):
+        """Per-node sampling streams (``getrandbits`` bound methods).
+
+        The parallel lane overrides this to return ``None``: its workers
+        own the per-node streams (recreated from the root seed), and the
+        parent never draws from them.
+        """
+        return [
+            self.sim.rngs.stream("protocol", i).getrandbits for i in range(self.n)
+        ]
+
+    def close(self) -> None:
+        """Release executor-owned resources. No-op on the in-process lane."""
+
     # ------------------------------------------------------------------
     # the round tick
     # ------------------------------------------------------------------
@@ -538,6 +550,10 @@ class VectorRoundExecutor:
             return
         m = a - 1
         k = self._fanout if self._fanout < m else m
+        if k > 0:
+            # hand the sampling work to any helper lane *before* the
+            # bookkeeping below, so it overlaps (no-op on this executor)
+            self._dispatch_sampling(order, a, m, k)
         buf = self._buf
         st_rounds = self._st_rounds
         st_sent = self._st_sent
@@ -562,10 +578,58 @@ class VectorRoundExecutor:
             # advance, nothing reaches the wire (no draws, no stats)
             return
         # --- one sampling pass for the whole population -------------------
-        # Index-only replica of uniform_sample over each node's full view:
-        # peers are the alive order minus the owner, so peer index v maps
-        # to order[v] (v < pi) or order[v + 1] (v >= pi). Draws match
-        # rng.sample exactly.
+        rows = self._sample_rows(order, a, m, k)
+        # --- emission accounting (replicates Network.multicast) -----------
+        ns = self.net_stats
+        ns.sent += a * k
+        ns.payload_items += sum(sizes) * k
+        net = self._network
+        if (
+            type(net._loss) is NoLoss
+            and not net._partition_of
+            and not net._oneway_blocked
+            and net._link_loss is None
+            and net._cap.rate is None
+        ):
+            # the draw-free multicast fast path: every message survives
+            n_sched = a * k
+        else:
+            rows, n_sched = self._chaos_filter(order, rows)
+        if not n_sched:
+            return
+        # holder rows of unsaturated live events, captured at tick time —
+        # these are the only events anyone can still receive for the
+        # first time this instant
+        unsat_snap: list[tuple] = []
+        if self._np is not None:
+            flatnonzero = self._np.flatnonzero
+            H = self._H
+            for e in self._unsat:
+                em = flatnonzero(H[e])
+                if em.size:
+                    unsat_snap.append((e, em))
+        sim.post(
+            self._delay, self._deliver_instant, list(order), rows, sizes, unsat_snap, n_sched
+        )
+
+    def _dispatch_sampling(self, order, a: int, m: int, k: int) -> None:
+        """Hook: start this tick's target sampling on a helper lane.
+
+        Called as soon as the tick's ``(order, a, m, k)`` are fixed and
+        before the per-node bookkeeping (round counters, sizes, gauges),
+        so an overriding lane can overlap sampling with that work. The
+        in-process executor samples synchronously in
+        :meth:`_sample_rows` instead.
+        """
+
+    def _sample_rows(self, order, a: int, m: int, k: int) -> list[list[int]]:
+        """Sample every emitter's gossip targets for this tick.
+
+        Index-only replica of uniform_sample over each node's full view:
+        peers are the alive order minus the owner, so peer index v maps
+        to order[v] (v < pi) or order[v + 1] (v >= pi). Draws match
+        rng.sample exactly.
+        """
         getrandbits = self._getrandbits
         rows: list[list[int]] = [[]] * a
         if k >= m:
@@ -607,38 +671,7 @@ class VectorRoundExecutor:
                         add(j)
                         row[t] = order[j] if j < pi else order[j + 1]
                     rows[pi] = row
-        # --- emission accounting (replicates Network.multicast) -----------
-        ns = self.net_stats
-        ns.sent += a * k
-        ns.payload_items += sum(sizes) * k
-        net = self._network
-        if (
-            type(net._loss) is NoLoss
-            and not net._partition_of
-            and not net._oneway_blocked
-            and net._link_loss is None
-            and net._cap.rate is None
-        ):
-            # the draw-free multicast fast path: every message survives
-            n_sched = a * k
-        else:
-            rows, n_sched = self._chaos_filter(order, rows)
-        if not n_sched:
-            return
-        # holder rows of unsaturated live events, captured at tick time —
-        # these are the only events anyone can still receive for the
-        # first time this instant
-        unsat_snap: list[tuple] = []
-        if self._np is not None:
-            flatnonzero = self._np.flatnonzero
-            H = self._H
-            for e in self._unsat:
-                em = flatnonzero(H[e])
-                if em.size:
-                    unsat_snap.append((e, em))
-        sim.post(
-            self._delay, self._deliver_instant, list(order), rows, sizes, unsat_snap, n_sched
-        )
+        return rows
 
     def _chaos_filter(self, order, rows):
         """Apply the network's live fault state to this tick's emissions.

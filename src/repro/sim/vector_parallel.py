@@ -1,0 +1,497 @@
+"""Multicore mega-sim: shard the columnar sampling hot loop across cores.
+
+:class:`ParallelVectorExecutor` is the ``--dispatch vector --shards N``
+lane. It subclasses :class:`~repro.sim.vector.VectorRoundExecutor` and
+keeps every behaviour — chaos filtering, the delivery folds, crash/churn
+column resets, stats, metrics — on the proven single-core columnar code.
+What it parallelises is the one part of the round that is pure-python
+per-node work and dominates wall clock at 100k+ nodes: the per-node
+target-sampling loop (O(n·fanout) rejection draws against the stdlib
+Mersenne Twister).
+
+Shard model
+-----------
+The node population is split into contiguous id ranges, one per
+persistent worker process. Each worker owns the *only* live replicas of
+its shard's per-node ``("protocol", i)`` RNG streams, recreated from the
+root seed via :func:`~repro.sim.rng.derive_seed` (SHA-256 of
+``(seed, name)`` — stable across processes, and creating a stream
+consumes no draws). In vector mode those streams have exactly one
+consumer — target sampling — so the workers' replicas stay draw-for-draw
+in sync with what the single-core lane would have consumed, by
+construction.
+
+Each virtual round runs as *local-advance → deterministic cross-shard
+exchange → barrier*:
+
+1. **dispatch** — as soon as the tick's ``(order, a, m, k)`` are fixed,
+   the parent publishes the alive emission order to a shared-memory
+   block (only when it changed; a version counter lets workers cache
+   their position lists) and signals every worker over its pipe. The
+   parent then overlaps its own per-node bookkeeping (round counters,
+   buffer sizes, gauges) with the workers' sampling.
+2. **local advance** — each worker samples targets for the emission
+   positions whose node ids fall in its shard, writing each row into
+   the shared rows block at its emission position. The inner loop is
+   allocation-free: the row and pool scratch lists are pre-allocated
+   and refilled in place.
+3. **exchange + barrier** — the parent waits for every worker's ack,
+   then materialises the full ``rows`` list from the shared block in
+   emission order (one C-level ``reshape(...).tolist()``), i.e. the
+   deterministic cross-shard merge in node-emission order. Everything
+   downstream is the inherited single-core fold.
+
+Because shard boundaries only decide *which process* replays a node's
+stream, the sampled rows — and therefore the entire run — are
+byte-identical to the single-core vector lane at any shard count. The
+registry-wide parity suite enforces this.
+
+Zero-draw ticks (``k >= m``: every peer is returned without consuming
+the RNG; or ``k <= 0``) are not dispatched — the parent handles them
+inline, exactly as the single-core lane does, so worker stream replicas
+never drift.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import random
+import traceback
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+from repro.sim.rng import derive_seed
+from repro.sim.vector import HAVE_NUMPY, VectorRoundExecutor
+
+try:  # the parallel lane requires the numpy fast path
+    import numpy as _np
+except ImportError:  # pragma: no cover - stdlib-only installs fall back
+    _np = None
+
+__all__ = [
+    "ParallelVectorExecutor",
+    "ShardConfig",
+    "parallel_ineligible_reason",
+    "resolve_shards",
+    "shard_bounds",
+    "shard_worker_main",
+]
+
+
+def resolve_shards(shards: Optional[int], cpu_count: Optional[int] = None) -> int:
+    """Resolve the user-facing ``--shards`` value to a worker count.
+
+    ``None`` → 1 (the single-core vector lane); ``0`` → auto
+    (``cores - 1``, floored at 1); explicit positive counts pass
+    through. Negative counts are rejected.
+    """
+    if shards is None:
+        return 1
+    shards = int(shards)
+    if shards < 0:
+        raise ValueError(f"shards must be >= 0, got {shards}")
+    if shards == 0:
+        cores = cpu_count if cpu_count is not None else (os.cpu_count() or 2)
+        return max(1, cores - 1)
+    return shards
+
+
+def parallel_ineligible_reason(
+    *, shards: int, n_nodes: int, vector_numpy: Optional[bool] = None
+) -> Optional[str]:
+    """Why a vector-eligible run cannot use ``shards`` worker processes.
+
+    Returns ``None`` when the parallel lane can engage. The caller has
+    already established vector eligibility and ``shards >= 2``; this
+    names the parallel-specific refusals, and the run falls back to the
+    single-core vector lane (still columnar, still byte-identical).
+    """
+    if not HAVE_NUMPY:
+        return (
+            f"shards={shards} needs the numpy fast path, but numpy is not "
+            "installed (pip install .[accel])"
+        )
+    if vector_numpy is False:
+        return (
+            f"shards={shards} needs the numpy fast path, but use_numpy=False "
+            "forces the stdlib reference path"
+        )
+    if n_nodes < shards:
+        return (
+            f"n_nodes={n_nodes} < shards={shards}: every worker needs at "
+            "least one node"
+        )
+    return None
+
+
+def shard_bounds(n_nodes: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[lo, hi)`` node-id ranges, one per worker."""
+    base, extra = divmod(n_nodes, shards)
+    bounds = []
+    lo = 0
+    for w in range(shards):
+        hi = lo + base + (1 if w < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a sampling worker needs, picklable for spawn."""
+
+    worker_id: int
+    seed: int
+    lo: int  # shard node-id range [lo, hi)
+    hi: int
+    n_nodes: int
+    fanout: int
+    shm_name: str
+
+
+def shard_worker_main(conn, cfg: ShardConfig, close_first=()) -> None:
+    """Persistent sampling worker: replay the shard's RNG streams.
+
+    Protocol over ``conn``: ``("tick", a, m, k, version)`` → sample the
+    shard's emission positions into the shared rows block and ack with
+    ``("done", worker_id)``; ``("exit",)`` or pipe EOF (orphaned worker)
+    → clean exit. Any unexpected failure is reported back as
+    ``("error", traceback)`` before the worker dies, so the parent's
+    barrier raises with the real cause instead of a bare EOF.
+
+    ``close_first`` holds pipe ends this process inherited but does not
+    own (fork copies every fd that exists at spawn time). Closing them
+    immediately keeps the EOF signalling exact: a worker's recv hits EOF
+    the moment the *parent* drops the write end, instead of waiting for
+    sibling workers that also inherited it.
+    """
+    for other in close_first:
+        try:
+            other.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    shm = shared_memory.SharedMemory(name=cfg.shm_name)
+    order_arr = rows_arr = None
+    try:
+        order_arr = _np.ndarray((cfg.n_nodes,), dtype=_np.int32, buffer=shm.buf)
+        rows_arr = _np.ndarray(
+            (cfg.n_nodes * cfg.fanout,),
+            dtype=_np.int32,
+            buffer=shm.buf,
+            offset=cfg.n_nodes * 4,
+        )
+        lo, hi = cfg.lo, cfg.hi
+        # the shard's only state: its nodes' sampling streams, recreated
+        # from the root seed exactly as RngRegistry.stream would
+        streams = [
+            random.Random(derive_seed(cfg.seed, "protocol", i)).getrandbits
+            for i in range(lo, hi)
+        ]
+        cached_version = -1
+        cached_m = -1
+        cached_k = -1
+        order_list: list[int] = []
+        my_pis: list[int] = []
+        base_pool: list[int] = []
+        pool: list[int] = []
+        row: list[int] = []
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                return  # parent vanished: exit on our own
+            if msg[0] == "exit":
+                return
+            _, a, m, k, version = msg
+            if version != cached_version:
+                # the emission order changed (compaction or restart):
+                # re-read it and recompute which positions are ours
+                order_list = order_arr[:a].tolist()
+                my_pis = [pi for pi, i in enumerate(order_list) if lo <= i < hi]
+                cached_version = version
+            if k != cached_k:
+                row = [0] * k
+                cached_k = k
+            setsize = 21  # stdlib heuristic: set cost vs copying the pool
+            if k > 5:
+                setsize += 4 ** math.ceil(math.log(k * 3, 4))
+            if m <= setsize:
+                if m != cached_m:
+                    base_pool = list(range(m))
+                    pool = list(base_pool)
+                    cached_m = m
+                for pi in my_pis:
+                    grb = streams[order_list[pi] - lo]
+                    pool[:] = base_pool
+                    for t in range(k):
+                        bound = m - t
+                        bits = bound.bit_length()
+                        j = grb(bits)
+                        while j >= bound:
+                            j = grb(bits)
+                        v = pool[j]
+                        pool[j] = pool[bound - 1]
+                        row[t] = order_list[v] if v < pi else order_list[v + 1]
+                    rows_arr[pi * k : pi * k + k] = row
+            else:
+                cached_m = -1  # pool scratch is stale if m shrinks back
+                bits = m.bit_length()
+                for pi in my_pis:
+                    grb = streams[order_list[pi] - lo]
+                    selected: set[int] = set()
+                    add = selected.add
+                    for t in range(k):
+                        j = grb(bits)
+                        while j >= m or j in selected:
+                            j = grb(bits)
+                        add(j)
+                        row[t] = order_list[j] if j < pi else order_list[j + 1]
+                    rows_arr[pi * k : pi * k + k] = row
+            conn.send(("done", cfg.worker_id))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            pass
+        raise
+    finally:
+        del order_arr, rows_arr  # release the buffer exports before close
+        shm.close()
+
+
+def _teardown(procs, conns, shm) -> None:
+    """Stop workers and release the shared block (idempotent, self-free).
+
+    Module-level so :class:`weakref.finalize` can call it without
+    keeping the executor alive: exit message → join → terminate → kill,
+    then close pipes and close+unlink the shared memory.
+    """
+    for conn in conns:
+        try:
+            conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+    for proc in procs:
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - unkillable worker
+            proc.kill()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a view outlived us
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ParallelVectorExecutor(VectorRoundExecutor):
+    """The sharded vector lane: N worker processes replay the sampling.
+
+    Drop-in subclass of :class:`VectorRoundExecutor` — construction,
+    facades, crash/churn, folds and stats are all inherited. The
+    differences are confined to target sampling:
+
+    * the parent builds **no** per-node RNG streams (the workers own
+      them);
+    * draw-consuming ticks are dispatched to the workers and the rows
+      are merged back from shared memory in emission order;
+    * crash/restart bump an order version so workers re-read the
+      emission order only when it actually changed.
+
+    Call :meth:`close` when done (``SimCluster.close`` does); a
+    finalizer tears the workers down if the executor is dropped.
+    """
+
+    def __init__(
+        self,
+        sim,
+        network,
+        collector,
+        system,
+        n_nodes: int,
+        latency,
+        rounds,
+        sample_gauges: bool = True,
+        use_numpy: Optional[bool] = None,
+        shards: int = 2,
+    ) -> None:
+        if _np is None:
+            raise RuntimeError(
+                "the parallel vector lane requires numpy (pip install .[accel])"
+            )
+        if use_numpy is None:
+            use_numpy = True
+        if not use_numpy:
+            raise RuntimeError(
+                "the parallel vector lane requires the numpy fast path "
+                "(use_numpy=False keeps the single-core reference lane)"
+            )
+        shards = int(shards)
+        if shards < 2:
+            raise ValueError(f"ParallelVectorExecutor needs shards >= 2, got {shards}")
+        if n_nodes < shards:
+            raise ValueError(
+                f"n_nodes={n_nodes} < shards={shards}: every worker needs "
+                "at least one node"
+            )
+        self.shards = shards
+        self._closed = False
+        self._procs: list = []
+        self._conns: list = []
+        self._shm = None
+        self._finalizer = None
+        super().__init__(
+            sim,
+            network,
+            collector,
+            system,
+            n_nodes,
+            latency,
+            rounds,
+            sample_gauges=sample_gauges,
+            use_numpy=use_numpy,
+        )
+        fanout = max(1, int(system.fanout))
+        order_bytes = n_nodes * 4
+        try:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=order_bytes + n_nodes * fanout * 4
+            )
+            self._finalizer = weakref.finalize(
+                self, _teardown, self._procs, self._conns, self._shm
+            )
+            self._order_arr = _np.ndarray(
+                (n_nodes,), dtype=_np.int32, buffer=self._shm.buf
+            )
+            self._rows_arr = _np.ndarray(
+                (n_nodes * fanout,),
+                dtype=_np.int32,
+                buffer=self._shm.buf,
+                offset=order_bytes,
+            )
+            self._order_version = 0
+            self._order_changed = True  # publish the initial order
+            # fork shares the parent's pages copy-on-write (cheap); fall
+            # back to spawn where fork is unavailable — workers rebuild
+            # everything from the picklable config either way
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            seed = sim.rngs.seed
+            bounds = shard_bounds(n_nodes, shards)
+            # all pipes exist before the first fork, so each worker can
+            # be handed the sibling/parent ends it inherits and close
+            # them (see shard_worker_main's close_first)
+            pipe_pairs = [ctx.Pipe() for _ in bounds]
+            use_fork = ctx.get_start_method() == "fork"
+            for w, (lo, hi) in enumerate(bounds):
+                cfg = ShardConfig(
+                    worker_id=w,
+                    seed=seed,
+                    lo=lo,
+                    hi=hi,
+                    n_nodes=n_nodes,
+                    fanout=fanout,
+                    shm_name=self._shm.name,
+                )
+                parent_conn, child_conn = pipe_pairs[w]
+                inherited = (
+                    [pc for pc, _ in pipe_pairs]
+                    + [cc for i, (_, cc) in enumerate(pipe_pairs) if i != w]
+                    if use_fork
+                    else []  # spawn children only receive their own conn
+                )
+                proc = ctx.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, cfg, inherited),
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            for _, child_conn in pipe_pairs:
+                child_conn.close()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # the sampling split
+    # ------------------------------------------------------------------
+    def _build_streams(self):
+        # the workers own the per-node streams; the parent never draws
+        # from them (and skips materialising n Random objects)
+        return None
+
+    def _dispatch_sampling(self, order, a: int, m: int, k: int) -> None:
+        if k >= m:
+            return  # zero-draw tick: handled inline by _sample_rows
+        if self._order_changed:
+            self._order_arr[:a] = order
+            self._order_version += 1
+            self._order_changed = False
+        msg = ("tick", a, m, k, self._order_version)
+        for conn in self._conns:
+            conn.send(msg)
+
+    def _sample_rows(self, order, a: int, m: int, k: int) -> list[list[int]]:
+        if k >= m:
+            return super()._sample_rows(order, a, m, k)
+        # the barrier: every worker has written its rows before we read
+        for conn in self._conns:
+            try:
+                ack = conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    "a sampling worker died mid-round (EOF on its pipe)"
+                ) from None
+            if ack[0] == "error":
+                raise RuntimeError(f"sampling worker failed:\n{ack[1]}")
+        # one C-level pass merges the shards in emission order and
+        # yields plain python ints (downstream code uses them as keys)
+        return self._rows_arr[: a * k].reshape(a, k).tolist()
+
+    # ------------------------------------------------------------------
+    # order-version maintenance (the only churn-facing difference)
+    # ------------------------------------------------------------------
+    def crash(self, node_id: int) -> None:
+        super().crash(node_id)
+        # the order compacts at the next tick; republish it then
+        self._order_changed = True
+
+    def restart(self, node_id: int) -> None:
+        super().restart(node_id)
+        self._order_changed = True
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and release the shared block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # drop our views first so the finalizer can close the mapping
+        self._order_arr = None
+        self._rows_arr = None
+        if self._finalizer is not None:
+            self._finalizer()
+        elif self._shm is not None:  # pragma: no cover - init failed early
+            _teardown(self._procs, self._conns, self._shm)

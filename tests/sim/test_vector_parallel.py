@@ -1,0 +1,447 @@
+"""Shard-count invariance of the multicore vector lane.
+
+The contract: ``--dispatch vector --shards N`` is **byte-identical** to
+the single-core vector lane (and therefore to the per-node batched
+reference, which the vector parity suite pins) at any shard count.
+Shard boundaries only decide *which worker process* replays a node's
+sampling stream, so nothing about the run may change.
+
+Four angles:
+
+* hypothesis lanes drawing lossless and faulted configurations and
+  asserting fingerprint equality across ``shards=1/2/4``;
+* a deterministic crash-window + churn parity case (the emission order
+  compacts and regrows mid-run, exercising the order republication);
+* worker lifecycle: teardown leaks no processes (mirroring
+  ``tests/runtime/test_process_cluster.py``), close is idempotent, and
+  an orphaned worker exits on its own when the parent vanishes;
+* shard resolution and fallback reasons: ``0`` = auto (cores − 1),
+  ineligible configurations fall back to the single-core vector lane
+  with a human-readable reason.
+
+Plus the registry-wide gate: every vector-eligible library scenario is
+byte-identical between ``shards=1`` and ``shards=2`` at smoke scale.
+"""
+
+import dataclasses
+import multiprocessing
+from multiprocessing import shared_memory
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.harness import (
+    build_cluster,
+    parallel_fallback_reason,
+    spec_for_scenario,
+    vector_fallback_reason,
+)
+from repro.gossip.config import SystemConfig
+from repro.sim.faults import FaultScript
+from repro.sim.network import BernoulliLoss, ConstantLatency
+from repro.sim.vector_parallel import (
+    ParallelVectorExecutor,
+    ShardConfig,
+    parallel_ineligible_reason,
+    resolve_shards,
+    shard_bounds,
+    shard_worker_main,
+)
+from repro.workload.cluster import SimCluster
+
+DEDUP = 2000
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _fingerprint(cluster: SimCluster) -> tuple:
+    m = cluster.metrics
+    records = tuple(
+        sorted(
+            (
+                repr(eid),
+                rec.broadcast_time,
+                rec.receiver_count,
+                rec.duplicate_deliveries,
+                rec.first_delivery,
+                rec.last_delivery,
+            )
+            for eid, rec in m.messages.items()
+        )
+    )
+    stats = tuple(repr(cluster.nodes[i].protocol.stats) for i in sorted(cluster.nodes))
+    net = cluster.network.stats
+    return (
+        m.admitted.total,
+        m.deliveries.total,
+        m.drops_overflow.total,
+        m.drops_age_out.total,
+        tuple(sorted(m.drop_ages)),
+        records,
+        stats,
+        (net.sent, net.delivered, net.lost, net.partitioned,
+         net.oneway_blocked, net.link_lost, net.capped, net.no_route,
+         net.payload_items),
+    )
+
+
+def _system(cfg: dict) -> SystemConfig:
+    return SystemConfig(
+        fanout=cfg["fanout"],
+        gossip_period=1.0,
+        buffer_capacity=cfg["buffer_capacity"],
+        dedup_capacity=DEDUP,
+        max_age=cfg["max_age"],
+        round_jitter=0.0,
+        round_phase=0.0,
+    )
+
+
+def _run_sharded(build, shard_counts=SHARD_COUNTS):
+    """Fingerprints of the same run at several shard counts.
+
+    ``build(shards)`` returns a ready-to-run cluster; every cluster is
+    closed even on assertion failure, and any multi-shard cluster must
+    genuinely engage the parallel executor.
+    """
+    fps = []
+    for shards in shard_counts:
+        cluster = build(shards)
+        try:
+            if shards >= 2:
+                assert isinstance(cluster.vector, ParallelVectorExecutor), (
+                    cluster.parallel_fallback_reason
+                )
+                assert cluster.shards == shards
+            cluster.run(until=12.0)
+            fps.append(_fingerprint(cluster))
+        finally:
+            cluster.close()
+    return fps
+
+
+# ----------------------------------------------------------------------
+# hypothesis lane 1: lossless round-synchronous configs
+# ----------------------------------------------------------------------
+parallel_configs = st.fixed_dictionaries(
+    {
+        "n_nodes": st.integers(8, 32),
+        "fanout": st.integers(1, 6),
+        "buffer_capacity": st.integers(3, 12),
+        "max_age": st.integers(2, 6),
+        "delay": st.floats(0.005, 0.9),
+        "rate": st.floats(2.0, 10.0),
+        "n_senders": st.integers(1, 3),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(cfg=parallel_configs)
+def test_lossless_fingerprints_invariant_across_shards(cfg):
+    def build(shards):
+        cluster = SimCluster(
+            n_nodes=cfg["n_nodes"],
+            system=_system(cfg),
+            protocol="lpbcast",
+            seed=cfg["seed"],
+            latency=ConstantLatency(cfg["delay"]),
+            dispatch="vector",
+            shards=shards,
+        )
+        senders = [
+            i * (cfg["n_nodes"] // cfg["n_senders"] or 1) % cfg["n_nodes"]
+            for i in range(cfg["n_senders"])
+        ]
+        cluster.add_senders(sorted(set(senders)), rate_each=cfg["rate"])
+        return cluster
+
+    fps = _run_sharded(build)
+    assert fps[0] == fps[1] == fps[2]
+
+
+# ----------------------------------------------------------------------
+# hypothesis lane 2: faulted configs (loss windows, partitions, crashes)
+# ----------------------------------------------------------------------
+faulted_configs = st.fixed_dictionaries(
+    {
+        "n_nodes": st.integers(8, 32),
+        "fanout": st.integers(2, 5),
+        "buffer_capacity": st.integers(4, 12),
+        "max_age": st.integers(3, 6),
+        "rate": st.floats(2.0, 8.0),
+        "seed": st.integers(0, 10_000),
+        "loss": st.one_of(st.none(), st.floats(0.05, 0.7)),
+        "loss_window": st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(1.0, 5.0), st.floats(1.0, 4.0), st.floats(0.1, 0.9)
+            ),
+        ),
+        "partition": st.one_of(
+            st.none(), st.tuples(st.floats(1.0, 5.0), st.floats(1.0, 4.0))
+        ),
+        "crash": st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(1.0, 6.0),
+                st.integers(1, 3),
+                st.one_of(st.none(), st.integers(7, 11)),
+            ),
+        ),
+    }
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(cfg=faulted_configs)
+def test_faulted_fingerprints_invariant_across_shards(cfg):
+    n = cfg["n_nodes"]
+    loss = BernoulliLoss(cfg["loss"]) if cfg["loss"] is not None else None
+
+    def build(shards):
+        cluster = SimCluster(
+            n_nodes=n,
+            system=_system(cfg),
+            protocol="lpbcast",
+            seed=cfg["seed"],
+            latency=ConstantLatency(0.01),
+            loss=loss,
+            dispatch="vector",
+            shards=shards,
+        )
+        cluster.add_senders([0, n // 2], rate_each=cfg["rate"])
+        script = FaultScript()
+        if cfg["loss_window"] is not None:
+            start, duration, p = cfg["loss_window"]
+            script.loss(start, duration, p)
+        if cfg["partition"] is not None:
+            start, duration = cfg["partition"]
+            script.partition(
+                start, duration, [list(range(0, n // 2)), list(range(n // 2, n))]
+            )
+        if cfg["crash"] is not None:
+            time, k, restart_at = cfg["crash"]
+            senders = {0, n // 2}
+            victims = [i for i in range(n - 1, -1, -1) if i not in senders][:k]
+            script.crash(time, tuple(victims), restart_at)
+        if len(script):
+            cluster.apply_faults(script, baseline_loss=loss)
+        return cluster
+
+    fps = _run_sharded(build)
+    assert fps[0] == fps[1] == fps[2]
+
+
+# ----------------------------------------------------------------------
+# deterministic crash-window / churn parity (order compacts and regrows)
+# ----------------------------------------------------------------------
+def test_crash_window_and_churn_parity():
+    n = 16
+
+    def build(shards):
+        cluster = SimCluster(
+            n_nodes=n,
+            system=SystemConfig(
+                fanout=3,
+                gossip_period=1.0,
+                buffer_capacity=8,
+                dedup_capacity=DEDUP,
+                max_age=5,
+                round_jitter=0.0,
+                round_phase=0.0,
+            ),
+            protocol="lpbcast",
+            seed=7,
+            latency=ConstantLatency(0.01),
+            loss=BernoulliLoss(0.1),
+            dispatch="vector",
+            shards=shards,
+        )
+        cluster.add_senders([0, n // 2], rate_each=4.0)
+        script = (
+            FaultScript()
+            .loss(5.0, 2.0, 0.5)
+            .crash(4.0, nodes=(14, 15), restart_at=8.0)
+        )
+        cluster.apply_faults(script, baseline_loss=BernoulliLoss(0.1))
+        return cluster
+
+    fps = _run_sharded(build)
+    assert fps[0] == fps[1] == fps[2]
+
+
+# ----------------------------------------------------------------------
+# registry-wide gate: every vector-eligible library scenario
+# ----------------------------------------------------------------------
+def test_registry_scenarios_identical_across_shard_counts():
+    from repro.scenarios.registry import get_scenario, scenario_names
+    from repro.scenarios.runner import smoke_profile
+
+    checked = []
+    for name in scenario_names():
+        spec = spec_for_scenario(get_scenario(name, smoke_profile()), dispatch="vector")
+        if vector_fallback_reason(spec) is not None:
+            continue  # never reaches the vector lane; nothing to shard
+        fps = []
+        for shards in (1, 2):
+            cluster = build_cluster(dataclasses.replace(spec, shards=shards))
+            try:
+                if shards == 2:
+                    assert isinstance(cluster.vector, ParallelVectorExecutor), name
+                cluster.run(until=spec.duration)
+                fps.append(_fingerprint(cluster))
+            finally:
+                cluster.close()
+        assert fps[0] == fps[1], f"{name} diverged between shards=1 and shards=2"
+        checked.append(name)
+    # the mega family plus giga-flood must all have been exercised
+    assert {"mega-flood", "giga-flood"} <= set(checked)
+    assert len(checked) >= 6
+
+
+# ----------------------------------------------------------------------
+# worker lifecycle
+# ----------------------------------------------------------------------
+def _parallel_cluster(shards=2, n=12):
+    cluster = SimCluster(
+        n_nodes=n,
+        system=SystemConfig(
+            fanout=3,
+            gossip_period=1.0,
+            buffer_capacity=8,
+            dedup_capacity=DEDUP,
+            max_age=5,
+            round_jitter=0.0,
+            round_phase=0.0,
+        ),
+        protocol="lpbcast",
+        seed=3,
+        latency=ConstantLatency(0.01),
+        dispatch="vector",
+        shards=shards,
+    )
+    cluster.add_senders([0], rate_each=4.0)
+    return cluster
+
+
+def test_close_leaks_no_workers_and_is_idempotent():
+    before = len(multiprocessing.active_children())
+    cluster = _parallel_cluster()
+    assert isinstance(cluster.vector, ParallelVectorExecutor)
+    cluster.run(until=6.0)
+    fp = _fingerprint(cluster)
+    cluster.close()
+    assert len(multiprocessing.active_children()) <= before
+    # metrics and stats stay readable after teardown
+    assert _fingerprint(cluster) == fp
+    cluster.close()  # second close is a no-op
+
+
+def test_worker_exits_when_parent_vanishes():
+    n, fanout = 8, 3
+    shm = shared_memory.SharedMemory(create=True, size=n * 4 + n * fanout * 4)
+    try:
+        cfg = ShardConfig(
+            worker_id=0, seed=7, lo=0, hi=4, n_nodes=n, fanout=fanout,
+            shm_name=shm.name,
+        )
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        # mirror the executor: the forked child inherits parent_conn and
+        # must close it, or its own copy would mask the parent's EOF
+        proc = ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, cfg, [parent_conn]),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        parent_conn.close()  # the parent "crashes" — EOF on the pipe
+        proc.join(timeout=10.0)
+        assert proc.exitcode == 0, "orphaned sampling worker kept waiting"
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+# ----------------------------------------------------------------------
+# shard resolution and fallback reasons
+# ----------------------------------------------------------------------
+def test_resolve_shards():
+    assert resolve_shards(None) == 1
+    assert resolve_shards(1) == 1
+    assert resolve_shards(5) == 5
+    assert resolve_shards(0, cpu_count=8) == 7
+    assert resolve_shards(0, cpu_count=1) == 1  # auto never resolves to 0
+    with pytest.raises(ValueError):
+        resolve_shards(-1)
+
+
+def test_shard_bounds_partition_every_node_exactly_once():
+    for n, shards in ((10, 3), (8, 2), (7, 7), (100, 4)):
+        bounds = shard_bounds(n, shards)
+        assert len(bounds) == shards
+        flat = [i for lo, hi in bounds for i in range(lo, hi)]
+        assert flat == list(range(n))
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_parallel_ineligible_reasons():
+    assert parallel_ineligible_reason(shards=2, n_nodes=100) is None
+    assert "n_nodes" in parallel_ineligible_reason(shards=8, n_nodes=4)
+    assert "numpy" in parallel_ineligible_reason(
+        shards=2, n_nodes=100, vector_numpy=False
+    )
+
+
+def test_cluster_falls_back_single_core_with_reason():
+    # stdlib-forced vector lane: parallel refuses, run proceeds single-core
+    cluster = _parallel_cluster(shards=2)
+    try:
+        assert cluster.parallel_fallback_reason is None
+    finally:
+        cluster.close()
+    fallback = SimCluster(
+        n_nodes=12,
+        system=SystemConfig(
+            fanout=3, gossip_period=1.0, buffer_capacity=8,
+            dedup_capacity=DEDUP, max_age=5, round_jitter=0.0, round_phase=0.0,
+        ),
+        protocol="lpbcast",
+        seed=3,
+        latency=ConstantLatency(0.01),
+        dispatch="vector",
+        vector_numpy=False,
+        shards=2,
+    )
+    try:
+        assert fallback.vector is not None
+        assert not isinstance(fallback.vector, ParallelVectorExecutor)
+        assert fallback.shards == 1
+        assert "numpy" in fallback.parallel_fallback_reason
+    finally:
+        fallback.close()
+    # shards on a non-vector dispatch: fallback reason names the lane
+    batched = SimCluster(n_nodes=6, dispatch="batched", shards=2)
+    assert "vector lane" in batched.parallel_fallback_reason
+
+
+def test_harness_parallel_fallback_reason():
+    from repro.scenarios.registry import get_scenario
+    from repro.scenarios.runner import smoke_profile
+
+    eligible = spec_for_scenario(
+        get_scenario("mega-flood", smoke_profile()), dispatch="vector", shards=2
+    )
+    assert parallel_fallback_reason(eligible) is None
+    assert parallel_fallback_reason(dataclasses.replace(eligible, shards=1)) is None
+    per_node = spec_for_scenario(
+        get_scenario("flash-crowd", smoke_profile()), dispatch="vector", shards=2
+    )
+    assert "vector lane" in parallel_fallback_reason(per_node)
+    batched = dataclasses.replace(eligible, dispatch="batched")
+    assert "--dispatch vector" in parallel_fallback_reason(batched)
